@@ -1,0 +1,258 @@
+package vdbench
+
+// One benchmark per reproduced table/figure (E1-E10), plus
+// micro-benchmarks for the load-bearing substrates. The experiment
+// benchmarks use the quick configuration so `go test -bench=.` terminates
+// in minutes; the numbers in EXPERIMENTS.md come from the default
+// configuration via cmd/vdbench.
+
+import (
+	"testing"
+
+	"github.com/dsn2015/vdbench/internal/detectors"
+	"github.com/dsn2015/vdbench/internal/experiments"
+	"github.com/dsn2015/vdbench/internal/mcda"
+	"github.com/dsn2015/vdbench/internal/metrics"
+	"github.com/dsn2015/vdbench/internal/ranking"
+	"github.com/dsn2015/vdbench/internal/stats"
+	"github.com/dsn2015/vdbench/internal/svclang"
+	"github.com/dsn2015/vdbench/internal/workload"
+)
+
+// benchExperiment regenerates one experiment artefact per iteration,
+// end to end (corpus, campaign, profiles included where the experiment
+// needs them).
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	cfg := experiments.QuickConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		runner, err := experiments.NewRunner(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := runner.Run(id)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Tables)+len(res.Figures) == 0 {
+			b.Fatalf("%s produced no artefacts", id)
+		}
+	}
+}
+
+func BenchmarkE1MetricCatalog(b *testing.B)     { benchExperiment(b, "e1") }
+func BenchmarkE2MetricProperties(b *testing.B)  { benchExperiment(b, "e2") }
+func BenchmarkE3Campaign(b *testing.B)          { benchExperiment(b, "e3") }
+func BenchmarkE4MetricValues(b *testing.B)      { benchExperiment(b, "e4") }
+func BenchmarkE5Rankings(b *testing.B)          { benchExperiment(b, "e5") }
+func BenchmarkE6Prevalence(b *testing.B)        { benchExperiment(b, "e6") }
+func BenchmarkE7Discrimination(b *testing.B)    { benchExperiment(b, "e7") }
+func BenchmarkE8ScenarioSelection(b *testing.B) { benchExperiment(b, "e8") }
+func BenchmarkE9AHP(b *testing.B)               { benchExperiment(b, "e9") }
+func BenchmarkE10Sensitivity(b *testing.B)      { benchExperiment(b, "e10") }
+func BenchmarkE11MethodAgreement(b *testing.B)  { benchExperiment(b, "e11") }
+func BenchmarkE12ThresholdFree(b *testing.B)    { benchExperiment(b, "e12") }
+func BenchmarkE13MicroMacro(b *testing.B)       { benchExperiment(b, "e13") }
+
+// --- substrate micro-benchmarks ---
+
+var benchMatrix = metrics.Confusion{TP: 40, FP: 10, FN: 20, TN: 130}
+
+func BenchmarkMetricMCC(b *testing.B) {
+	m := metrics.MustByID(metrics.IDMCC)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Value(benchMatrix); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMetricCatalogAllValues(b *testing.B) {
+	cat := metrics.Catalog()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, m := range cat {
+			v, err := m.Value(benchMatrix)
+			if err != nil {
+				b.Fatal(err)
+			}
+			_ = v
+		}
+	}
+}
+
+var benchServiceSrc = `
+service Bench
+  param id
+  param mode
+  var q
+  if not matches(id, alnum)
+    reject
+  end
+  if eq(mode, "alpha")
+    q = concat("SELECT * FROM t WHERE a='", escape_sql(id), "'")
+  else
+    q = concat("SELECT * FROM t WHERE a='", id, "'")
+  end
+  repeat 3
+    q = concat(q, numeric(id))
+  end
+  sink sql q
+end
+`
+
+func BenchmarkSvclangParse(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := svclang.ParseOne(benchServiceSrc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSvclangExecute(b *testing.B) {
+	svc, err := svclang.ParseOne(benchServiceSrc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	req := svclang.Request{"id": "abc123", "mode": "alpha"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := svclang.Execute(svc, req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOracleAnalyze(b *testing.B) {
+	svc, err := svclang.ParseOne(benchServiceSrc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := svclang.Analyze(svc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchCase(b *testing.B) workload.Case {
+	b.Helper()
+	tpl, ok := workload.TemplateByName("guarded-splice")
+	if !ok {
+		b.Fatal("template missing")
+	}
+	svc, _ := tpl.Build("bench", svclang.SinkSQL, true)
+	truths, err := svclang.Analyze(svc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return workload.Case{Service: svc, Template: "guarded-splice", Difficulty: workload.Hard, Truths: truths}
+}
+
+func BenchmarkTaintSAST(b *testing.B) {
+	cs := benchCase(b)
+	tool := detectors.NewTaintSAST(detectors.TaintSASTConfig{
+		Name: "bench", SinkAware: true, ValidatorAware: true,
+		PruneDeadBranches: true, TrackLoops: true,
+	})
+	rng := stats.NewRNG(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tool.Analyze(cs, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPentester(b *testing.B) {
+	cs := benchCase(b)
+	tool := detectors.NewPentester(detectors.PentesterConfig{Name: "bench", ExploreInputs: true})
+	rng := stats.NewRNG(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tool.Analyze(cs, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWorkloadGenerate(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := workload.Generate(workload.Config{
+			Services:         20,
+			TargetPrevalence: 0.35,
+			Seed:             uint64(i + 1),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAHPPriorities(b *testing.B) {
+	weights := []float64{9, 5, 3, 7, 2, 4, 6, 8, 1}
+	pw, err := mcda.FromWeights(weights)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pw.Priorities(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKendallTau(b *testing.B) {
+	rng := stats.NewRNG(4)
+	xs := make([]float64, 100)
+	ys := make([]float64, 100)
+	for i := range xs {
+		xs[i] = rng.Float64()
+		ys[i] = rng.Float64()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ranking.KendallTau(xs, ys); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBootstrapMean(b *testing.B) {
+	rng := stats.NewRNG(5)
+	xs := make([]float64, 500)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	cfg := stats.BootstrapConfig{Resamples: 200, Confidence: 0.95}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := stats.Bootstrap(rng, xs, cfg, func(s []float64) float64 {
+			m, _ := stats.Mean(s)
+			return m
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE14Combination(b *testing.B) { benchExperiment(b, "e14") }
+
+func BenchmarkE15DecisionImpact(b *testing.B) { benchExperiment(b, "e15") }
+
+func BenchmarkE16FailureMap(b *testing.B) { benchExperiment(b, "e16") }
+
+func BenchmarkE17Redundancy(b *testing.B) { benchExperiment(b, "e17") }

@@ -1,0 +1,350 @@
+// Command mcdarank runs multi-criteria decision analysis, either on the
+// built-in metric-selection problem (scenario mode) or on a user-supplied
+// CSV decision problem (file mode).
+//
+// Scenario mode ranks the candidate benchmark metrics for one of the
+// built-in usage scenarios:
+//
+//	mcdarank -scenario security-audit
+//
+// File mode expects a CSV with a header row naming the criteria, one row
+// per alternative (first column = name), and weights given on the command
+// line:
+//
+//	mcdarank -file problem.csv -weights 5,3,1 -method topsis
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"github.com/dsn2015/vdbench"
+	"github.com/dsn2015/vdbench/internal/core"
+	"github.com/dsn2015/vdbench/internal/mcda"
+	"github.com/dsn2015/vdbench/internal/scenario"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "mcdarank:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("mcdarank", flag.ContinueOnError)
+	var (
+		scenarioID    = fs.String("scenario", "", "rank metrics for a built-in scenario (dev-triage, security-audit, auto-gating, procurement)")
+		file          = fs.String("file", "", "CSV decision problem (header: name,crit1,crit2,...)")
+		weightsArg    = fs.String("weights", "", "comma-separated criterion weights for file mode")
+		method        = fs.String("method", "ahp", "MCDA method: ahp, wsm, wpm or topsis")
+		seed          = fs.Uint64("seed", 1, "seed for the property analysis in scenario mode")
+		topK          = fs.Int("top", 10, "how many alternatives to print")
+		questionnaire = fs.Bool("questionnaire", false, "emit a blank pairwise-comparison questionnaire over the metric-quality criteria")
+		answers       = fs.String("answers", "", "rank metrics from a filled-in questionnaire CSV (a real expert's judgments)")
+	)
+	fs.SetOutput(out)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	modes := 0
+	for _, on := range []bool{*scenarioID != "", *file != "", *questionnaire, *answers != ""} {
+		if on {
+			modes++
+		}
+	}
+	switch {
+	case modes > 1:
+		return fmt.Errorf("use exactly one of -scenario, -file, -questionnaire or -answers")
+	case *questionnaire:
+		return emitQuestionnaire(out)
+	case *answers != "":
+		return runAnswers(out, *answers, *seed, *topK)
+	case *scenarioID != "":
+		return runScenario(out, *scenarioID, *seed, *topK)
+	case *file != "":
+		return runFile(out, *file, *weightsArg, *method, *topK)
+	default:
+		fs.Usage()
+		return fmt.Errorf("one of -scenario, -file, -questionnaire or -answers is required")
+	}
+}
+
+// emitQuestionnaire prints the pairwise-comparison questionnaire a human
+// expert fills in: one row per criterion pair, with a blank judgment
+// column on the Saaty 1-9 scale (reciprocals for "B more important").
+func emitQuestionnaire(out io.Writer) error {
+	fmt.Fprintln(out, "# Pairwise importance questionnaire — criteria of a good benchmark metric.")
+	fmt.Fprintln(out, "# Fill the judgment column on the Saaty scale:")
+	fmt.Fprintln(out, "#   9 = A extremely more important than B ... 1 = equal ... 1/9 = B extremely more important.")
+	fmt.Fprintln(out, "# Fractions like 1/5 are accepted. Then run: mcdarank -answers <this file>")
+	fmt.Fprintln(out, "criterionA,criterionB,judgment")
+	ids := scenario.CriterionIDs()
+	for i := 0; i < len(ids); i++ {
+		for j := i + 1; j < len(ids); j++ {
+			fmt.Fprintf(out, "%s,%s,1\n", ids[i], ids[j])
+		}
+	}
+	return nil
+}
+
+// runAnswers builds a judgment matrix from a filled questionnaire, derives
+// criteria weights (with consistency diagnostics) and ranks the metric
+// catalogue under them.
+func runAnswers(out io.Writer, path string, seed uint64, topK int) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	reader := csv.NewReader(f)
+	reader.Comment = '#'
+	rows, err := reader.ReadAll()
+	if err != nil {
+		return fmt.Errorf("parse %s: %w", path, err)
+	}
+	ids := scenario.CriterionIDs()
+	index := make(map[string]int, len(ids))
+	for i, id := range ids {
+		index[id] = i
+	}
+	pw, err := mcda.NewPairwise(len(ids))
+	if err != nil {
+		return err
+	}
+	for rowNum, row := range rows {
+		if rowNum == 0 && len(row) == 3 && row[2] == "judgment" {
+			continue // header
+		}
+		if len(row) != 3 {
+			return fmt.Errorf("%s: row %d has %d fields, want 3", path, rowNum+1, len(row))
+		}
+		a, okA := index[strings.TrimSpace(row[0])]
+		b, okB := index[strings.TrimSpace(row[1])]
+		if !okA || !okB {
+			return fmt.Errorf("%s: row %d: unknown criterion %q or %q", path, rowNum+1, row[0], row[1])
+		}
+		v, err := parseJudgment(row[2])
+		if err != nil {
+			return fmt.Errorf("%s: row %d: %w", path, rowNum+1, err)
+		}
+		if err := pw.Set(a, b, v); err != nil {
+			return fmt.Errorf("%s: row %d: %w", path, rowNum+1, err)
+		}
+	}
+	prio, err := pw.Priorities()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "consistency ratio: %.4f (consistent: %t)\n", prio.CR, prio.Consistent())
+	if !prio.Consistent() {
+		fmt.Fprintln(out, "warning: judgments are inconsistent (CR >= 0.1); consider revisiting them")
+	}
+	fmt.Fprintln(out, "derived criteria weights:")
+	for i, id := range ids {
+		fmt.Fprintf(out, "  %-24s %.4f\n", id, prio.Weights[i])
+	}
+	profiles, err := vdbench.AnalyzeMetrics(vdbench.DefaultPropConfig(), seed)
+	if err != nil {
+		return err
+	}
+	problem, err := core.BuildProblem(profiles)
+	if err != nil {
+		return err
+	}
+	res, err := mcda.AHP(pw, problem)
+	if err != nil {
+		return err
+	}
+	type ranked struct {
+		name  string
+		score float64
+	}
+	order := make([]ranked, len(res.Scores))
+	for i := range res.Scores {
+		order[i] = ranked{problem.Alternatives[i], res.Scores[i]}
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i].score > order[j].score })
+	if topK > len(order) {
+		topK = len(order)
+	}
+	fmt.Fprintln(out, "metric ranking under your judgments:")
+	for i := 0; i < topK; i++ {
+		fmt.Fprintf(out, "  %2d. %-24s %.4f\n", i+1, order[i].name, order[i].score)
+	}
+	return nil
+}
+
+// parseJudgment accepts Saaty-scale values as decimals ("3", "0.2") or
+// fractions ("1/5").
+func parseJudgment(s string) (float64, error) {
+	s = strings.TrimSpace(s)
+	if num, den, ok := strings.Cut(s, "/"); ok {
+		n, err1 := strconv.ParseFloat(strings.TrimSpace(num), 64)
+		d, err2 := strconv.ParseFloat(strings.TrimSpace(den), 64)
+		if err1 != nil || err2 != nil || d == 0 {
+			return 0, fmt.Errorf("bad fraction %q", s)
+		}
+		return n / d, nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad judgment %q", s)
+	}
+	return v, nil
+}
+
+func runScenario(out io.Writer, id string, seed uint64, topK int) error {
+	s, ok := vdbench.ScenarioByID(id)
+	if !ok {
+		var ids []string
+		for _, sc := range vdbench.Scenarios() {
+			ids = append(ids, sc.ID)
+		}
+		return fmt.Errorf("unknown scenario %q (known: %s)", id, strings.Join(ids, ", "))
+	}
+	fmt.Fprintf(out, "scenario: %s — %s\n%s\n\n", s.ID, s.Name, s.Description)
+	profiles, err := vdbench.AnalyzeMetrics(vdbench.DefaultPropConfig(), seed)
+	if err != nil {
+		return err
+	}
+	sel, err := vdbench.SelectMetric(s, profiles)
+	if err != nil {
+		return err
+	}
+	val, err := vdbench.ValidateSelection(s, profiles, 5, 0.1, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "analytical ranking (weighted criteria):\n")
+	for i, id := range sel.Top(topK) {
+		score, _ := sel.ScoreOf(id)
+		fmt.Fprintf(out, "  %2d. %-22s %.4f\n", i+1, id, score)
+	}
+	fmt.Fprintf(out, "\nAHP validation: CR=%.4f consistent=%t tau-vs-analytical=%.3f top3-overlap=%.2f\n",
+		val.AHP.Consistency.CR, val.AHP.Consistency.Consistent(), val.AgreementTau, val.TopAgreement)
+	fmt.Fprintf(out, "AHP winner: %s\n", val.Selection.Best())
+	return nil
+}
+
+func runFile(out io.Writer, path, weightsArg, method string, topK int) error {
+	problem, err := loadProblem(path)
+	if err != nil {
+		return err
+	}
+	weights, err := parseWeights(weightsArg, len(problem.Criteria))
+	if err != nil {
+		return err
+	}
+	var scores []float64
+	switch method {
+	case "wsm":
+		scores, err = mcda.WeightedSum(problem, weights)
+	case "wpm":
+		scores, err = mcda.WeightedProduct(problem, weights)
+	case "topsis":
+		scores, err = mcda.TOPSIS(problem, weights)
+	case "ahp":
+		pw, werr := mcda.FromWeights(weights)
+		if werr != nil {
+			return werr
+		}
+		var res mcda.AHPResult
+		res, err = mcda.AHP(pw, problem)
+		if err == nil {
+			scores = res.Scores
+			fmt.Fprintf(out, "consistency ratio: %.4f\n", res.Consistency.CR)
+		}
+	default:
+		return fmt.Errorf("unknown method %q (want ahp, wsm or topsis)", method)
+	}
+	if err != nil {
+		return err
+	}
+	type ranked struct {
+		name  string
+		score float64
+	}
+	order := make([]ranked, len(scores))
+	for i := range scores {
+		order[i] = ranked{problem.Alternatives[i], scores[i]}
+	}
+	for i := 0; i < len(order); i++ {
+		for j := i + 1; j < len(order); j++ {
+			if order[j].score > order[i].score {
+				order[i], order[j] = order[j], order[i]
+			}
+		}
+	}
+	if topK > len(order) {
+		topK = len(order)
+	}
+	for i := 0; i < topK; i++ {
+		fmt.Fprintf(out, "%2d. %-24s %.4f\n", i+1, order[i].name, order[i].score)
+	}
+	return nil
+}
+
+// loadProblem reads a CSV decision problem: header "name,crit1,...",
+// one row per alternative.
+func loadProblem(path string) (mcda.Problem, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return mcda.Problem{}, err
+	}
+	defer f.Close()
+	rows, err := csv.NewReader(f).ReadAll()
+	if err != nil {
+		return mcda.Problem{}, fmt.Errorf("parse %s: %w", path, err)
+	}
+	if len(rows) < 2 || len(rows[0]) < 2 {
+		return mcda.Problem{}, fmt.Errorf("%s: need a header and at least one alternative", path)
+	}
+	p := mcda.Problem{Criteria: rows[0][1:]}
+	for i, row := range rows[1:] {
+		if len(row) != len(rows[0]) {
+			return mcda.Problem{}, fmt.Errorf("%s: row %d has %d fields, want %d", path, i+2, len(row), len(rows[0]))
+		}
+		p.Alternatives = append(p.Alternatives, row[0])
+		vals := make([]float64, len(row)-1)
+		for j, cell := range row[1:] {
+			v, err := strconv.ParseFloat(strings.TrimSpace(cell), 64)
+			if err != nil {
+				return mcda.Problem{}, fmt.Errorf("%s: row %d column %d: %w", path, i+2, j+2, err)
+			}
+			vals[j] = v
+		}
+		p.Scores = append(p.Scores, vals)
+	}
+	return p, p.Validate()
+}
+
+func parseWeights(arg string, n int) ([]float64, error) {
+	if arg == "" {
+		// Equal weights by default.
+		w := make([]float64, n)
+		for i := range w {
+			w[i] = 1
+		}
+		return w, nil
+	}
+	parts := strings.Split(arg, ",")
+	if len(parts) != n {
+		return nil, fmt.Errorf("got %d weights for %d criteria", len(parts), n)
+	}
+	w := make([]float64, n)
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("weight %d: %w", i+1, err)
+		}
+		w[i] = v
+	}
+	return w, nil
+}

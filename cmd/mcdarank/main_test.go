@@ -1,0 +1,204 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeProblem(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "problem.csv")
+	csv := "name,quality,price,support\n" +
+		"alpha,0.9,0.2,0.5\n" +
+		"beta,0.5,0.9,0.5\n" +
+		"gamma,0.1,0.1,0.5\n"
+	if err := os.WriteFile(path, []byte(csv), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestFileModeMethods(t *testing.T) {
+	path := writeProblem(t)
+	for _, method := range []string{"ahp", "wsm", "topsis"} {
+		var out strings.Builder
+		if err := run([]string{"-file", path, "-weights", "5,1,1", "-method", method}, &out); err != nil {
+			t.Fatalf("%s: %v", method, err)
+		}
+		lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+		last := lines[len(lines)-1]
+		// gamma is dominated and must rank last under every method.
+		if !strings.Contains(last, "gamma") {
+			t.Errorf("%s: dominated alternative not last:\n%s", method, out.String())
+		}
+		// quality-heavy weights must rank alpha first.
+		first := lines[0]
+		if method == "ahp" {
+			first = lines[1] // line 0 is the consistency ratio
+		}
+		if !strings.Contains(first, "alpha") {
+			t.Errorf("%s: quality-heavy weights should rank alpha first:\n%s", method, out.String())
+		}
+	}
+}
+
+func TestFileModeDefaultsToEqualWeights(t *testing.T) {
+	path := writeProblem(t)
+	var out strings.Builder
+	if err := run([]string{"-file", path, "-method", "wsm"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "alpha") {
+		t.Fatal("output missing alternatives")
+	}
+}
+
+func TestFileModeErrors(t *testing.T) {
+	path := writeProblem(t)
+	cases := [][]string{
+		{}, // no mode
+		{"-file", path, "-scenario", "dev-triage"},        // both modes
+		{"-file", path, "-weights", "1,2"},                // weight count
+		{"-file", path, "-method", "electre"},             // unknown method
+		{"-file", filepath.Join(t.TempDir(), "none.csv")}, // missing file
+	}
+	for _, args := range cases {
+		var out strings.Builder
+		if err := run(args, &out); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+func TestFileModeMalformedCSV(t *testing.T) {
+	dir := t.TempDir()
+	for name, content := range map[string]string{
+		"short.csv":  "name\n",
+		"ragged.csv": "name,a,b\nx,1\n",
+		"nonnum.csv": "name,a\nx,hello\n",
+	} {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var out strings.Builder
+		if err := run([]string{"-file", path}, &out); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestScenarioModeUnknown(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-scenario", "nope"}, &out); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+}
+
+func TestParseWeights(t *testing.T) {
+	w, err := parseWeights("", 3)
+	if err != nil || len(w) != 3 || w[0] != 1 {
+		t.Fatalf("default weights = %v, %v", w, err)
+	}
+	w, err = parseWeights("1, 2.5 ,3", 3)
+	if err != nil || w[1] != 2.5 {
+		t.Fatalf("parsed weights = %v, %v", w, err)
+	}
+	if _, err := parseWeights("1,x,3", 3); err == nil {
+		t.Fatal("non-numeric weight accepted")
+	}
+}
+
+func TestQuestionnaireRoundTrip(t *testing.T) {
+	// Emit the questionnaire, fill in audit-leaning judgments, and rank.
+	var q strings.Builder
+	if err := run([]string{"-questionnaire"}, &q); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(q.String()), "\n")
+	var filled strings.Builder
+	for _, line := range lines {
+		if strings.HasPrefix(line, "#") || strings.HasPrefix(line, "criterionA") {
+			filled.WriteString(line + "\n")
+			continue
+		}
+		fields := strings.Split(line, ",")
+		// Make prevalence-robustness dominate everything.
+		switch {
+		case fields[0] == "prevalence-robustness":
+			filled.WriteString(fields[0] + "," + fields[1] + ",7\n")
+		case fields[1] == "prevalence-robustness":
+			filled.WriteString(fields[0] + "," + fields[1] + ",1/7\n")
+		default:
+			filled.WriteString(line + "\n")
+		}
+	}
+	path := filepath.Join(t.TempDir(), "answers.csv")
+	if err := os.WriteFile(path, []byte(filled.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run([]string{"-answers", path, "-top", "5"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "consistent: true") {
+		t.Fatalf("uniform-dominance judgments should be consistent:\n%s", got)
+	}
+	// A prevalence-robustness-dominated expert must rank a prevalence-
+	// invariant metric first.
+	head := strings.SplitN(got, "metric ranking", 2)[1]
+	first := strings.Split(head, "\n")[1]
+	okWinner := false
+	for _, id := range []string{"informedness", "balanced-accuracy", "recall", "fnr", "g-mean", "specificity", "fpr"} {
+		if strings.Contains(first, id) {
+			okWinner = true
+		}
+	}
+	if !okWinner {
+		t.Fatalf("prevalence-dominated judgments picked an implausible winner: %s", first)
+	}
+}
+
+func TestAnswersErrors(t *testing.T) {
+	dir := t.TempDir()
+	for name, content := range map[string]string{
+		"badcrit.csv":  "criterionA,criterionB,judgment\nnope,validity,3\n",
+		"badjudge.csv": "criterionA,criterionB,judgment\nvalidity,definedness,banana\n",
+		"badfrac.csv":  "criterionA,criterionB,judgment\nvalidity,definedness,1/0\n",
+		"short.csv":    "criterionA,criterionB\nvalidity,definedness\n",
+	} {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var out strings.Builder
+		if err := run([]string{"-answers", path}, &out); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+	var out strings.Builder
+	if err := run([]string{"-answers", filepath.Join(dir, "missing.csv")}, &out); err == nil {
+		t.Error("missing answers file accepted")
+	}
+	if err := run([]string{"-questionnaire", "-scenario", "dev-triage"}, &out); err == nil {
+		t.Error("multiple modes accepted")
+	}
+}
+
+func TestParseJudgment(t *testing.T) {
+	cases := map[string]float64{"3": 3, "1/5": 0.2, " 1/9 ": 1.0 / 9.0, "0.5": 0.5}
+	for in, want := range cases {
+		got, err := parseJudgment(in)
+		if err != nil || got != want {
+			t.Errorf("parseJudgment(%q) = %g, %v", in, got, err)
+		}
+	}
+	for _, bad := range []string{"", "x", "1/x", "1/0"} {
+		if _, err := parseJudgment(bad); err == nil {
+			t.Errorf("parseJudgment(%q) accepted", bad)
+		}
+	}
+}

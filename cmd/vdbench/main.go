@@ -1,0 +1,163 @@
+// Command vdbench reproduces the paper's tables and figures (experiments
+// E1-E10, see DESIGN.md).
+//
+// Usage:
+//
+//	vdbench [flags] <experiment-id>|all
+//
+// Examples:
+//
+//	vdbench e4              # metric values per tool, default config
+//	vdbench -quick all      # every experiment at reduced sample sizes
+//	vdbench -format csv e5  # CSV output for downstream plotting
+//	vdbench -seed 7 -services 1000 e3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/dsn2015/vdbench"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "vdbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("vdbench", flag.ContinueOnError)
+	var (
+		quick    = fs.Bool("quick", false, "use the reduced smoke-run configuration")
+		seed     = fs.Uint64("seed", 0, "override the experiment seed (0 = keep default)")
+		services = fs.Int("services", 0, "override the campaign corpus size (0 = keep default)")
+		format   = fs.String("format", "text", "output format: text, csv or markdown (tables only for csv/markdown)")
+		outDir   = fs.String("out", "", "also write per-experiment artefacts (.txt, .csv, .svg) into this directory")
+		list     = fs.Bool("list", false, "list the available experiments and exit")
+	)
+	fs.SetOutput(out)
+	fs.Usage = func() {
+		fmt.Fprintf(out, "usage: vdbench [flags] <experiment-id>|all\n\nexperiments: %s\n\nflags:\n",
+			strings.Join(vdbench.ExperimentIDs(), ", "))
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, id := range vdbench.ExperimentIDs() {
+			fmt.Fprintln(out, id)
+		}
+		return nil
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return fmt.Errorf("expected exactly one experiment ID, got %d arguments", fs.NArg())
+	}
+	cfg := vdbench.DefaultExperimentConfig()
+	if *quick {
+		cfg = vdbench.QuickExperimentConfig()
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	if *services != 0 {
+		cfg.Services = *services
+	}
+	target := strings.ToLower(fs.Arg(0))
+
+	var results []vdbench.ExperimentResult
+	if target == "all" {
+		all, err := vdbench.RunAllExperiments(cfg)
+		if err != nil {
+			return err
+		}
+		results = all
+	} else {
+		res, err := vdbench.RunExperiment(target, cfg)
+		if err != nil {
+			return err
+		}
+		results = []vdbench.ExperimentResult{res}
+	}
+	for _, res := range results {
+		if err := render(out, res, *format); err != nil {
+			return err
+		}
+		if *outDir != "" {
+			if err := writeArtefacts(*outDir, res); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// writeArtefacts stores an experiment's rendered forms on disk: the full
+// text, one CSV per table, and one SVG per figure.
+func writeArtefacts(dir string, res vdbench.ExperimentResult) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("create output directory: %w", err)
+	}
+	write := func(name, content string) error {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			return fmt.Errorf("write %s: %w", path, err)
+		}
+		return nil
+	}
+	if err := write(res.ID+".txt", res.String()); err != nil {
+		return err
+	}
+	for i, t := range res.Tables {
+		if err := write(fmt.Sprintf("%s_table%d.csv", res.ID, i+1), t.CSV()); err != nil {
+			return err
+		}
+	}
+	for i, f := range res.Figures {
+		if err := write(fmt.Sprintf("%s_figure%d.svg", res.ID, i+1), f.SVG()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func render(out io.Writer, res vdbench.ExperimentResult, format string) error {
+	switch format {
+	case "text":
+		_, err := io.WriteString(out, res.String())
+		return err
+	case "csv":
+		for _, t := range res.Tables {
+			if _, err := io.WriteString(out, t.CSV()+"\n"); err != nil {
+				return err
+			}
+		}
+		for _, f := range res.Figures {
+			if _, err := io.WriteString(out, f.String()+"\n"); err != nil {
+				return err
+			}
+		}
+		return nil
+	case "markdown":
+		for _, t := range res.Tables {
+			if _, err := io.WriteString(out, t.Markdown()+"\n"); err != nil {
+				return err
+			}
+		}
+		for _, f := range res.Figures {
+			if _, err := io.WriteString(out, f.String()+"\n"); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown format %q (want text, csv or markdown)", format)
+	}
+}

@@ -1,0 +1,107 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunListsExperiments(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-list"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"e1", "e10"} {
+		if !strings.Contains(out.String(), id) {
+			t.Errorf("list output missing %s", id)
+		}
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-quick", "e1"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Metric catalogue") {
+		t.Fatalf("unexpected output: %.100s", out.String())
+	}
+}
+
+func TestRunCSVFormat(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-quick", "-format", "csv", "e1"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out.String(), "id,name,") {
+		t.Fatalf("CSV header missing: %.60s", out.String())
+	}
+}
+
+func TestRunMarkdownFormat(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-quick", "-format", "markdown", "e1"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "| id | name |") {
+		t.Fatalf("markdown header missing: %.80s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{},                                  // no experiment
+		{"e1", "e2"},                        // too many
+		{"-quick", "e99"},                   // unknown experiment
+		{"-quick", "-format", "xml", "e1"},  // unknown format
+		{"-quick", "-services", "-5", "e3"}, // invalid override
+	}
+	for _, args := range cases {
+		var out strings.Builder
+		if err := run(args, &out); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+func TestRunSeedOverrideChangesCampaign(t *testing.T) {
+	var a, b strings.Builder
+	if err := run([]string{"-quick", "-seed", "1", "e3"}, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-quick", "-seed", "2", "e3"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() == b.String() {
+		t.Fatal("different seeds produced identical campaigns")
+	}
+	var a2 strings.Builder
+	if err := run([]string{"-quick", "-seed", "1", "e3"}, &a2); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != a2.String() {
+		t.Fatal("same seed produced different output")
+	}
+}
+
+func TestRunOutDirWritesArtefacts(t *testing.T) {
+	dir := t.TempDir()
+	var out strings.Builder
+	if err := run([]string{"-quick", "-out", dir, "e6"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"e6.txt", "e6_table1.csv", "e6_figure1.svg", "e6_figure2.svg"} {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("missing artefact %s: %v", name, err)
+		}
+		if len(data) == 0 {
+			t.Fatalf("artefact %s is empty", name)
+		}
+	}
+	svg, _ := os.ReadFile(filepath.Join(dir, "e6_figure1.svg"))
+	if !strings.Contains(string(svg), "<svg") {
+		t.Fatal("figure artefact is not SVG")
+	}
+}

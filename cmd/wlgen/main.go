@@ -1,0 +1,97 @@
+// Command wlgen generates labelled benchmark workloads in the textual
+// service format, with a ground-truth sidecar in CSV.
+//
+// Usage:
+//
+//	wlgen [flags]
+//
+// Examples:
+//
+//	wlgen -services 200 -prevalence 0.35 -seed 1 > corpus.svc
+//	wlgen -services 50 -kinds sql,xpath -truth truth.csv > corpus.svc
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"github.com/dsn2015/vdbench"
+	"github.com/dsn2015/vdbench/internal/svclang"
+	"github.com/dsn2015/vdbench/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "wlgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("wlgen", flag.ContinueOnError)
+	var (
+		services   = fs.Int("services", 100, "number of services to generate")
+		prevalence = fs.Float64("prevalence", 0.35, "target fraction of vulnerable sinks")
+		seed       = fs.Uint64("seed", 1, "generation seed")
+		kinds      = fs.String("kinds", "", "comma-separated sink kinds (sql,xpath,html,cmd,path); empty = all")
+		truthPath  = fs.String("truth", "", "also write the ground-truth CSV to this file")
+		statsOnly  = fs.Bool("stats", false, "print corpus statistics instead of sources")
+	)
+	fs.SetOutput(out)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := vdbench.WorkloadConfig{
+		Services:         *services,
+		TargetPrevalence: *prevalence,
+		Seed:             *seed,
+	}
+	if *kinds != "" {
+		for _, name := range strings.Split(*kinds, ",") {
+			kind, ok := svclang.SinkKindFromString(strings.TrimSpace(name))
+			if !ok {
+				return fmt.Errorf("unknown sink kind %q", name)
+			}
+			cfg.Kinds = append(cfg.Kinds, kind)
+		}
+	}
+	corpus, err := vdbench.GenerateWorkload(cfg)
+	if err != nil {
+		return err
+	}
+	if *truthPath != "" {
+		if err := os.WriteFile(*truthPath, []byte(truthCSV(corpus)), 0o644); err != nil {
+			return fmt.Errorf("write truth file: %w", err)
+		}
+	}
+	if *statsOnly {
+		fmt.Fprintf(out, "services: %d\nsinks: %d\nvulnerable: %d\nprevalence: %.4f\n",
+			len(corpus.Cases), corpus.TotalSinks(), corpus.VulnerableSinks(), corpus.Prevalence())
+		byKind := corpus.ByKind()
+		for _, kind := range svclang.AllSinkKinds() {
+			if n, ok := byKind[kind]; ok {
+				fmt.Fprintf(out, "kind %s: %d sinks\n", kind, n)
+			}
+		}
+		return nil
+	}
+	_, err = io.WriteString(out, corpus.Sources())
+	return err
+}
+
+// truthCSV renders the ground-truth sidecar: one row per sink.
+func truthCSV(corpus *workload.Corpus) string {
+	var sb strings.Builder
+	sb.WriteString("service,sink,kind,cwe,template,difficulty,vulnerable\n")
+	for _, cs := range corpus.Cases {
+		for _, tr := range cs.Truths {
+			fmt.Fprintf(&sb, "%s,%d,%s,%s,%s,%s,%t\n",
+				cs.Service.Name, tr.SinkID, tr.Kind, tr.Kind.CWE(),
+				cs.Template, cs.Difficulty, tr.Vulnerable)
+		}
+	}
+	return sb.String()
+}

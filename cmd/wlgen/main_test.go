@@ -1,0 +1,85 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/dsn2015/vdbench"
+)
+
+func TestRunGeneratesParsableCorpus(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-services", "15", "-seed", "3"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	services, err := vdbench.ParseServices(out.String())
+	if err != nil {
+		t.Fatalf("generated corpus does not parse: %v", err)
+	}
+	if len(services) != 15 {
+		t.Fatalf("parsed %d services", len(services))
+	}
+}
+
+func TestRunStats(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-services", "10", "-stats"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"services: 10", "prevalence:"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("stats output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunKindFilter(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-services", "10", "-kinds", "sql", "-stats"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "kind sql:") {
+		t.Fatal("sql kind missing from stats")
+	}
+	if strings.Contains(out.String(), "kind html:") {
+		t.Fatal("kind filter not applied")
+	}
+	if err := run([]string{"-kinds", "ldap"}, &out); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+func TestRunTruthSidecar(t *testing.T) {
+	dir := t.TempDir()
+	truthPath := filepath.Join(dir, "truth.csv")
+	var out strings.Builder
+	if err := run([]string{"-services", "10", "-truth", truthPath}, &out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(truthPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if lines[0] != "service,sink,kind,cwe,template,difficulty,vulnerable" {
+		t.Fatalf("truth header = %q", lines[0])
+	}
+	if len(lines) < 11 {
+		t.Fatalf("truth rows = %d", len(lines)-1)
+	}
+	if !strings.Contains(string(data), "CWE-") {
+		t.Fatal("CWE column missing")
+	}
+}
+
+func TestRunInvalidConfig(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-services", "0"}, &out); err == nil {
+		t.Fatal("zero services accepted")
+	}
+	if err := run([]string{"-prevalence", "2"}, &out); err == nil {
+		t.Fatal("prevalence > 1 accepted")
+	}
+}

@@ -1,0 +1,107 @@
+// Metric study: the paper's cautionary tales, live. Shows (1) how
+// accuracy and precision drift with workload prevalence while
+// chance-corrected metrics stay put, and (2) a concrete ranking flip —
+// the same two tools, the same behaviour, opposite benchmark verdicts at
+// different prevalence.
+//
+// Run with:
+//
+//	go run ./examples/metricstudy
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/dsn2015/vdbench"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// expected builds the exact-expectation confusion matrix of a tool with
+// the given true/false positive rates on a workload of the given size and
+// prevalence.
+func expected(tpr, fpr float64, size int, prevalence float64) vdbench.Confusion {
+	pos := int(float64(size)*prevalence + 0.5)
+	neg := size - pos
+	tp := int(float64(pos)*tpr + 0.5)
+	fp := int(float64(neg)*fpr + 0.5)
+	return vdbench.Confusion{TP: tp, FN: pos - tp, FP: fp, TN: neg - fp}
+}
+
+func run() error {
+	const size = 100000
+	sweep := []float64{0.01, 0.05, 0.1, 0.2, 0.35, 0.5, 0.7, 0.9}
+
+	// Part 1: one tool, fixed intrinsic quality, varying prevalence.
+	fmt.Println("Part 1 — fixed tool (TPR=0.70, FPR=0.10), varying prevalence")
+	ids := []string{"accuracy", "precision", "recall", "f1", "mcc", "informedness"}
+	fmt.Printf("%-11s", "prevalence")
+	for _, id := range ids {
+		fmt.Printf(" %12s", id)
+	}
+	fmt.Println()
+	for _, p := range sweep {
+		c := expected(0.70, 0.10, size, p)
+		fmt.Printf("%-11.2f", p)
+		for _, id := range ids {
+			m := vdbench.MustMetric(id)
+			v, err := m.ValueOr(c, -1)
+			if err != nil {
+				return err
+			}
+			fmt.Printf(" %12.3f", v)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nThe tool never changed; accuracy and precision did. Recall and")
+	fmt.Println("informedness are flat: they measure the tool, not the workload.")
+
+	// Part 2: the ranking flip.
+	fmt.Println("\nPart 2 — two tools, who wins by accuracy?")
+	fmt.Println("  tool A: TPR=0.90, FPR=0.15  (genuinely informative)")
+	fmt.Println("  tool B: TPR=0.55, FPR=0.02  (mostly refuses to alarm)")
+	acc := vdbench.MustMetric("accuracy")
+	inf := vdbench.MustMetric("informedness")
+	fmt.Printf("%-11s %10s %10s %8s %8s\n", "prevalence", "acc(A)", "acc(B)", "by acc", "by inf")
+	for _, p := range sweep {
+		ca := expected(0.90, 0.15, size, p)
+		cb := expected(0.55, 0.02, size, p)
+		accA, err := acc.Value(ca)
+		if err != nil {
+			return err
+		}
+		accB, err := acc.Value(cb)
+		if err != nil {
+			return err
+		}
+		infA, err := inf.Value(ca)
+		if err != nil {
+			return err
+		}
+		infB, err := inf.Value(cb)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-11.2f %10.4f %10.4f %8s %8s\n", p, accA, accB, winner(accA, accB), winner(infA, infB))
+	}
+	fmt.Println("\nAccuracy flips its verdict as prevalence grows; informedness never")
+	fmt.Println("does. A benchmark that reports accuracy is ranking the workload,")
+	fmt.Println("not the tools.")
+	return nil
+}
+
+func winner(a, b float64) string {
+	switch {
+	case a > b:
+		return "A"
+	case b > a:
+		return "B"
+	default:
+		return "tie"
+	}
+}

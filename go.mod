@@ -1,0 +1,3 @@
+module github.com/dsn2015/vdbench
+
+go 1.22

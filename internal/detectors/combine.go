@@ -1,0 +1,192 @@
+package detectors
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"github.com/dsn2015/vdbench/internal/stats"
+	"github.com/dsn2015/vdbench/internal/svclang"
+	"github.com/dsn2015/vdbench/internal/workload"
+)
+
+// CombineMode selects how a combined tool merges member findings.
+type CombineMode int
+
+// Combination modes. Union reports a sink if any member does (raises
+// recall, inherits every member's false alarms); Intersection reports
+// only sinks every member flags (raises precision, keeps only commonly
+// found vulnerabilities); Majority reports sinks flagged by more than
+// half of the members.
+const (
+	Union CombineMode = iota + 1
+	Intersection
+	Majority
+)
+
+// String implements fmt.Stringer.
+func (m CombineMode) String() string {
+	switch m {
+	case Union:
+		return "union"
+	case Intersection:
+		return "intersection"
+	case Majority:
+		return "majority"
+	default:
+		return fmt.Sprintf("CombineMode(%d)", int(m))
+	}
+}
+
+// combined merges the findings of member tools. Combining static and
+// dynamic tools is the standard industrial practice the original authors
+// studied in their tool-combination work; the combined tool lets the
+// benchmark quantify what each mode buys.
+type combined struct {
+	name    string
+	mode    CombineMode
+	members []Tool
+}
+
+var _ Tool = (*combined)(nil)
+
+// NewCombined builds a tool that merges the findings of members under the
+// given mode.
+func NewCombined(name string, mode CombineMode, members []Tool) (Tool, error) {
+	if name == "" {
+		return nil, errors.New("detectors: combined tool needs a name")
+	}
+	if mode != Union && mode != Intersection && mode != Majority {
+		return nil, fmt.Errorf("detectors: unknown combine mode %d", int(mode))
+	}
+	if len(members) < 2 {
+		return nil, fmt.Errorf("detectors: combined tool needs at least 2 members, got %d", len(members))
+	}
+	for i, m := range members {
+		if m == nil {
+			return nil, fmt.Errorf("detectors: member %d is nil", i)
+		}
+	}
+	return &combined{name: name, mode: mode, members: append([]Tool(nil), members...)}, nil
+}
+
+func (c *combined) Name() string { return c.name }
+
+// Class reports the class of the first member if all members agree, and
+// ClassSimulated otherwise (a mixed-technology combination).
+func (c *combined) Class() Class {
+	first := c.members[0].Class()
+	for _, m := range c.members[1:] {
+		if m.Class() != first {
+			return ClassSimulated
+		}
+	}
+	return first
+}
+
+// Analyze implements Tool.
+func (c *combined) Analyze(cs workload.Case, rng *stats.RNG) ([]Report, error) {
+	votes := map[int]int{}
+	conf := map[int]float64{}
+	kinds := map[int]svclang.SinkKind{}
+	for _, m := range c.members {
+		var memberRNG *stats.RNG
+		if rng != nil {
+			memberRNG = rng.Split()
+		}
+		reports, err := m.Analyze(cs, memberRNG)
+		if err != nil {
+			return nil, fmt.Errorf("detectors: %s member %s: %w", c.name, m.Name(), err)
+		}
+		seen := map[int]bool{}
+		for _, r := range reports {
+			if seen[r.SinkID] {
+				continue // one vote per member per sink
+			}
+			seen[r.SinkID] = true
+			votes[r.SinkID]++
+			kinds[r.SinkID] = r.Kind
+			if r.Confidence > conf[r.SinkID] {
+				conf[r.SinkID] = r.Confidence
+			}
+		}
+	}
+	threshold := 1
+	switch c.mode {
+	case Intersection:
+		threshold = len(c.members)
+	case Majority:
+		threshold = len(c.members)/2 + 1
+	}
+	var out []Report
+	for sinkID, n := range votes {
+		if n < threshold {
+			continue
+		}
+		out = append(out, Report{
+			Service:    cs.Service.Name,
+			SinkID:     sinkID,
+			Kind:       kinds[sinkID],
+			Confidence: conf[sinkID],
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].SinkID < out[j].SinkID })
+	return out, nil
+}
+
+// restricted filters a tool's findings to a set of sink kinds, modelling
+// single-purpose scanners (e.g. a SQL-injection-only tool).
+type restricted struct {
+	inner Tool
+	kinds map[svclang.SinkKind]bool
+	name  string
+}
+
+var _ Tool = (*restricted)(nil)
+
+// RestrictKinds wraps a tool so that it only reports the given sink
+// kinds.
+func RestrictKinds(inner Tool, kinds ...svclang.SinkKind) (Tool, error) {
+	if inner == nil {
+		return nil, errors.New("detectors: nil inner tool")
+	}
+	if len(kinds) == 0 {
+		return nil, errors.New("detectors: RestrictKinds needs at least one kind")
+	}
+	set := make(map[svclang.SinkKind]bool, len(kinds))
+	names := ""
+	for _, k := range kinds {
+		if _, ok := svclang.SinkKindFromString(k.String()); !ok {
+			return nil, fmt.Errorf("detectors: unknown sink kind %d", int(k))
+		}
+		set[k] = true
+		if names != "" {
+			names += "+"
+		}
+		names += k.String()
+	}
+	return &restricted{
+		inner: inner,
+		kinds: set,
+		name:  fmt.Sprintf("%s[%s]", inner.Name(), names),
+	}, nil
+}
+
+func (r *restricted) Name() string { return r.name }
+
+func (r *restricted) Class() Class { return r.inner.Class() }
+
+// Analyze implements Tool.
+func (r *restricted) Analyze(cs workload.Case, rng *stats.RNG) ([]Report, error) {
+	reports, err := r.inner.Analyze(cs, rng)
+	if err != nil {
+		return nil, err
+	}
+	out := reports[:0:0]
+	for _, rep := range reports {
+		if r.kinds[rep.Kind] {
+			out = append(out, rep)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,74 @@
+// Package detectors implements the vulnerability detection tools the
+// benchmark evaluates. Three families are provided:
+//
+//   - a configurable static taint analyser (taintSAST) whose imprecision
+//     knobs reproduce the classic false-positive/false-negative mechanisms
+//     of real static analysis tools;
+//   - a signature-based static tool (signatureSAST) modelling grep-like
+//     scanners with flow-insensitive matching;
+//   - a differential penetration tester (pentester) that attacks services
+//     black-box with payload dictionaries and confirms findings by
+//     structure deviation, as error-based dynamic tools do;
+//   - parametric simulated tools whose per-difficulty detection
+//     probabilities are set directly, used where experiments need exact
+//     control of intrinsic tool quality (e.g. prevalence sweeps).
+//
+// All tools implement the same Tool interface: they receive a labelled
+// workload case and return sink-level reports. Real tools never look at
+// the labels; the parametric simulators do (that is their purpose).
+package detectors
+
+import (
+	"github.com/dsn2015/vdbench/internal/stats"
+	"github.com/dsn2015/vdbench/internal/svclang"
+	"github.com/dsn2015/vdbench/internal/workload"
+)
+
+// Report is one tool finding: "sink SinkID of service Service is
+// vulnerable".
+type Report struct {
+	// Service names the service the finding is in.
+	Service string
+	// SinkID identifies the sink within the service.
+	SinkID int
+	// Kind is the vulnerability class reported.
+	Kind svclang.SinkKind
+	// Confidence is the tool's self-assessed confidence in (0, 1].
+	Confidence float64
+}
+
+// Class tags the technology family of a tool.
+type Class int
+
+// Tool classes.
+const (
+	ClassSAST Class = iota + 1
+	ClassDAST
+	ClassSimulated
+)
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	switch c {
+	case ClassSAST:
+		return "SAST"
+	case ClassDAST:
+		return "DAST"
+	case ClassSimulated:
+		return "simulated"
+	default:
+		return "unknown"
+	}
+}
+
+// Tool is a vulnerability detection tool under benchmark.
+type Tool interface {
+	// Name returns the tool's display name, unique within a campaign.
+	Name() string
+	// Class returns the tool's technology family.
+	Class() Class
+	// Analyze inspects one workload case and returns its findings. The
+	// RNG is used only by stochastic (simulated) tools; deterministic
+	// tools ignore it. Implementations must not retain or mutate the case.
+	Analyze(cs workload.Case, rng *stats.RNG) ([]Report, error)
+}

@@ -1,0 +1,249 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/dsn2015/vdbench/internal/harness"
+	"github.com/dsn2015/vdbench/internal/metrics"
+	"github.com/dsn2015/vdbench/internal/ranking"
+	"github.com/dsn2015/vdbench/internal/report"
+	"github.com/dsn2015/vdbench/internal/stats"
+)
+
+// deltaOrZero wraps harness.ConfusionDelta for use inside resampling
+// closures, mapping errors to a zero delta (counted as sign-unstable).
+func deltaOrZero(a, b *harness.ToolResult, m metrics.Metric, idx []int) (float64, error) {
+	return harness.ConfusionDelta(a, b, m, idx)
+}
+
+// E3Campaign renders the raw campaign results: per-tool confusion
+// matrices, plus the per-kind sink population of the corpus.
+func (r *Runner) E3Campaign() (Result, error) {
+	camp, err := r.Campaign()
+	if err != nil {
+		return Result{}, err
+	}
+	title := fmt.Sprintf(
+		"E3: campaign raw results (%d services, %d sinks, %d vulnerable, realised prevalence %s, seed %d)",
+		len(camp.Corpus.Cases), camp.Corpus.TotalSinks(), camp.Corpus.VulnerableSinks(),
+		report.FormatFloat(camp.Corpus.Prevalence()), r.cfg.Seed,
+	)
+	tools := report.NewTable(title, "tool", "class", "TP", "FP", "FN", "TN")
+	for _, res := range camp.Results {
+		tools.AddRowValues(res.Tool, res.Class.String(), res.Overall.TP, res.Overall.FP, res.Overall.FN, res.Overall.TN)
+	}
+
+	kindCounts := map[string]int{}
+	for kind, n := range camp.Corpus.ByKind() {
+		kindCounts[kind.String()] = n
+	}
+	kinds := report.NewTable("E3b: corpus sink population by vulnerability class", "class", "sinks")
+	for _, name := range sortedKindNames(kindCounts) {
+		kinds.AddRowValues(name, kindCounts[name])
+	}
+
+	return Result{
+		ID:     "e3",
+		Title:  "Campaign raw results (confusion matrices)",
+		Tables: []*report.Table{tools, kinds},
+	}, nil
+}
+
+// E4MetricValues renders every campaign metric for every tool — the table
+// the rest of the metric study reads tool quality from.
+func (r *Runner) E4MetricValues() (Result, error) {
+	camp, err := r.Campaign()
+	if err != nil {
+		return Result{}, err
+	}
+	headers := append([]string{"tool"}, campaignMetricIDs()...)
+	tbl := report.NewTable("E4: metric values per tool (campaign of E3)", headers...)
+	for _, res := range camp.Results {
+		row := []string{res.Tool}
+		for _, id := range campaignMetricIDs() {
+			m := metrics.MustByID(id)
+			v, err := m.Value(res.Overall)
+			if err != nil {
+				if metrics.IsUndefined(err) {
+					row = append(row, "undef")
+					continue
+				}
+				return Result{}, err
+			}
+			row = append(row, report.FormatFloat(v))
+		}
+		tbl.AddRow(row...)
+	}
+	// Companion table: Wilson 95% intervals for the two headline rate
+	// metrics. Rates are binomial proportions (recall = TP successes out
+	// of P trials; precision = TP out of reported), so the intervals are
+	// exact-model error bars, not resampling artefacts.
+	ci := report.NewTable("E4b: 95% Wilson intervals for recall and precision",
+		"tool", "recall", "recall 95% CI", "precision", "precision 95% CI")
+	for _, res := range camp.Results {
+		c := res.Overall
+		recIv, err := stats.Wilson(c.TP, c.Positives(), 0.95)
+		if err != nil {
+			return Result{}, err
+		}
+		row := []string{res.Tool, report.FormatFloat(recIv.Point),
+			fmt.Sprintf("[%s, %s]", report.FormatFloat(recIv.Lo), report.FormatFloat(recIv.Hi))}
+		if c.PredictedPositives() > 0 {
+			precIv, err := stats.Wilson(c.TP, c.PredictedPositives(), 0.95)
+			if err != nil {
+				return Result{}, err
+			}
+			row = append(row, report.FormatFloat(precIv.Point),
+				fmt.Sprintf("[%s, %s]", report.FormatFloat(precIv.Lo), report.FormatFloat(precIv.Hi)))
+		} else {
+			row = append(row, "undef", "n/a")
+		}
+		ci.AddRow(row...)
+	}
+	return Result{
+		ID:     "e4",
+		Title:  "Metric values per tool",
+		Tables: []*report.Table{tbl, ci},
+	}, nil
+}
+
+// E5Rankings renders the tool ranking induced by each metric and the
+// pairwise Kendall tau between metric-induced rankings: the quantitative
+// form of "metrics disagree about which tool is best".
+func (r *Runner) E5Rankings() (Result, error) {
+	camp, err := r.Campaign()
+	if err != nil {
+		return Result{}, err
+	}
+	ids := campaignMetricIDs()
+	scores := make(map[string][]float64, len(ids))
+	for _, id := range ids {
+		m := metrics.MustByID(id)
+		s, err := camp.MetricScores(m, worstFallback(m))
+		if err != nil {
+			return Result{}, err
+		}
+		scores[id] = s
+	}
+
+	// Table 1: rank of each tool under each metric (1 = best).
+	headers := append([]string{"tool"}, ids...)
+	rankTbl := report.NewTable("E5: tool rank under each metric (1 = best)", headers...)
+	rankRows := make(map[string][]float64, len(ids))
+	for _, id := range ids {
+		rankRows[id] = ranking.Ranks(scores[id])
+	}
+	for t, tool := range camp.ToolNames() {
+		row := []string{tool}
+		for _, id := range ids {
+			row = append(row, report.FormatFloat(rankRows[id][t]))
+		}
+		rankTbl.AddRow(row...)
+	}
+
+	// Table 2: Kendall tau-b between metric-induced rankings.
+	tauTbl := report.NewTable("E5b: Kendall tau-b between metric-induced tool rankings", append([]string{"metric"}, ids...)...)
+	for _, a := range ids {
+		row := []string{a}
+		for _, b := range ids {
+			tau, err := ranking.KendallTau(scores[a], scores[b])
+			if err != nil {
+				row = append(row, "n/a")
+				continue
+			}
+			row = append(row, report.FormatFloat(tau))
+		}
+		tauTbl.AddRow(row...)
+	}
+	return Result{
+		ID:     "e5",
+		Title:  "Metric-induced tool rankings and their disagreement",
+		Tables: []*report.Table{rankTbl, tauTbl},
+	}, nil
+}
+
+// worstFallback substitutes the worst defined value when a metric is
+// undefined for some tool (e.g. precision for a tool that reports
+// nothing), so rankings remain total.
+func worstFallback(m metrics.Metric) float64 {
+	if !m.Bounded() {
+		return 0
+	}
+	if m.Orientation == metrics.LowerIsBetter {
+		return m.Hi
+	}
+	return m.Lo
+}
+
+// E7Discrimination measures, for each metric and each adjacent pair in the
+// campaign's F1 ranking, the fraction of workload bootstrap resamples that
+// preserve the sign of the metric delta — the discriminative power of the
+// metric on real tool pairs.
+func (r *Runner) E7Discrimination() (Result, error) {
+	camp, err := r.Campaign()
+	if err != nil {
+		return Result{}, err
+	}
+	f1 := metrics.MustByID(metrics.IDF1)
+	f1Scores, err := camp.MetricScores(f1, 0)
+	if err != nil {
+		return Result{}, err
+	}
+	order := ranking.TopK(f1Scores, len(f1Scores))
+	ids := campaignMetricIDs()
+	headers := append([]string{"pair (better vs worse by F1)"}, ids...)
+	tbl := report.NewTable(
+		fmt.Sprintf("E7: sign stability of metric deltas under %d workload resamples", r.cfg.BootstrapResamples),
+		headers...,
+	)
+	rng := stats.NewRNG(r.cfg.Seed + 7)
+	for i := 0; i+1 < len(order); i++ {
+		a := &camp.Results[order[i]]
+		b := &camp.Results[order[i+1]]
+		row := []string{fmt.Sprintf("%s vs %s", a.Tool, b.Tool)}
+		for _, id := range ids {
+			m := metrics.MustByID(id)
+			frac, err := stats.SignStability(rng.Split(), len(a.Outcomes), r.cfg.BootstrapResamples, func(idx []int) float64 {
+				d, err := deltaOrZero(a, b, m, idx)
+				if err != nil {
+					return 0
+				}
+				return d
+			})
+			if err != nil {
+				return Result{}, err
+			}
+			row = append(row, report.FormatFloat(frac))
+		}
+		tbl.AddRow(row...)
+	}
+	// Companion: McNemar's paired test on classification correctness for
+	// the same adjacent pairs. It asks the metric-free question "do these
+	// two tools classify this workload differently at all?" — the
+	// statistically appropriate test, since both tools share every case.
+	mcTbl := report.NewTable("E7b: McNemar paired test per adjacent pair (correct-vs-correct)",
+		"pair", "A-only correct", "B-only correct", "chi2", "p-value", "significant at 0.05")
+	for i := 0; i+1 < len(order); i++ {
+		a := &camp.Results[order[i]]
+		b := &camp.Results[order[i+1]]
+		aCorrect := make([]bool, len(a.Outcomes))
+		bCorrect := make([]bool, len(b.Outcomes))
+		for j := range a.Outcomes {
+			aCorrect[j] = a.Outcomes[j].Vulnerable == a.Outcomes[j].Flagged
+			bCorrect[j] = b.Outcomes[j].Vulnerable == b.Outcomes[j].Flagged
+		}
+		res, err := stats.McNemarFromOutcomes(aCorrect, bCorrect)
+		if err != nil {
+			return Result{}, err
+		}
+		mcTbl.AddRowValues(
+			fmt.Sprintf("%s vs %s", a.Tool, b.Tool),
+			res.B, res.C, res.Statistic, res.PValue, yesNo(res.Significant(0.05)),
+		)
+	}
+	return Result{
+		ID:     "e7",
+		Title:  "Discriminative power under workload resampling",
+		Tables: []*report.Table{tbl, mcTbl},
+	}, nil
+}

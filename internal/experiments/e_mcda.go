@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/dsn2015/vdbench/internal/core"
+	"github.com/dsn2015/vdbench/internal/report"
+	"github.com/dsn2015/vdbench/internal/scenario"
+	"github.com/dsn2015/vdbench/internal/stats"
+)
+
+// E8ScenarioSelection renders the analytical per-scenario metric
+// selection: every scenario's criterion weights applied to the computed
+// metric profiles.
+func (r *Runner) E8ScenarioSelection() (Result, error) {
+	profiles, err := r.Profiles()
+	if err != nil {
+		return Result{}, err
+	}
+	sel := report.NewTable("E8: analytical metric selection per scenario (weighted criteria)",
+		"scenario", "best", "2nd", "3rd", "best score", "expected family", "family hit")
+	for _, s := range scenario.Scenarios() {
+		selection, err := core.Select(s, profiles)
+		if err != nil {
+			return Result{}, err
+		}
+		top := selection.Top(3)
+		best, _ := selection.ScoreOf(top[0])
+		hit := "no"
+		for _, want := range s.ExpectedMetrics {
+			for _, got := range top {
+				if got == want {
+					hit = "yes"
+				}
+			}
+		}
+		sel.AddRowValues(s.ID, top[0], top[1], top[2], best,
+			strings.Join(s.ExpectedMetrics, "/"), hit)
+	}
+
+	weights := report.NewTable("E8b: scenario criterion weights (Saaty 1-9 scale)",
+		append([]string{"scenario"}, scenario.CriterionIDs()...)...)
+	for _, s := range scenario.Scenarios() {
+		vec, err := s.WeightVector()
+		if err != nil {
+			return Result{}, err
+		}
+		row := []string{s.ID}
+		for _, w := range vec {
+			row = append(row, report.FormatFloat(w))
+		}
+		weights.AddRow(row...)
+	}
+	return Result{
+		ID:     "e8",
+		Title:  "Scenario-based analytical metric selection",
+		Tables: []*report.Table{sel, weights},
+	}, nil
+}
+
+// E9AHP renders the MCDA validation: per scenario, the aggregated expert
+// panel's criteria weights, consistency ratio, AHP top metrics, and the
+// agreement with the analytical selection of E8.
+func (r *Runner) E9AHP() (Result, error) {
+	profiles, err := r.Profiles()
+	if err != nil {
+		return Result{}, err
+	}
+	main := report.NewTable(
+		fmt.Sprintf("E9: AHP validation (panel of %d encoded experts, judgment noise sigma=%s)",
+			r.cfg.PanelSize, report.FormatFloat(r.cfg.PanelSigma)),
+		"scenario", "CR", "consistent", "AHP best", "AHP 2nd", "AHP 3rd",
+		"tau vs analytical", "top-3 overlap")
+	weights := report.NewTable("E9b: AHP criteria weights per scenario (from expert judgments)",
+		append([]string{"scenario"}, scenario.CriterionIDs()...)...)
+	rng := stats.NewRNG(r.cfg.Seed + 9)
+	for _, s := range scenario.Scenarios() {
+		v, err := core.Validate(s, profiles, r.cfg.PanelSize, r.cfg.PanelSigma, rng.Split())
+		if err != nil {
+			return Result{}, err
+		}
+		top := v.Selection.Top(3)
+		main.AddRowValues(s.ID, v.AHP.Consistency.CR, yesNo(v.AHP.Consistency.Consistent()),
+			top[0], top[1], top[2], v.AgreementTau, v.TopAgreement)
+		row := []string{s.ID}
+		for _, w := range v.AHP.CriteriaWeights {
+			row = append(row, report.FormatFloat(w))
+		}
+		weights.AddRow(row...)
+	}
+	return Result{
+		ID:     "e9",
+		Title:  "AHP validation with the encoded expert panel",
+		Tables: []*report.Table{main, weights},
+	}, nil
+}
+
+// e10Sigmas is the judgment-noise axis of the sensitivity analysis.
+var e10Sigmas = []float64{0.05, 0.1, 0.2, 0.3, 0.5}
+
+// E10Sensitivity renders the MCDA sensitivity analysis: how often the
+// winning metric survives expert-judgment perturbation of growing
+// magnitude, per scenario.
+func (r *Runner) E10Sensitivity() (Result, error) {
+	profiles, err := r.Profiles()
+	if err != nil {
+		return Result{}, err
+	}
+	fig := &report.Figure{
+		Title:  fmt.Sprintf("E10: AHP winner stability under judgment noise (%d perturbed panels per point)", r.cfg.StabilityTrials),
+		XLabel: "judgment noise sigma",
+		YLabel: "fraction of panels preserving the winner",
+	}
+	tauFig := &report.Figure{
+		Title:  "E10b: mean Kendall tau between perturbed and consensus rankings",
+		XLabel: "judgment noise sigma",
+		YLabel: "mean tau",
+	}
+	rng := stats.NewRNG(r.cfg.Seed + 10)
+	for _, s := range scenario.Scenarios() {
+		var agree, taus []float64
+		for _, sigma := range e10Sigmas {
+			res, err := core.WinnerStability(s, profiles, sigma, r.cfg.StabilityTrials, rng.Split())
+			if err != nil {
+				return Result{}, err
+			}
+			agree = append(agree, res.WinnerAgreement)
+			taus = append(taus, res.MeanTau)
+		}
+		if err := fig.AddSeries(s.ID, e10Sigmas, agree); err != nil {
+			return Result{}, err
+		}
+		if err := tauFig.AddSeries(s.ID, e10Sigmas, taus); err != nil {
+			return Result{}, err
+		}
+	}
+	return Result{
+		ID:      "e10",
+		Title:   "MCDA sensitivity to expert disagreement",
+		Figures: []*report.Figure{fig, tauFig},
+	}, nil
+}

@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"math"
+
+	"github.com/dsn2015/vdbench/internal/metrics"
+	"github.com/dsn2015/vdbench/internal/report"
+)
+
+// prevalenceSweep is the x-axis of experiment E6.
+var prevalenceSweep = []float64{
+	0.01, 0.02, 0.05, 0.1, 0.15, 0.2, 0.3, 0.35, 0.5, 0.7, 0.9,
+}
+
+// e6Quality is the fixed intrinsic quality of the tool whose metric values
+// are swept across prevalence in the first E6 figure.
+type e6Quality struct {
+	tpr, fpr float64
+}
+
+// expectedConfusion builds the exact-expectation confusion matrix of a
+// tool with the given quality on a workload of the given prevalence.
+func expectedConfusion(q e6Quality, size int, prevalence float64) metrics.Confusion {
+	pos := int(math.Round(float64(size) * prevalence))
+	neg := size - pos
+	tp := int(math.Round(float64(pos) * q.tpr))
+	fp := int(math.Round(float64(neg) * q.fpr))
+	return metrics.Confusion{TP: tp, FN: pos - tp, FP: fp, TN: neg - fp}
+}
+
+// E6Prevalence produces the prevalence-sensitivity figures:
+//
+//   - Figure 1: metric value vs prevalence at fixed tool quality
+//     (TPR=0.70, FPR=0.10). Accuracy and precision swing widely;
+//     informedness and recall are flat.
+//   - Figure 2: the ranking-flip demonstration. Tool A (TPR=0.90,
+//     FPR=0.15) truly dominates in informedness; tool B (TPR=0.55,
+//     FPR=0.02) merely refuses to alarm. Accuracy declares B the better
+//     tool at low prevalence and A at high prevalence — the verdict flips
+//     with a workload property. Informedness never flips.
+func (r *Runner) E6Prevalence() (Result, error) {
+	const size = 200000
+	sweepIDs := []string{
+		metrics.IDAccuracy, metrics.IDPrecision, metrics.IDRecall,
+		metrics.IDF1, metrics.IDMCC, metrics.IDInformedness, metrics.IDKappa,
+	}
+	fixed := e6Quality{tpr: 0.70, fpr: 0.10}
+	fig1 := &report.Figure{
+		Title:  "E6: metric value vs workload prevalence at fixed tool quality (TPR=0.70, FPR=0.10)",
+		XLabel: "prevalence",
+		YLabel: "metric value",
+	}
+	for _, id := range sweepIDs {
+		m := metrics.MustByID(id)
+		var ys []float64
+		for _, p := range prevalenceSweep {
+			c := expectedConfusion(fixed, size, p)
+			v, err := m.ValueOr(c, math.NaN())
+			if err != nil {
+				return Result{}, err
+			}
+			ys = append(ys, v)
+		}
+		if err := fig1.AddSeries(id, prevalenceSweep, ys); err != nil {
+			return Result{}, err
+		}
+	}
+
+	toolA := e6Quality{tpr: 0.90, fpr: 0.15}
+	toolB := e6Quality{tpr: 0.55, fpr: 0.02}
+	fig2 := &report.Figure{
+		Title:  "E6b: ranking flip — tool A (TPR=0.90, FPR=0.15) vs tool B (TPR=0.55, FPR=0.02)",
+		XLabel: "prevalence",
+		YLabel: "metric value",
+	}
+	for _, entry := range []struct {
+		name string
+		id   string
+		q    e6Quality
+	}{
+		{"accuracy/A", metrics.IDAccuracy, toolA},
+		{"accuracy/B", metrics.IDAccuracy, toolB},
+		{"informedness/A", metrics.IDInformedness, toolA},
+		{"informedness/B", metrics.IDInformedness, toolB},
+	} {
+		m := metrics.MustByID(entry.id)
+		var ys []float64
+		for _, p := range prevalenceSweep {
+			c := expectedConfusion(entry.q, size, p)
+			v, err := m.ValueOr(c, math.NaN())
+			if err != nil {
+				return Result{}, err
+			}
+			ys = append(ys, v)
+		}
+		if err := fig2.AddSeries(entry.name, prevalenceSweep, ys); err != nil {
+			return Result{}, err
+		}
+	}
+
+	// Companion table: where the accuracy verdict flips.
+	tbl := report.NewTable("E6c: who accuracy declares the better tool, by prevalence",
+		"prevalence", "accuracy(A)", "accuracy(B)", "accuracy prefers", "informedness prefers")
+	acc := metrics.MustByID(metrics.IDAccuracy)
+	inf := metrics.MustByID(metrics.IDInformedness)
+	for _, p := range prevalenceSweep {
+		ca := expectedConfusion(toolA, size, p)
+		cb := expectedConfusion(toolB, size, p)
+		accA, err := acc.Value(ca)
+		if err != nil {
+			return Result{}, err
+		}
+		accB, err := acc.Value(cb)
+		if err != nil {
+			return Result{}, err
+		}
+		infA, err := inf.Value(ca)
+		if err != nil {
+			return Result{}, err
+		}
+		infB, err := inf.Value(cb)
+		if err != nil {
+			return Result{}, err
+		}
+		tbl.AddRowValues(p, accA, accB, preferName(accA, accB), preferName(infA, infB))
+	}
+
+	return Result{
+		ID:      "e6",
+		Title:   "Prevalence sensitivity of the metrics",
+		Tables:  []*report.Table{tbl},
+		Figures: []*report.Figure{fig1, fig2},
+	}, nil
+}
+
+func preferName(a, b float64) string {
+	switch {
+	case a > b:
+		return "A"
+	case b > a:
+		return "B"
+	default:
+		return "tie"
+	}
+}

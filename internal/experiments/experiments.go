@@ -1,0 +1,261 @@
+// Package experiments contains one driver per reproduced table and figure
+// (E1–E10 plus the E11–E17 extensions, see DESIGN.md). Each driver renders its result through the
+// report package; the CLI (cmd/vdbench) and the benchmark harness
+// (bench_test.go) both call into this package, so the numbers in a paper
+// rerun and in `go test -bench` are byte-identical.
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/dsn2015/vdbench/internal/detectors"
+	"github.com/dsn2015/vdbench/internal/harness"
+	"github.com/dsn2015/vdbench/internal/metricprop"
+	"github.com/dsn2015/vdbench/internal/report"
+	"github.com/dsn2015/vdbench/internal/stats"
+	"github.com/dsn2015/vdbench/internal/workload"
+)
+
+// Config parameterises a full experiment run.
+type Config struct {
+	// Seed drives every random choice in every experiment.
+	Seed uint64
+	// Services is the campaign corpus size (E3-E5, E7).
+	Services int
+	// Prevalence is the campaign target prevalence.
+	Prevalence float64
+	// Prop configures the metric property analysis (E2, E8-E10).
+	Prop metricprop.Config
+	// BootstrapResamples is used by the discriminative-power study (E7).
+	BootstrapResamples int
+	// PanelSize and PanelSigma define the encoded expert panel (E9).
+	PanelSize  int
+	PanelSigma float64
+	// StabilityTrials is the per-sigma trial count of the MCDA
+	// sensitivity analysis (E10).
+	StabilityTrials int
+}
+
+// DefaultConfig returns the configuration used for the published numbers
+// in EXPERIMENTS.md.
+func DefaultConfig() Config {
+	return Config{
+		Seed:               1,
+		Services:           500,
+		Prevalence:         0.35,
+		Prop:               metricprop.DefaultConfig(),
+		BootstrapResamples: 2000,
+		PanelSize:          5,
+		PanelSigma:         0.1,
+		StabilityTrials:    300,
+	}
+}
+
+// QuickConfig returns a reduced configuration for smoke runs and unit
+// tests (an order of magnitude faster, same code paths).
+func QuickConfig() Config {
+	return Config{
+		Seed:       1,
+		Services:   80,
+		Prevalence: 0.35,
+		Prop: metricprop.Config{
+			MonotonicitySamples:  400,
+			WorkloadSize:         800,
+			StabilityTrials:      80,
+			DiscriminationTrials: 120,
+			Tolerance:            1e-9,
+		},
+		BootstrapResamples: 300,
+		PanelSize:          5,
+		PanelSigma:         0.1,
+		StabilityTrials:    60,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.Services <= 0 {
+		return fmt.Errorf("experiments: services must be positive, got %d", c.Services)
+	}
+	if c.Prevalence < 0 || c.Prevalence > 1 {
+		return fmt.Errorf("experiments: prevalence %g out of [0,1]", c.Prevalence)
+	}
+	if c.BootstrapResamples <= 0 || c.PanelSize <= 0 || c.StabilityTrials <= 0 {
+		return errors.New("experiments: sample counts must be positive")
+	}
+	if c.PanelSigma < 0 {
+		return fmt.Errorf("experiments: negative panel sigma %g", c.PanelSigma)
+	}
+	return c.Prop.Validate()
+}
+
+// Result is one experiment's rendered output.
+type Result struct {
+	// ID is the experiment identifier ("e1".."e10").
+	ID string
+	// Title describes the table/figure.
+	Title string
+	// Tables and Figures hold the rendered artefacts.
+	Tables  []*report.Table
+	Figures []*report.Figure
+}
+
+// String renders all artefacts of the result.
+func (r Result) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s: %s ==\n\n", strings.ToUpper(r.ID), r.Title)
+	for _, t := range r.Tables {
+		sb.WriteString(t.String())
+		sb.WriteByte('\n')
+	}
+	for _, f := range r.Figures {
+		sb.WriteString(f.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Runner executes experiments, caching the expensive shared inputs (the
+// metric property profiles and the benchmark campaign) across drivers.
+type Runner struct {
+	cfg      Config
+	profiles []metricprop.Profile
+	campaign *harness.Campaign
+}
+
+// NewRunner builds a runner. It fails fast on invalid configuration.
+func NewRunner(cfg Config) (*Runner, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Runner{cfg: cfg}, nil
+}
+
+// Config returns the runner's configuration.
+func (r *Runner) Config() Config { return r.cfg }
+
+// Profiles returns the property profiles of the full metric catalogue,
+// computing them on first use.
+func (r *Runner) Profiles() ([]metricprop.Profile, error) {
+	if r.profiles == nil {
+		profiles, err := metricprop.AnalyzeCatalog(r.cfg.Prop, stats.NewRNG(r.cfg.Seed))
+		if err != nil {
+			return nil, fmt.Errorf("experiments: profile catalogue: %w", err)
+		}
+		r.profiles = profiles
+	}
+	return r.profiles, nil
+}
+
+// Campaign returns the benchmark campaign (standard tool suite over the
+// generated corpus), running it on first use.
+func (r *Runner) Campaign() (*harness.Campaign, error) {
+	if r.campaign == nil {
+		corpus, err := workload.Generate(workload.Config{
+			Services:         r.cfg.Services,
+			TargetPrevalence: r.cfg.Prevalence,
+			Seed:             r.cfg.Seed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: corpus: %w", err)
+		}
+		tools, err := detectors.StandardSuite()
+		if err != nil {
+			return nil, fmt.Errorf("experiments: tool suite: %w", err)
+		}
+		campaign, err := harness.Run(corpus, tools, r.cfg.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: campaign: %w", err)
+		}
+		r.campaign = campaign
+	}
+	return r.campaign, nil
+}
+
+// driver is one experiment entry point.
+type driver struct {
+	id    string
+	title string
+	run   func(*Runner) (Result, error)
+}
+
+// drivers returns the experiment registry in presentation order.
+func drivers() []driver {
+	return []driver{
+		{"e1", "Metric catalogue", (*Runner).E1MetricCatalog},
+		{"e2", "Computed metric property matrix", (*Runner).E2MetricProperties},
+		{"e3", "Campaign raw results (confusion matrices)", (*Runner).E3Campaign},
+		{"e4", "Metric values per tool", (*Runner).E4MetricValues},
+		{"e5", "Metric-induced tool rankings and their disagreement", (*Runner).E5Rankings},
+		{"e6", "Prevalence sensitivity of the metrics", (*Runner).E6Prevalence},
+		{"e7", "Discriminative power under workload resampling", (*Runner).E7Discrimination},
+		{"e8", "Scenario-based analytical metric selection", (*Runner).E8ScenarioSelection},
+		{"e9", "AHP validation with the encoded expert panel", (*Runner).E9AHP},
+		{"e10", "MCDA sensitivity to expert disagreement", (*Runner).E10Sensitivity},
+		{"e11", "MCDA method agreement (extension)", (*Runner).E11MethodAgreement},
+		{"e12", "Threshold-free metrics (extension)", (*Runner).E12ThresholdFree},
+		{"e13", "Micro vs macro averaging (extension)", (*Runner).E13MicroMacro},
+		{"e14", "Tool combination (extension)", (*Runner).E14Combination},
+		{"e15", "Decision impact of metric selection (extension)", (*Runner).E15DecisionImpact},
+		{"e16", "Failure-mechanism map (extension)", (*Runner).E16FailureMap},
+		{"e17", "Metric redundancy clusters (extension)", (*Runner).E17Redundancy},
+	}
+}
+
+// IDs returns the experiment IDs in presentation order.
+func IDs() []string {
+	ds := drivers()
+	out := make([]string, len(ds))
+	for i, d := range ds {
+		out[i] = d.id
+	}
+	return out
+}
+
+// Run executes one experiment by ID.
+func (r *Runner) Run(id string) (Result, error) {
+	id = strings.ToLower(strings.TrimSpace(id))
+	for _, d := range drivers() {
+		if d.id == id {
+			return d.run(r)
+		}
+	}
+	return Result{}, fmt.Errorf("experiments: unknown experiment %q (known: %s)", id, strings.Join(IDs(), ", "))
+}
+
+// All executes every experiment in presentation order.
+func (r *Runner) All() ([]Result, error) {
+	ds := drivers()
+	out := make([]Result, 0, len(ds))
+	for _, d := range ds {
+		res, err := d.run(r)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", d.id, err)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// campaignMetricIDs is the metric subset shown in the campaign tables
+// (the full catalogue would be unreadable; this is the set the paper-style
+// tool tables report).
+func campaignMetricIDs() []string {
+	return []string{
+		"recall", "precision", "f1", "f2", "f0.5", "accuracy",
+		"specificity", "fpr", "mcc", "informedness", "markedness", "kappa",
+	}
+}
+
+// sortedKindNames returns sink kind names sorted for deterministic output.
+func sortedKindNames(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

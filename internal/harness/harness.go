@@ -1,0 +1,239 @@
+// Package harness runs benchmark campaigns: it executes every tool over
+// every case of a workload corpus, scores the reports against ground
+// truth at sink granularity, and aggregates confusion matrices overall,
+// per vulnerability class and per difficulty bucket.
+package harness
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/dsn2015/vdbench/internal/detectors"
+	"github.com/dsn2015/vdbench/internal/metrics"
+	"github.com/dsn2015/vdbench/internal/stats"
+	"github.com/dsn2015/vdbench/internal/svclang"
+	"github.com/dsn2015/vdbench/internal/workload"
+)
+
+// SinkOutcome is the scored result of one tool on one sink: the unit the
+// bootstrap analyses resample.
+type SinkOutcome struct {
+	Service    string
+	SinkID     int
+	Kind       svclang.SinkKind
+	Difficulty workload.Difficulty
+	// Template names the workload pattern the sink came from.
+	Template string
+	// Vulnerable is the ground-truth label.
+	Vulnerable bool
+	// Flagged is true when the tool reported this sink.
+	Flagged bool
+	// Confidence is the report confidence (zero when not flagged).
+	Confidence float64
+}
+
+// Confusion classifies the outcome into its confusion-matrix cell.
+func (o SinkOutcome) Confusion() metrics.Confusion {
+	switch {
+	case o.Vulnerable && o.Flagged:
+		return metrics.Confusion{TP: 1}
+	case o.Vulnerable:
+		return metrics.Confusion{FN: 1}
+	case o.Flagged:
+		return metrics.Confusion{FP: 1}
+	default:
+		return metrics.Confusion{TN: 1}
+	}
+}
+
+// ToolResult aggregates one tool's campaign outcome.
+type ToolResult struct {
+	// Tool is the tool's display name; Class its technology family.
+	Tool  string
+	Class detectors.Class
+	// Overall is the pooled (micro) confusion matrix over all sinks.
+	Overall metrics.Confusion
+	// ByKind, ByDifficulty and ByTemplate split the matrix by
+	// vulnerability class, case difficulty and workload pattern.
+	ByKind       map[svclang.SinkKind]metrics.Confusion
+	ByDifficulty map[workload.Difficulty]metrics.Confusion
+	ByTemplate   map[string]metrics.Confusion
+	// Outcomes lists the per-sink outcomes in corpus order.
+	Outcomes []SinkOutcome
+}
+
+// MetricValue computes a metric on the overall matrix.
+func (r *ToolResult) MetricValue(m metrics.Metric) (float64, error) {
+	return m.Value(r.Overall)
+}
+
+// Campaign is the result of running a tool suite over a corpus.
+type Campaign struct {
+	// Corpus is the workload the campaign ran on.
+	Corpus *workload.Corpus
+	// Results holds one entry per tool, in the order supplied.
+	Results []ToolResult
+}
+
+// Run executes the campaign. The seed drives the simulated tools; real
+// tools are deterministic. Each (tool, case) pair receives an independent
+// deterministic RNG stream, so adding or removing tools does not perturb
+// the others' draws.
+func Run(corpus *workload.Corpus, tools []detectors.Tool, seed uint64) (*Campaign, error) {
+	if corpus == nil || len(corpus.Cases) == 0 {
+		return nil, errors.New("harness: empty corpus")
+	}
+	if len(tools) == 0 {
+		return nil, errors.New("harness: no tools")
+	}
+	names := make(map[string]bool, len(tools))
+	for _, tool := range tools {
+		if tool == nil {
+			return nil, errors.New("harness: nil tool")
+		}
+		if names[tool.Name()] {
+			return nil, fmt.Errorf("harness: duplicate tool name %q", tool.Name())
+		}
+		names[tool.Name()] = true
+	}
+	camp := &Campaign{Corpus: corpus}
+	for toolIdx, tool := range tools {
+		res := ToolResult{
+			Tool:         tool.Name(),
+			Class:        tool.Class(),
+			ByKind:       map[svclang.SinkKind]metrics.Confusion{},
+			ByDifficulty: map[workload.Difficulty]metrics.Confusion{},
+			ByTemplate:   map[string]metrics.Confusion{},
+		}
+		// Independent stream per tool; split per case below.
+		toolRNG := stats.NewRNG(seed ^ (uint64(toolIdx)+1)*0x9e3779b97f4a7c15)
+		for _, cs := range corpus.Cases {
+			caseRNG := toolRNG.Split()
+			reports, err := tool.Analyze(cs, caseRNG)
+			if err != nil {
+				return nil, fmt.Errorf("harness: %s on %s: %w", tool.Name(), cs.Service.Name, err)
+			}
+			flagged := make(map[int]float64, len(reports))
+			valid := make(map[int]bool, len(cs.Truths))
+			for _, tr := range cs.Truths {
+				valid[tr.SinkID] = true
+			}
+			for _, r := range reports {
+				if r.Service != cs.Service.Name {
+					return nil, fmt.Errorf("harness: %s reported foreign service %q while analysing %q", tool.Name(), r.Service, cs.Service.Name)
+				}
+				if !valid[r.SinkID] {
+					return nil, fmt.Errorf("harness: %s reported unknown sink %d in %s", tool.Name(), r.SinkID, cs.Service.Name)
+				}
+				if prev, dup := flagged[r.SinkID]; !dup || r.Confidence > prev {
+					flagged[r.SinkID] = r.Confidence
+				}
+			}
+			for _, tr := range cs.Truths {
+				conf, isFlagged := flagged[tr.SinkID]
+				outcome := SinkOutcome{
+					Service:    cs.Service.Name,
+					SinkID:     tr.SinkID,
+					Kind:       tr.Kind,
+					Difficulty: cs.Difficulty,
+					Template:   cs.Template,
+					Vulnerable: tr.Vulnerable,
+					Flagged:    isFlagged,
+					Confidence: conf,
+				}
+				cell := outcome.Confusion()
+				res.Overall = res.Overall.Add(cell)
+				res.ByKind[tr.Kind] = res.ByKind[tr.Kind].Add(cell)
+				res.ByDifficulty[cs.Difficulty] = res.ByDifficulty[cs.Difficulty].Add(cell)
+				res.ByTemplate[cs.Template] = res.ByTemplate[cs.Template].Add(cell)
+				res.Outcomes = append(res.Outcomes, outcome)
+			}
+		}
+		camp.Results = append(camp.Results, res)
+	}
+	return camp, nil
+}
+
+// ResultFor returns the result for a tool by name.
+func (c *Campaign) ResultFor(tool string) (*ToolResult, bool) {
+	for i := range c.Results {
+		if c.Results[i].Tool == tool {
+			return &c.Results[i], true
+		}
+	}
+	return nil, false
+}
+
+// ToolNames lists the tools in campaign order.
+func (c *Campaign) ToolNames() []string {
+	out := make([]string, len(c.Results))
+	for i, r := range c.Results {
+		out[i] = r.Tool
+	}
+	return out
+}
+
+// MetricScores computes the goodness-oriented score of every tool under
+// one metric (lower-is-better metrics are negated so that higher is always
+// better). Tools on which the metric is undefined receive the fallback.
+func (c *Campaign) MetricScores(m metrics.Metric, fallback float64) ([]float64, error) {
+	out := make([]float64, len(c.Results))
+	for i := range c.Results {
+		v, err := m.ValueOr(c.Results[i].Overall, fallback)
+		if err != nil {
+			return nil, fmt.Errorf("harness: %s on %s: %w", m.ID, c.Results[i].Tool, err)
+		}
+		out[i] = m.Goodness(v)
+	}
+	return out, nil
+}
+
+// ConfusionDelta computes, for two tools and a metric, the metric delta
+// (goodness-oriented, tool a minus tool b) over a resampled subset of sink
+// outcomes identified by indices into the outcome slices. Both tools must
+// come from the same campaign so their outcome slices align sink-for-sink.
+func ConfusionDelta(a, b *ToolResult, m metrics.Metric, idx []int) (float64, error) {
+	if len(a.Outcomes) != len(b.Outcomes) {
+		return 0, errors.New("harness: tools come from different campaigns")
+	}
+	var ca, cb metrics.Confusion
+	for _, i := range idx {
+		if i < 0 || i >= len(a.Outcomes) {
+			return 0, fmt.Errorf("harness: outcome index %d out of range", i)
+		}
+		ca = ca.Add(a.Outcomes[i].Confusion())
+		cb = cb.Add(b.Outcomes[i].Confusion())
+	}
+	va, err := m.ValueOr(ca, worstValue(m))
+	if err != nil {
+		return 0, err
+	}
+	vb, err := m.ValueOr(cb, worstValue(m))
+	if err != nil {
+		return 0, err
+	}
+	return m.Goodness(va) - m.Goodness(vb), nil
+}
+
+// worstValue returns a pessimistic fallback for undefined metric values in
+// resamples: the worst end of the metric's range (or 0 for unbounded).
+func worstValue(m metrics.Metric) float64 {
+	if !m.Bounded() {
+		return 0
+	}
+	if m.Orientation == metrics.LowerIsBetter {
+		return m.Hi
+	}
+	return m.Lo
+}
+
+// ScoredInstances converts a tool's outcomes into scored instances for
+// threshold-free analysis (ROC / average precision). Unflagged sinks get
+// score zero.
+func (r *ToolResult) ScoredInstances() []metrics.ScoredInstance {
+	out := make([]metrics.ScoredInstance, len(r.Outcomes))
+	for i, o := range r.Outcomes {
+		out[i] = metrics.ScoredInstance{Score: o.Confidence, Positive: o.Vulnerable}
+	}
+	return out
+}

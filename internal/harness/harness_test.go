@@ -1,0 +1,283 @@
+package harness
+
+import (
+	"testing"
+
+	"github.com/dsn2015/vdbench/internal/detectors"
+	"github.com/dsn2015/vdbench/internal/metrics"
+	"github.com/dsn2015/vdbench/internal/stats"
+	"github.com/dsn2015/vdbench/internal/workload"
+)
+
+func testCorpus(t *testing.T, services int, seed uint64) *workload.Corpus {
+	t.Helper()
+	c, err := workload.Generate(workload.Config{
+		Services:         services,
+		TargetPrevalence: 0.4,
+		Seed:             seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func testTools(t *testing.T) []detectors.Tool {
+	t.Helper()
+	tools, err := detectors.StandardSuite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tools
+}
+
+func runCampaign(t *testing.T, services int) *Campaign {
+	t.Helper()
+	camp, err := Run(testCorpus(t, services, 1), testTools(t), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return camp
+}
+
+func TestRunBasicInvariants(t *testing.T) {
+	camp := runCampaign(t, 60)
+	corpusSinks := camp.Corpus.TotalSinks()
+	corpusVuln := camp.Corpus.VulnerableSinks()
+	for _, res := range camp.Results {
+		if res.Overall.Total() != corpusSinks {
+			t.Errorf("%s classified %d sinks, corpus has %d", res.Tool, res.Overall.Total(), corpusSinks)
+		}
+		if res.Overall.Positives() != corpusVuln {
+			t.Errorf("%s sees %d positives, corpus has %d", res.Tool, res.Overall.Positives(), corpusVuln)
+		}
+		if len(res.Outcomes) != corpusSinks {
+			t.Errorf("%s has %d outcomes", res.Tool, len(res.Outcomes))
+		}
+		// Split matrices must sum to the overall matrix.
+		var kindSum, diffSum metrics.Confusion
+		for _, m := range res.ByKind {
+			kindSum = kindSum.Add(m)
+		}
+		for _, m := range res.ByDifficulty {
+			diffSum = diffSum.Add(m)
+		}
+		if kindSum != res.Overall || diffSum != res.Overall {
+			t.Errorf("%s split matrices do not sum to overall", res.Tool)
+		}
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	corpus := testCorpus(t, 40, 5)
+	c1, err1 := Run(corpus, testTools(t), 7)
+	c2, err2 := Run(corpus, testTools(t), 7)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	for i := range c1.Results {
+		if c1.Results[i].Overall != c2.Results[i].Overall {
+			t.Fatalf("campaign nondeterministic for %s", c1.Results[i].Tool)
+		}
+	}
+}
+
+func TestRunSeedAffectsOnlySimulatedTools(t *testing.T) {
+	corpus := testCorpus(t, 40, 5)
+	c1, _ := Run(corpus, testTools(t), 1)
+	c2, _ := Run(corpus, testTools(t), 2)
+	for i := range c1.Results {
+		same := c1.Results[i].Overall == c2.Results[i].Overall
+		if c1.Results[i].Class == detectors.ClassSimulated {
+			if same {
+				t.Errorf("simulated tool %s ignored the seed", c1.Results[i].Tool)
+			}
+		} else if !same {
+			t.Errorf("deterministic tool %s changed with the seed", c1.Results[i].Tool)
+		}
+	}
+}
+
+func TestCampaignShape(t *testing.T) {
+	// The paper's qualitative expectation: pentesting precise but
+	// incomplete, static analysis the reverse.
+	camp := runCampaign(t, 150)
+	prec := metrics.MustByID(metrics.IDPrecision)
+	rec := metrics.MustByID(metrics.IDRecall)
+
+	pt, ok := camp.ResultFor("pt-deep")
+	if !ok {
+		t.Fatal("pt-deep missing")
+	}
+	ptPrec, err := pt.MetricValue(prec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ptRec, err := pt.MetricValue(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ptPrec < 0.95 {
+		t.Errorf("pt-deep precision = %g, expected >= 0.95 (differential confirmation)", ptPrec)
+	}
+	if ptRec > 0.95 {
+		t.Errorf("pt-deep recall = %g, expected misses from silent sinks", ptRec)
+	}
+
+	agg, ok := camp.ResultFor("ts-aggressive")
+	if !ok {
+		t.Fatal("ts-aggressive missing")
+	}
+	aggRec, err := agg.MetricValue(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aggPrec, err := agg.MetricValue(prec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aggRec < 0.95 {
+		t.Errorf("ts-aggressive recall = %g, expected ~1", aggRec)
+	}
+	if aggPrec >= ptPrec {
+		t.Errorf("ts-aggressive precision %g should be below pt-deep %g", aggPrec, ptPrec)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	corpus := testCorpus(t, 10, 1)
+	tools := testTools(t)
+	if _, err := Run(nil, tools, 1); err == nil {
+		t.Error("nil corpus accepted")
+	}
+	if _, err := Run(&workload.Corpus{}, tools, 1); err == nil {
+		t.Error("empty corpus accepted")
+	}
+	if _, err := Run(corpus, nil, 1); err == nil {
+		t.Error("no tools accepted")
+	}
+	if _, err := Run(corpus, []detectors.Tool{nil}, 1); err == nil {
+		t.Error("nil tool accepted")
+	}
+	dup := []detectors.Tool{detectors.NewSignatureSAST("x"), detectors.NewSignatureSAST("x")}
+	if _, err := Run(corpus, dup, 1); err == nil {
+		t.Error("duplicate tool names accepted")
+	}
+}
+
+func TestResultForAndToolNames(t *testing.T) {
+	camp := runCampaign(t, 20)
+	names := camp.ToolNames()
+	if len(names) != 7 {
+		t.Fatalf("names = %v", names)
+	}
+	if _, ok := camp.ResultFor("no-such-tool"); ok {
+		t.Fatal("bogus tool resolved")
+	}
+	r, ok := camp.ResultFor(names[0])
+	if !ok || r.Tool != names[0] {
+		t.Fatal("ResultFor failed")
+	}
+}
+
+func TestMetricScoresOrientation(t *testing.T) {
+	camp := runCampaign(t, 60)
+	fpr := metrics.MustByID(metrics.IDFPR)
+	rec := metrics.MustByID(metrics.IDRecall)
+	fprScores, err := camp.MetricScores(fpr, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recScores, err := camp.MetricScores(rec, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// FPR goodness is negated: all scores must be <= 0.
+	for i, s := range fprScores {
+		if s > 0 {
+			t.Errorf("FPR goodness for %s = %g > 0", camp.Results[i].Tool, s)
+		}
+	}
+	for i, s := range recScores {
+		if s < 0 || s > 1 {
+			t.Errorf("recall goodness for %s = %g out of [0,1]", camp.Results[i].Tool, s)
+		}
+	}
+}
+
+func TestSinkOutcomeConfusion(t *testing.T) {
+	cases := []struct {
+		o    SinkOutcome
+		want metrics.Confusion
+	}{
+		{SinkOutcome{Vulnerable: true, Flagged: true}, metrics.Confusion{TP: 1}},
+		{SinkOutcome{Vulnerable: true}, metrics.Confusion{FN: 1}},
+		{SinkOutcome{Flagged: true}, metrics.Confusion{FP: 1}},
+		{SinkOutcome{}, metrics.Confusion{TN: 1}},
+	}
+	for _, c := range cases {
+		if got := c.o.Confusion(); got != c.want {
+			t.Errorf("Confusion(%+v) = %+v", c.o, got)
+		}
+	}
+}
+
+func TestConfusionDelta(t *testing.T) {
+	camp := runCampaign(t, 60)
+	a, _ := camp.ResultFor("ts-aggressive")
+	b, _ := camp.ResultFor("pt-deep")
+	rec := metrics.MustByID(metrics.IDRecall)
+	idx := make([]int, len(a.Outcomes))
+	for i := range idx {
+		idx[i] = i
+	}
+	delta, err := ConfusionDelta(a, b, rec, idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Full-index delta must equal the difference of the overall values.
+	va, _ := a.MetricValue(rec)
+	vb, _ := b.MetricValue(rec)
+	if diff := delta - (va - vb); diff > 1e-12 || diff < -1e-12 {
+		t.Fatalf("delta = %g, want %g", delta, va-vb)
+	}
+	if _, err := ConfusionDelta(a, b, rec, []int{-1}); err == nil {
+		t.Fatal("bad index accepted")
+	}
+}
+
+func TestConfusionDeltaWithBootstrap(t *testing.T) {
+	camp := runCampaign(t, 80)
+	a, _ := camp.ResultFor("ts-aggressive")
+	b, _ := camp.ResultFor("grep-sast")
+	rec := metrics.MustByID(metrics.IDRecall)
+	frac, err := stats.SignStability(stats.NewRNG(3), len(a.Outcomes), 200, func(idx []int) float64 {
+		d, err := ConfusionDelta(a, b, rec, idx)
+		if err != nil {
+			return 0
+		}
+		return d
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frac < 0.5 || frac > 1 {
+		t.Fatalf("sign stability = %g out of range", frac)
+	}
+}
+
+func TestScoredInstances(t *testing.T) {
+	camp := runCampaign(t, 40)
+	res, _ := camp.ResultFor("ts-precise")
+	xs := res.ScoredInstances()
+	if len(xs) != len(res.Outcomes) {
+		t.Fatal("length mismatch")
+	}
+	auc, err := metrics.AUC(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc < 0.5 {
+		t.Fatalf("ts-precise AUC = %g, should beat chance", auc)
+	}
+}

@@ -1,0 +1,223 @@
+// Package linalg provides the small dense-matrix toolkit needed by the MCDA
+// layer: matrix construction, multiplication, and the principal-eigenvector
+// computation that the Analytic Hierarchy Process uses to turn pairwise
+// comparison matrices into priority vectors.
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense row-major matrix of float64 values.
+type Matrix struct {
+	rows, cols int
+	data       []float64
+}
+
+// ErrDimension indicates a shape mismatch between operands.
+var ErrDimension = errors.New("linalg: dimension mismatch")
+
+// New returns a zero matrix with the given shape.
+func New(rows, cols int) (*Matrix, error) {
+	if rows <= 0 || cols <= 0 {
+		return nil, fmt.Errorf("linalg: invalid shape %dx%d", rows, cols)
+	}
+	return &Matrix{rows: rows, cols: cols, data: make([]float64, rows*cols)}, nil
+}
+
+// FromRows builds a matrix from row slices. All rows must have equal,
+// non-zero length. The input is copied.
+func FromRows(rows [][]float64) (*Matrix, error) {
+	if len(rows) == 0 || len(rows[0]) == 0 {
+		return nil, errors.New("linalg: empty matrix")
+	}
+	cols := len(rows[0])
+	m, err := New(len(rows), cols)
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range rows {
+		if len(r) != cols {
+			return nil, fmt.Errorf("linalg: row %d has %d columns, want %d", i, len(r), cols)
+		}
+		copy(m.data[i*cols:(i+1)*cols], r)
+	}
+	return m, nil
+}
+
+// Identity returns the n-by-n identity matrix.
+func Identity(n int) (*Matrix, error) {
+	m, err := New(n, n)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m, nil
+}
+
+// Rows returns the number of rows.
+func (m *Matrix) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Matrix) Cols() int { return m.cols }
+
+// At returns the element at (i, j). Out-of-range indices panic, as with
+// slice indexing.
+func (m *Matrix) At(i, j int) float64 {
+	m.check(i, j)
+	return m.data[i*m.cols+j]
+}
+
+// Set assigns the element at (i, j).
+func (m *Matrix) Set(i, j int, v float64) {
+	m.check(i, j)
+	m.data[i*m.cols+j] = v
+}
+
+func (m *Matrix) check(i, j int) {
+	if i < 0 || i >= m.rows || j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("linalg: index (%d,%d) out of %dx%d matrix", i, j, m.rows, m.cols))
+	}
+}
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	c := &Matrix{rows: m.rows, cols: m.cols, data: make([]float64, len(m.data))}
+	copy(c.data, m.data)
+	return c
+}
+
+// Mul returns the matrix product m·other.
+func (m *Matrix) Mul(other *Matrix) (*Matrix, error) {
+	if m.cols != other.rows {
+		return nil, fmt.Errorf("%w: %dx%d x %dx%d", ErrDimension, m.rows, m.cols, other.rows, other.cols)
+	}
+	out, _ := New(m.rows, other.cols)
+	for i := 0; i < m.rows; i++ {
+		for k := 0; k < m.cols; k++ {
+			a := m.data[i*m.cols+k]
+			if a == 0 {
+				continue
+			}
+			for j := 0; j < other.cols; j++ {
+				out.data[i*out.cols+j] += a * other.data[k*other.cols+j]
+			}
+		}
+	}
+	return out, nil
+}
+
+// MulVec returns the matrix-vector product m·v.
+func (m *Matrix) MulVec(v []float64) ([]float64, error) {
+	if m.cols != len(v) {
+		return nil, fmt.Errorf("%w: %dx%d x vector(%d)", ErrDimension, m.rows, m.cols, len(v))
+	}
+	out := make([]float64, m.rows)
+	for i := 0; i < m.rows; i++ {
+		var s float64
+		for j := 0; j < m.cols; j++ {
+			s += m.data[i*m.cols+j] * v[j]
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+// IsSquare reports whether m has equal row and column counts.
+func (m *Matrix) IsSquare() bool { return m.rows == m.cols }
+
+// Normalize1 scales v in place so its entries sum to one and returns v.
+// A zero vector is returned unchanged.
+func Normalize1(v []float64) []float64 {
+	var sum float64
+	for _, x := range v {
+		sum += x
+	}
+	if sum == 0 {
+		return v
+	}
+	for i := range v {
+		v[i] /= sum
+	}
+	return v
+}
+
+// PowerIterationResult carries the dominant eigenpair of a matrix.
+type PowerIterationResult struct {
+	// Eigenvalue is the dominant eigenvalue estimate (lambda_max for AHP
+	// matrices).
+	Eigenvalue float64
+	// Eigenvector is the associated eigenvector normalised to sum to one,
+	// as AHP priority vectors require.
+	Eigenvector []float64
+	// Iterations is the number of iterations performed until convergence.
+	Iterations int
+}
+
+// PowerIteration computes the dominant eigenpair of a square matrix with
+// positive entries (the AHP setting guarantees positivity, which makes the
+// dominant eigenvalue real and simple by Perron–Frobenius). It returns an
+// error if the matrix is not square, contains non-positive entries, or the
+// iteration fails to converge within maxIter iterations to tolerance tol.
+func PowerIteration(m *Matrix, maxIter int, tol float64) (PowerIterationResult, error) {
+	if !m.IsSquare() {
+		return PowerIterationResult{}, fmt.Errorf("%w: power iteration needs a square matrix, got %dx%d", ErrDimension, m.rows, m.cols)
+	}
+	if maxIter <= 0 {
+		return PowerIterationResult{}, errors.New("linalg: maxIter must be positive")
+	}
+	if tol <= 0 {
+		return PowerIterationResult{}, errors.New("linalg: tolerance must be positive")
+	}
+	n := m.rows
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if m.At(i, j) <= 0 || math.IsNaN(m.At(i, j)) || math.IsInf(m.At(i, j), 0) {
+				return PowerIterationResult{}, fmt.Errorf("linalg: power iteration requires strictly positive finite entries, found %g at (%d,%d)", m.At(i, j), i, j)
+			}
+		}
+	}
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = 1 / float64(n)
+	}
+	var lambda float64
+	for iter := 1; iter <= maxIter; iter++ {
+		next, err := m.MulVec(v)
+		if err != nil {
+			return PowerIterationResult{}, err
+		}
+		var sum float64
+		for _, x := range next {
+			sum += x
+		}
+		if sum == 0 {
+			return PowerIterationResult{}, errors.New("linalg: power iteration collapsed to zero vector")
+		}
+		for i := range next {
+			next[i] /= sum
+		}
+		// Rayleigh-style eigenvalue estimate: mean of componentwise ratios
+		// (Av)_i / v_i. For positive matrices every component is valid.
+		av, _ := m.MulVec(next)
+		var est float64
+		for i := range next {
+			est += av[i] / next[i]
+		}
+		est /= float64(n)
+		var delta float64
+		for i := range v {
+			delta += math.Abs(next[i] - v[i])
+		}
+		v = next
+		lambda = est
+		if delta < tol {
+			return PowerIterationResult{Eigenvalue: lambda, Eigenvector: v, Iterations: iter}, nil
+		}
+	}
+	return PowerIterationResult{}, fmt.Errorf("linalg: power iteration did not converge in %d iterations", maxIter)
+}

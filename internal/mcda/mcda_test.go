@@ -1,0 +1,411 @@
+package mcda
+
+import (
+	"math"
+	"testing"
+
+	"github.com/dsn2015/vdbench/internal/stats"
+)
+
+func sampleProblem() Problem {
+	return Problem{
+		Criteria:     []string{"c1", "c2", "c3"},
+		Alternatives: []string{"a", "b", "c"},
+		Scores: [][]float64{
+			{0.9, 0.2, 0.5},
+			{0.5, 0.8, 0.5},
+			{0.1, 0.1, 0.5},
+		},
+	}
+}
+
+func TestProblemValidate(t *testing.T) {
+	if err := sampleProblem().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Problem{
+		{},
+		{Criteria: []string{"c"}},
+		{Criteria: []string{"c"}, Alternatives: []string{"a"}, Scores: [][]float64{}},
+		{Criteria: []string{"c"}, Alternatives: []string{"a"}, Scores: [][]float64{{1, 2}}},
+		{Criteria: []string{"c"}, Alternatives: []string{"a"}, Scores: [][]float64{{math.NaN()}}},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad problem %d accepted", i)
+		}
+	}
+}
+
+func TestWeightedSumDominance(t *testing.T) {
+	p := sampleProblem()
+	// Equal weights: alternative c is dominated and must rank last.
+	scores, err := WeightedSum(p, []float64{1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(scores[2] < scores[0] && scores[2] < scores[1]) {
+		t.Fatalf("dominated alternative not last: %v", scores)
+	}
+	// Weight tilted to c1: a wins. Tilted to c2: b wins.
+	s1, _ := WeightedSum(p, []float64{10, 1, 1})
+	if !(s1[0] > s1[1]) {
+		t.Fatalf("c1-heavy weights should favour a: %v", s1)
+	}
+	s2, _ := WeightedSum(p, []float64{1, 10, 1})
+	if !(s2[1] > s2[0]) {
+		t.Fatalf("c2-heavy weights should favour b: %v", s2)
+	}
+}
+
+func TestWeightedSumWeightValidation(t *testing.T) {
+	p := sampleProblem()
+	if _, err := WeightedSum(p, []float64{1, 1}); err == nil {
+		t.Error("wrong weight count accepted")
+	}
+	if _, err := WeightedSum(p, []float64{1, -1, 1}); err == nil {
+		t.Error("negative weight accepted")
+	}
+	if _, err := WeightedSum(p, []float64{0, 0, 0}); err == nil {
+		t.Error("zero weights accepted")
+	}
+}
+
+func TestWeightedSumConstantColumn(t *testing.T) {
+	// Column c3 is constant: it must not influence the ordering.
+	p := sampleProblem()
+	with, _ := WeightedSum(p, []float64{1, 1, 1})
+	p2 := sampleProblem()
+	for i := range p2.Scores {
+		p2.Scores[i][2] = 99 // different constant
+	}
+	without, _ := WeightedSum(p2, []float64{1, 1, 1})
+	for i := range with {
+		if math.Abs(with[i]-without[i]) > 1e-12 {
+			t.Fatalf("constant column affected scores: %v vs %v", with, without)
+		}
+	}
+}
+
+func TestTOPSISAgreesOnDominance(t *testing.T) {
+	p := sampleProblem()
+	scores, err := TOPSIS(p, []float64{1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(scores[2] < scores[0] && scores[2] < scores[1]) {
+		t.Fatalf("TOPSIS missed the dominated alternative: %v", scores)
+	}
+	for _, s := range scores {
+		if s < 0 || s > 1 {
+			t.Fatalf("closeness %g out of [0,1]", s)
+		}
+	}
+}
+
+func TestTOPSISIdenticalAlternatives(t *testing.T) {
+	p := Problem{
+		Criteria:     []string{"c"},
+		Alternatives: []string{"a", "b"},
+		Scores:       [][]float64{{1}, {1}},
+	}
+	scores, err := TOPSIS(p, []float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scores[0] != 0.5 || scores[1] != 0.5 {
+		t.Fatalf("identical alternatives should tie at 0.5: %v", scores)
+	}
+}
+
+func TestPairwiseBasics(t *testing.T) {
+	pw, err := NewPairwise(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pw.Set(0, 1, 3); err != nil {
+		t.Fatal(err)
+	}
+	if pw.At(0, 1) != 3 || math.Abs(pw.At(1, 0)-1.0/3.0) > 1e-12 {
+		t.Fatal("reciprocal not maintained")
+	}
+	if err := pw.Set(0, 0, 2); err == nil {
+		t.Error("diagonal set accepted")
+	}
+	if err := pw.Set(0, 1, 0); err == nil {
+		t.Error("zero judgment accepted")
+	}
+	if err := pw.Set(0, 1, 10); err == nil {
+		t.Error("judgment beyond Saaty scale accepted")
+	}
+	if _, err := NewPairwise(1); err == nil {
+		t.Error("1x1 pairwise accepted")
+	}
+}
+
+func TestPrioritiesConsistentMatrix(t *testing.T) {
+	// Perfectly consistent judgments recover the weights with CR = 0.
+	want := []float64{0.6, 0.3, 0.1}
+	pw, err := FromWeights(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prio, err := pw.Priorities()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if math.Abs(prio.Weights[i]-want[i]) > 1e-6 {
+			t.Fatalf("weights = %v, want %v", prio.Weights, want)
+		}
+	}
+	if prio.CR > 1e-9 || !prio.Consistent() {
+		t.Fatalf("consistent matrix has CR = %g", prio.CR)
+	}
+	if math.Abs(prio.LambdaMax-3) > 1e-6 {
+		t.Fatalf("lambdaMax = %g, want 3", prio.LambdaMax)
+	}
+}
+
+func TestPrioritiesSaatyExample(t *testing.T) {
+	// Mildly inconsistent 3x3 judgment: CR must be positive but small.
+	pw, _ := NewPairwise(3)
+	mustSet(t, pw, 0, 1, 2)
+	mustSet(t, pw, 0, 2, 5)
+	mustSet(t, pw, 1, 2, 2)
+	prio, err := pw.Priorities()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prio.CR <= 0 || prio.CR > 0.1 {
+		t.Fatalf("CR = %g, want small positive", prio.CR)
+	}
+	if !(prio.Weights[0] > prio.Weights[1] && prio.Weights[1] > prio.Weights[2]) {
+		t.Fatalf("weights not ordered: %v", prio.Weights)
+	}
+}
+
+func TestPrioritiesInconsistentMatrix(t *testing.T) {
+	// Circular judgments: a >> b >> c >> a. CR must exceed 0.1.
+	pw, _ := NewPairwise(3)
+	mustSet(t, pw, 0, 1, 9)
+	mustSet(t, pw, 1, 2, 9)
+	mustSet(t, pw, 0, 2, 1.0/9.0)
+	prio, err := pw.Priorities()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prio.Consistent() {
+		t.Fatalf("circular judgments pass the consistency check: CR = %g", prio.CR)
+	}
+}
+
+func mustSet(t *testing.T, pw *Pairwise, i, j int, v float64) {
+	t.Helper()
+	if err := pw.Set(i, j, v); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFromWeightsValidation(t *testing.T) {
+	if _, err := FromWeights([]float64{1, 0}); err == nil {
+		t.Error("zero weight accepted")
+	}
+	if _, err := FromWeights([]float64{1}); err == nil {
+		t.Error("single weight accepted")
+	}
+	// Extreme ratios clamp to the Saaty scale instead of failing.
+	pw, err := FromWeights([]float64{100, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pw.At(0, 1) != 9 {
+		t.Fatalf("ratio not clamped: %g", pw.At(0, 1))
+	}
+}
+
+func TestAHPEndToEnd(t *testing.T) {
+	p := sampleProblem()
+	// Judgments: c2 strongly dominates. Alternative b (best on c2) wins.
+	pw, err := FromWeights([]float64{1, 6, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := AHP(pw, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Consistency.Consistent() {
+		t.Fatalf("CR = %g", res.Consistency.CR)
+	}
+	if !(res.Scores[1] > res.Scores[0] && res.Scores[1] > res.Scores[2]) {
+		t.Fatalf("c2-dominant judgments should rank b first: %v", res.Scores)
+	}
+	var wsum float64
+	for _, w := range res.CriteriaWeights {
+		wsum += w
+	}
+	if math.Abs(wsum-1) > 1e-9 {
+		t.Fatalf("criteria weights sum to %g", wsum)
+	}
+}
+
+func TestAHPValidation(t *testing.T) {
+	p := sampleProblem()
+	if _, err := AHP(nil, p); err == nil {
+		t.Error("nil judgments accepted")
+	}
+	pw, _ := NewPairwise(2)
+	if _, err := AHP(pw, p); err == nil {
+		t.Error("judgment size mismatch accepted")
+	}
+}
+
+func TestPerturb(t *testing.T) {
+	pw, _ := FromWeights([]float64{0.5, 0.3, 0.2})
+	rng := stats.NewRNG(4)
+	noisy, err := Perturb(pw, 0.2, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	changed := false
+	for i := 0; i < 3; i++ {
+		for j := i + 1; j < 3; j++ {
+			if math.Abs(noisy.At(i, j)-pw.At(i, j)) > 1e-12 {
+				changed = true
+			}
+			if math.Abs(noisy.At(i, j)*noisy.At(j, i)-1) > 1e-9 {
+				t.Fatal("perturbed matrix lost reciprocity")
+			}
+			if noisy.At(i, j) < 1.0/9.0-1e-9 || noisy.At(i, j) > 9+1e-9 {
+				t.Fatal("perturbed judgment escaped Saaty scale")
+			}
+		}
+	}
+	if !changed {
+		t.Fatal("perturbation changed nothing")
+	}
+	// Zero sigma is the identity.
+	same, err := Perturb(pw, 0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if same.At(i, j) != pw.At(i, j) {
+				t.Fatal("sigma=0 should not change judgments")
+			}
+		}
+	}
+}
+
+func TestPerturbValidation(t *testing.T) {
+	pw, _ := NewPairwise(2)
+	if _, err := Perturb(nil, 0.1, stats.NewRNG(1)); err == nil {
+		t.Error("nil matrix accepted")
+	}
+	if _, err := Perturb(pw, -1, stats.NewRNG(1)); err == nil {
+		t.Error("negative sigma accepted")
+	}
+	if _, err := Perturb(pw, 0.1, nil); err == nil {
+		t.Error("nil RNG accepted")
+	}
+}
+
+func TestMethodsAgreeOnClearWinner(t *testing.T) {
+	// When one alternative dominates everywhere, WSM, TOPSIS and AHP must
+	// all rank it first: the method-independence sanity check.
+	p := Problem{
+		Criteria:     []string{"c1", "c2"},
+		Alternatives: []string{"best", "mid", "worst"},
+		Scores: [][]float64{
+			{0.9, 0.9},
+			{0.5, 0.5},
+			{0.1, 0.1},
+		},
+	}
+	weights := []float64{1, 2}
+	wsm, err := WeightedSum(p, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top, err := TOPSIS(p, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pw, _ := FromWeights(weights)
+	ahp, err := AHP(pw, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, scores := range map[string][]float64{"wsm": wsm, "topsis": top, "ahp": ahp.Scores} {
+		if !(scores[0] > scores[1] && scores[1] > scores[2]) {
+			t.Errorf("%s failed to rank the dominating alternative first: %v", name, scores)
+		}
+	}
+}
+
+func TestWeightedProductDominance(t *testing.T) {
+	p := sampleProblem()
+	scores, err := WeightedProduct(p, []float64{1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(scores[2] < scores[0] && scores[2] < scores[1]) {
+		t.Fatalf("WPM missed the dominated alternative: %v", scores)
+	}
+	for _, s := range scores {
+		if s <= 0 || s > 1 {
+			t.Fatalf("WPM score %g out of (0,1]", s)
+		}
+	}
+	// Weight tilts work as in WSM.
+	s1, _ := WeightedProduct(p, []float64{10, 1, 1})
+	if !(s1[0] > s1[1]) {
+		t.Fatalf("c1-heavy WPM should favour a: %v", s1)
+	}
+}
+
+func TestWeightedProductValidation(t *testing.T) {
+	p := sampleProblem()
+	if _, err := WeightedProduct(p, []float64{1, 1}); err == nil {
+		t.Error("wrong weight count accepted")
+	}
+	if _, err := WeightedProduct(Problem{}, []float64{1}); err == nil {
+		t.Error("invalid problem accepted")
+	}
+}
+
+func TestWeightedProductPunishesWeakestCriterion(t *testing.T) {
+	// WPM's defining property vs WSM: a near-zero score on any criterion
+	// drags the product down harder than the sum.
+	// A third anchor alternative keeps min-max normalisation from
+	// degenerating to {0, 1} columns.
+	p := Problem{
+		Criteria:     []string{"c1", "c2"},
+		Alternatives: []string{"balanced", "lopsided", "anchor"},
+		Scores: [][]float64{
+			{0.6, 0.6},
+			{1.0, 0.0},
+			{0.0, 0.0},
+		},
+	}
+	weights := []float64{1, 1}
+	wsm, err := WeightedSum(p, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wpm, err := WeightedProduct(p, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Under WSM the two are comparable (0.8 vs 0.5); under WPM the
+	// lopsided alternative's zero criterion collapses its product.
+	if wpm[1] >= wpm[0] {
+		t.Fatalf("WPM should punish the lopsided alternative: %v", wpm)
+	}
+	if wpm[0]-wpm[1] <= wsm[0]-wsm[1] {
+		t.Fatalf("WPM gap (%g) should exceed the WSM gap (%g)",
+			wpm[0]-wpm[1], wsm[0]-wsm[1])
+	}
+}

@@ -1,0 +1,98 @@
+// Package metrics implements the confusion-matrix metric catalogue studied
+// by the paper: every candidate metric for benchmarking vulnerability
+// detection tools is a first-class value carrying its formula, theoretical
+// range, orientation, and provenance, alongside the code that computes it.
+//
+// In the vulnerability detection setting the confusion matrix is read as:
+//
+//   - TP: vulnerabilities that exist and were reported by the tool
+//   - FP: reports on code locations that are not vulnerable (false alarms)
+//   - FN: vulnerabilities that exist but were missed
+//   - TN: non-vulnerable locations correctly left unreported
+//
+// The paper's central observation is that different usage scenarios weight
+// these four cells very differently, so no single scalar metric is adequate
+// across scenarios.
+package metrics
+
+import (
+	"fmt"
+)
+
+// Confusion is a binary-classification confusion matrix. The zero value is
+// a valid, empty matrix.
+type Confusion struct {
+	TP int // true positives: existing vulnerabilities reported
+	FP int // false positives: false alarms
+	FN int // false negatives: missed vulnerabilities
+	TN int // true negatives: clean locations not reported
+}
+
+// Validate returns an error if any cell is negative.
+func (c Confusion) Validate() error {
+	if c.TP < 0 || c.FP < 0 || c.FN < 0 || c.TN < 0 {
+		return fmt.Errorf("metrics: confusion matrix has negative cell: %+v", c)
+	}
+	return nil
+}
+
+// Total returns the number of classified instances.
+func (c Confusion) Total() int { return c.TP + c.FP + c.FN + c.TN }
+
+// Positives returns the number of actually vulnerable instances (TP+FN).
+func (c Confusion) Positives() int { return c.TP + c.FN }
+
+// Negatives returns the number of actually clean instances (FP+TN).
+func (c Confusion) Negatives() int { return c.FP + c.TN }
+
+// PredictedPositives returns the number of instances the tool reported.
+func (c Confusion) PredictedPositives() int { return c.TP + c.FP }
+
+// PredictedNegatives returns the number of instances the tool left
+// unreported.
+func (c Confusion) PredictedNegatives() int { return c.FN + c.TN }
+
+// Prevalence returns the fraction of actually vulnerable instances, or 0
+// for an empty matrix.
+func (c Confusion) Prevalence() float64 {
+	t := c.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(c.Positives()) / float64(t)
+}
+
+// Add returns the cell-wise sum of two confusion matrices. Summing per-case
+// or per-class matrices yields the micro-average matrix.
+func (c Confusion) Add(other Confusion) Confusion {
+	return Confusion{
+		TP: c.TP + other.TP,
+		FP: c.FP + other.FP,
+		FN: c.FN + other.FN,
+		TN: c.TN + other.TN,
+	}
+}
+
+// String renders the matrix compactly for reports and error messages.
+func (c Confusion) String() string {
+	return fmt.Sprintf("TP=%d FP=%d FN=%d TN=%d", c.TP, c.FP, c.FN, c.TN)
+}
+
+// Scale returns a matrix with every cell multiplied by k (k >= 0). It is
+// used by the property analyser to verify scale invariance of metrics.
+func (c Confusion) Scale(k int) (Confusion, error) {
+	if k < 0 {
+		return Confusion{}, fmt.Errorf("metrics: negative scale factor %d", k)
+	}
+	return Confusion{TP: c.TP * k, FP: c.FP * k, FN: c.FN * k, TN: c.TN * k}, nil
+}
+
+// Rates returns the four cell proportions (TP, FP, FN, TN)/total. An empty
+// matrix yields all zeros.
+func (c Confusion) Rates() (tp, fp, fn, tn float64) {
+	t := float64(c.Total())
+	if t == 0 {
+		return 0, 0, 0, 0
+	}
+	return float64(c.TP) / t, float64(c.FP) / t, float64(c.FN) / t, float64(c.TN) / t
+}

@@ -1,0 +1,108 @@
+package metrics
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestConfusionValidate(t *testing.T) {
+	if err := (Confusion{1, 2, 3, 4}).Validate(); err != nil {
+		t.Fatalf("valid matrix rejected: %v", err)
+	}
+	bad := []Confusion{
+		{TP: -1}, {FP: -1}, {FN: -1}, {TN: -1},
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Fatalf("negative cell accepted: %+v", c)
+		}
+	}
+}
+
+func TestConfusionTotals(t *testing.T) {
+	c := Confusion{TP: 10, FP: 20, FN: 30, TN: 40}
+	if c.Total() != 100 {
+		t.Fatalf("Total = %d", c.Total())
+	}
+	if c.Positives() != 40 {
+		t.Fatalf("Positives = %d", c.Positives())
+	}
+	if c.Negatives() != 60 {
+		t.Fatalf("Negatives = %d", c.Negatives())
+	}
+	if c.PredictedPositives() != 30 {
+		t.Fatalf("PredictedPositives = %d", c.PredictedPositives())
+	}
+	if c.PredictedNegatives() != 70 {
+		t.Fatalf("PredictedNegatives = %d", c.PredictedNegatives())
+	}
+	if c.Prevalence() != 0.4 {
+		t.Fatalf("Prevalence = %g", c.Prevalence())
+	}
+}
+
+func TestConfusionPrevalenceEmpty(t *testing.T) {
+	if got := (Confusion{}).Prevalence(); got != 0 {
+		t.Fatalf("empty prevalence = %g", got)
+	}
+}
+
+func TestConfusionAdd(t *testing.T) {
+	a := Confusion{1, 2, 3, 4}
+	b := Confusion{10, 20, 30, 40}
+	sum := a.Add(b)
+	want := Confusion{11, 22, 33, 44}
+	if sum != want {
+		t.Fatalf("Add = %+v, want %+v", sum, want)
+	}
+}
+
+func TestConfusionScale(t *testing.T) {
+	c := Confusion{1, 2, 3, 4}
+	s, err := c.Scale(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != (Confusion{3, 6, 9, 12}) {
+		t.Fatalf("Scale = %+v", s)
+	}
+	if _, err := c.Scale(-1); err == nil {
+		t.Fatal("negative scale accepted")
+	}
+	z, _ := c.Scale(0)
+	if z != (Confusion{}) {
+		t.Fatalf("Scale(0) = %+v", z)
+	}
+}
+
+func TestConfusionRates(t *testing.T) {
+	c := Confusion{TP: 1, FP: 1, FN: 1, TN: 1}
+	tp, fp, fn, tn := c.Rates()
+	if tp != 0.25 || fp != 0.25 || fn != 0.25 || tn != 0.25 {
+		t.Fatalf("Rates = %g %g %g %g", tp, fp, fn, tn)
+	}
+	tp, fp, fn, tn = (Confusion{}).Rates()
+	if tp+fp+fn+tn != 0 {
+		t.Fatal("empty matrix rates should all be zero")
+	}
+}
+
+func TestConfusionString(t *testing.T) {
+	got := Confusion{1, 2, 3, 4}.String()
+	want := "TP=1 FP=2 FN=3 TN=4"
+	if got != want {
+		t.Fatalf("String = %q, want %q", got, want)
+	}
+}
+
+// Property: Add is commutative and total is additive.
+func TestConfusionAddProperty(t *testing.T) {
+	f := func(a, b uint8, c, d uint8, e, g, h, i uint8) bool {
+		x := Confusion{int(a), int(b), int(c), int(d)}
+		y := Confusion{int(e), int(g), int(h), int(i)}
+		return x.Add(y) == y.Add(x) && x.Add(y).Total() == x.Total()+y.Total()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,202 @@
+// Package report renders experiment outputs as aligned ASCII tables, CSV,
+// and simple text "figures" (series dumps suitable for plotting). Every
+// table and figure the benchmark reproduces flows through this package, so
+// all experiment output is uniform and diffable.
+package report
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Table is a simple rectangular table with a title and column headers.
+type Table struct {
+	Title   string
+	Headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row. Rows shorter than the header are padded; longer
+// rows are accepted verbatim (the renderer widens the table).
+func (t *Table) AddRow(cells ...string) {
+	t.rows = append(t.rows, cells)
+}
+
+// AddRowValues appends a row of arbitrary values formatted with %v, except
+// float64 values which are formatted compactly.
+func (t *Table) AddRowValues(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = FormatFloat(v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.AddRow(row...)
+}
+
+// NumRows returns the number of data rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// FormatFloat renders a float compactly: four significant decimals,
+// trailing zeros trimmed, integers without a decimal point.
+func FormatFloat(v float64) string {
+	s := strconv.FormatFloat(v, 'f', 4, 64)
+	s = strings.TrimRight(s, "0")
+	s = strings.TrimRight(s, ".")
+	if s == "" || s == "-" {
+		return "0"
+	}
+	return s
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	cols := len(t.Headers)
+	for _, r := range t.rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	widths := make([]int, cols)
+	measure := func(row []string) {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	measure(t.Headers)
+	for _, r := range t.rows {
+		measure(r)
+	}
+	var sb strings.Builder
+	if t.Title != "" {
+		sb.WriteString(t.Title)
+		sb.WriteByte('\n')
+	}
+	writeRow := func(row []string) {
+		var line strings.Builder
+		for i := 0; i < cols; i++ {
+			cell := ""
+			if i < len(row) {
+				cell = row[i]
+			}
+			if i > 0 {
+				line.WriteString("  ")
+			}
+			line.WriteString(cell)
+			line.WriteString(strings.Repeat(" ", widths[i]-len(cell)))
+		}
+		sb.WriteString(strings.TrimRight(line.String(), " "))
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	total := 0
+	for _, w := range widths {
+		total += w
+	}
+	sb.WriteString(strings.Repeat("-", total+2*(cols-1)))
+	sb.WriteByte('\n')
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return sb.String()
+}
+
+// CSV renders the table as RFC-4180-style CSV (fields with commas,
+// quotes or newlines are quoted).
+func (t *Table) CSV() string {
+	var sb strings.Builder
+	writeRow := func(row []string) {
+		for i, c := range row {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			sb.WriteString(csvEscape(c))
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return sb.String()
+}
+
+func csvEscape(s string) string {
+	if !strings.ContainsAny(s, ",\"\n") {
+		return s
+	}
+	return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+}
+
+// Markdown renders the table as a GitHub-flavoured Markdown table.
+func (t *Table) Markdown() string {
+	var sb strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&sb, "**%s**\n\n", t.Title)
+	}
+	sb.WriteString("| " + strings.Join(t.Headers, " | ") + " |\n")
+	sb.WriteString("|" + strings.Repeat(" --- |", len(t.Headers)) + "\n")
+	for _, r := range t.rows {
+		cells := make([]string, len(t.Headers))
+		for i := range cells {
+			if i < len(r) {
+				cells[i] = r[i]
+			}
+		}
+		sb.WriteString("| " + strings.Join(cells, " | ") + " |\n")
+	}
+	return sb.String()
+}
+
+// Series is a named sequence of (x, y) points: the text form of a figure.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Figure is a set of series sharing axes: the text equivalent of one paper
+// figure.
+type Figure struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// AddSeries appends a series; x and y must have equal length.
+func (f *Figure) AddSeries(name string, x, y []float64) error {
+	if len(x) != len(y) {
+		return fmt.Errorf("report: series %q has %d x values and %d y values", name, len(x), len(y))
+	}
+	f.Series = append(f.Series, Series{Name: name, X: x, Y: y})
+	return nil
+}
+
+// String renders the figure as a data block: one line per point, one
+// section per series. The output is directly consumable by plotting tools.
+func (f *Figure) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "# figure: %s\n", f.Title)
+	fmt.Fprintf(&sb, "# x: %s, y: %s\n", f.XLabel, f.YLabel)
+	for _, s := range f.Series {
+		fmt.Fprintf(&sb, "## series: %s\n", s.Name)
+		for i := range s.X {
+			fmt.Fprintf(&sb, "%s\t%s\n", FormatFloat(s.X[i]), FormatFloat(s.Y[i]))
+		}
+	}
+	return sb.String()
+}

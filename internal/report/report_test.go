@@ -1,0 +1,122 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableString(t *testing.T) {
+	tbl := NewTable("Demo", "tool", "precision")
+	tbl.AddRow("pt-deep", "0.98")
+	tbl.AddRow("ts", "0.7")
+	out := tbl.String()
+	if !strings.Contains(out, "Demo") {
+		t.Fatal("title missing")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, divider, two rows
+		t.Fatalf("line count = %d: %q", len(lines), out)
+	}
+	// Alignment: the precision column starts at the same offset everywhere.
+	hdrIdx := strings.Index(lines[1], "precision")
+	rowIdx := strings.Index(lines[4], "0.7")
+	if hdrIdx != rowIdx {
+		t.Fatalf("columns misaligned: %d vs %d\n%s", hdrIdx, rowIdx, out)
+	}
+	for _, l := range lines {
+		if strings.HasSuffix(l, " ") {
+			t.Fatalf("trailing whitespace in %q", l)
+		}
+	}
+}
+
+func TestTableRaggedRows(t *testing.T) {
+	tbl := NewTable("", "a", "b")
+	tbl.AddRow("1")
+	tbl.AddRow("1", "2", "3")
+	out := tbl.String()
+	if !strings.Contains(out, "3") {
+		t.Fatal("extra cell dropped")
+	}
+	if tbl.NumRows() != 2 {
+		t.Fatalf("NumRows = %d", tbl.NumRows())
+	}
+}
+
+func TestAddRowValues(t *testing.T) {
+	tbl := NewTable("", "a", "b", "c")
+	tbl.AddRowValues("x", 0.12345678, 42)
+	out := tbl.String()
+	if !strings.Contains(out, "0.1235") {
+		t.Fatalf("float formatting wrong: %s", out)
+	}
+	if !strings.Contains(out, "42") {
+		t.Fatalf("int formatting wrong: %s", out)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{0, "0"},
+		{1, "1"},
+		{-1.5, "-1.5"},
+		{0.25, "0.25"},
+		{0.123456, "0.1235"},
+		{100.0001, "100.0001"},
+		{2.0000001, "2"},
+	}
+	for _, c := range cases {
+		if got := FormatFloat(c.in); got != c.want {
+			t.Errorf("FormatFloat(%g) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tbl := NewTable("", "name", "note")
+	tbl.AddRow("a,b", `say "hi"`)
+	tbl.AddRow("plain", "x")
+	out := tbl.CSV()
+	want := "name,note\n\"a,b\",\"say \"\"hi\"\"\"\nplain,x\n"
+	if out != want {
+		t.Fatalf("CSV = %q, want %q", out, want)
+	}
+}
+
+func TestMarkdown(t *testing.T) {
+	tbl := NewTable("Results", "a", "b")
+	tbl.AddRow("1", "2")
+	tbl.AddRow("3") // short row padded
+	out := tbl.Markdown()
+	if !strings.Contains(out, "**Results**") {
+		t.Fatal("title missing")
+	}
+	if !strings.Contains(out, "| a | b |") || !strings.Contains(out, "| 1 | 2 |") {
+		t.Fatalf("markdown malformed:\n%s", out)
+	}
+	if !strings.Contains(out, "| 3 |  |") {
+		t.Fatalf("short row not padded:\n%s", out)
+	}
+}
+
+func TestFigure(t *testing.T) {
+	var f Figure
+	f.Title = "prevalence sweep"
+	f.XLabel = "prevalence"
+	f.YLabel = "metric"
+	if err := f.AddSeries("accuracy", []float64{0.1, 0.5}, []float64{0.9, 0.7}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.AddSeries("bad", []float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("mismatched series accepted")
+	}
+	out := f.String()
+	for _, want := range []string{"# figure: prevalence sweep", "## series: accuracy", "0.1\t0.9", "0.5\t0.7"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("figure output missing %q:\n%s", want, out)
+		}
+	}
+}

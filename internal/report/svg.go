@@ -1,0 +1,133 @@
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// SVG renders the figure as a self-contained SVG line chart: one polyline
+// per series, axes with tick labels, and a legend. The renderer is
+// deliberately small — enough to eyeball every figure the experiments
+// produce without leaving the repository — and uses no external assets.
+func (f *Figure) SVG() string {
+	const (
+		width   = 760
+		height  = 420
+		left    = 70
+		right   = 180 // room for the legend
+		top     = 50
+		bottom  = 50
+		plotW   = width - left - right
+		plotH   = height - top - bottom
+		nXTicks = 6
+		nYTicks = 6
+	)
+	// Data bounds across all series.
+	xLo, xHi := math.Inf(1), math.Inf(-1)
+	yLo, yHi := math.Inf(1), math.Inf(-1)
+	for _, s := range f.Series {
+		for i := range s.X {
+			if math.IsNaN(s.X[i]) || math.IsNaN(s.Y[i]) {
+				continue
+			}
+			xLo = math.Min(xLo, s.X[i])
+			xHi = math.Max(xHi, s.X[i])
+			yLo = math.Min(yLo, s.Y[i])
+			yHi = math.Max(yHi, s.Y[i])
+		}
+	}
+	if math.IsInf(xLo, 1) { // no data at all
+		xLo, xHi, yLo, yHi = 0, 1, 0, 1
+	}
+	if xHi == xLo {
+		xHi = xLo + 1
+	}
+	if yHi == yLo {
+		yHi = yLo + 1
+	}
+	// Pad the y range slightly so lines do not sit on the frame.
+	pad := (yHi - yLo) * 0.05
+	yLo -= pad
+	yHi += pad
+
+	sx := func(x float64) float64 { return left + (x-xLo)/(xHi-xLo)*plotW }
+	sy := func(y float64) float64 { return top + plotH - (y-yLo)/(yHi-yLo)*plotH }
+
+	// A colour cycle with enough contrast for the handful of series the
+	// experiments emit.
+	colors := []string{
+		"#1b6ca8", "#c0392b", "#1e8449", "#8e44ad", "#d68910",
+		"#138d75", "#7b241c", "#2e4053",
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		width, height, width, height)
+	sb.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	fmt.Fprintf(&sb, `<text x="%d" y="24" font-family="sans-serif" font-size="14" font-weight="bold">%s</text>`+"\n",
+		left, xmlEscape(f.Title))
+
+	// Frame.
+	fmt.Fprintf(&sb, `<rect x="%d" y="%d" width="%d" height="%d" fill="none" stroke="#444"/>`+"\n",
+		left, top, plotW, plotH)
+
+	// Ticks and grid.
+	for i := 0; i <= nXTicks; i++ {
+		x := xLo + (xHi-xLo)*float64(i)/nXTicks
+		px := sx(x)
+		fmt.Fprintf(&sb, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="#ddd"/>`+"\n",
+			px, top, px, top+plotH)
+		fmt.Fprintf(&sb, `<text x="%.1f" y="%d" font-family="sans-serif" font-size="10" text-anchor="middle">%s</text>`+"\n",
+			px, top+plotH+16, FormatFloat(round3(x)))
+	}
+	for i := 0; i <= nYTicks; i++ {
+		y := yLo + (yHi-yLo)*float64(i)/nYTicks
+		py := sy(y)
+		fmt.Fprintf(&sb, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#ddd"/>`+"\n",
+			left, py, left+plotW, py)
+		fmt.Fprintf(&sb, `<text x="%d" y="%.1f" font-family="sans-serif" font-size="10" text-anchor="end">%s</text>`+"\n",
+			left-6, py+3, FormatFloat(round3(y)))
+	}
+	// Axis labels.
+	fmt.Fprintf(&sb, `<text x="%d" y="%d" font-family="sans-serif" font-size="11" text-anchor="middle">%s</text>`+"\n",
+		left+plotW/2, height-10, xmlEscape(f.XLabel))
+	fmt.Fprintf(&sb, `<text x="16" y="%d" font-family="sans-serif" font-size="11" text-anchor="middle" transform="rotate(-90 16 %d)">%s</text>`+"\n",
+		top+plotH/2, top+plotH/2, xmlEscape(f.YLabel))
+
+	// Series.
+	for si, s := range f.Series {
+		color := colors[si%len(colors)]
+		var pts []string
+		for i := range s.X {
+			if math.IsNaN(s.X[i]) || math.IsNaN(s.Y[i]) {
+				continue
+			}
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", sx(s.X[i]), sy(s.Y[i])))
+		}
+		if len(pts) > 1 {
+			fmt.Fprintf(&sb, `<polyline points="%s" fill="none" stroke="%s" stroke-width="2"/>`+"\n",
+				strings.Join(pts, " "), color)
+		}
+		for _, p := range pts {
+			coords := strings.Split(p, ",")
+			fmt.Fprintf(&sb, `<circle cx="%s" cy="%s" r="2.5" fill="%s"/>`+"\n", coords[0], coords[1], color)
+		}
+		// Legend entry.
+		ly := top + 14 + si*18
+		lx := left + plotW + 12
+		fmt.Fprintf(&sb, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="2"/>`+"\n",
+			lx, ly-4, lx+18, ly-4, color)
+		fmt.Fprintf(&sb, `<text x="%d" y="%d" font-family="sans-serif" font-size="11">%s</text>`+"\n",
+			lx+24, ly, xmlEscape(s.Name))
+	}
+	sb.WriteString("</svg>\n")
+	return sb.String()
+}
+
+func round3(v float64) float64 { return math.Round(v*1000) / 1000 }
+
+func xmlEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;", "'", "&apos;")
+	return r.Replace(s)
+}

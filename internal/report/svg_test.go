@@ -1,0 +1,73 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func sampleFigure(t *testing.T) *Figure {
+	t.Helper()
+	f := &Figure{Title: "demo <figure>", XLabel: "x & y", YLabel: "value"}
+	if err := f.AddSeries("alpha", []float64{0, 0.5, 1}, []float64{0.2, 0.8, 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.AddSeries("beta", []float64{0, 0.5, 1}, []float64{0.9, 0.1, 0.4}); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestSVGWellFormed(t *testing.T) {
+	svg := sampleFigure(t).SVG()
+	for _, want := range []string{
+		"<svg", "</svg>", "<polyline", "<circle",
+		"demo &lt;figure&gt;", // title escaped
+		"x &amp; y",           // label escaped
+		"alpha", "beta",
+	} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	if strings.Count(svg, "<polyline") != 2 {
+		t.Errorf("expected 2 polylines, got %d", strings.Count(svg, "<polyline"))
+	}
+	// Balanced tags (cheap well-formedness check).
+	if strings.Count(svg, "<svg") != strings.Count(svg, "</svg>") {
+		t.Error("unbalanced svg tags")
+	}
+}
+
+func TestSVGHandlesNaN(t *testing.T) {
+	f := &Figure{Title: "nan"}
+	if err := f.AddSeries("s", []float64{0, 1, 2}, []float64{0.5, math.NaN(), 0.7}); err != nil {
+		t.Fatal(err)
+	}
+	svg := f.SVG()
+	if strings.Contains(svg, "NaN") {
+		t.Fatal("NaN leaked into SVG output")
+	}
+	if strings.Count(svg, "<circle") != 2 {
+		t.Fatalf("expected 2 points after NaN skip, got %d", strings.Count(svg, "<circle"))
+	}
+}
+
+func TestSVGEmptyFigure(t *testing.T) {
+	f := &Figure{Title: "empty"}
+	svg := f.SVG()
+	if !strings.Contains(svg, "<svg") || !strings.Contains(svg, "</svg>") {
+		t.Fatal("empty figure should still render a frame")
+	}
+}
+
+func TestSVGConstantSeries(t *testing.T) {
+	f := &Figure{Title: "flat"}
+	if err := f.AddSeries("c", []float64{0, 1}, []float64{0.5, 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	svg := f.SVG()
+	if !strings.Contains(svg, "<polyline") {
+		t.Fatal("constant series should still draw")
+	}
+}

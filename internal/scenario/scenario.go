@@ -1,0 +1,291 @@
+// Package scenario defines the vulnerability detection usage scenarios the
+// paper analyses, and the criteria of a good benchmark metric that each
+// scenario weighs differently.
+//
+// A scenario is a context in which a benchmark's verdict will be used:
+// triaging findings during development, certifying a system for a
+// security-critical deployment, gating an automated pipeline, or selecting
+// a tool for procurement. The same metric can be excellent in one and
+// misleading in another — the paper's core observation — because the
+// scenarios assign different importance to the criteria below.
+package scenario
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/dsn2015/vdbench/internal/metricprop"
+)
+
+// Criterion is one characteristic of a good benchmark metric, scored from
+// a computed metric profile on a [0, 1] scale (1 = fully satisfies the
+// characteristic).
+type Criterion struct {
+	// ID is the stable identifier used in scenario weight tables.
+	ID string
+	// Name is the human-readable label.
+	Name string
+	// Description explains what the criterion captures.
+	Description string
+	// Score computes the criterion's value from a metric profile.
+	Score func(p metricprop.Profile) float64
+}
+
+// Criterion IDs.
+const (
+	CritMissSensitivity  = "miss-sensitivity"
+	CritAlarmSensitivity = "alarm-sensitivity"
+	CritPrevalenceRobust = "prevalence-robustness"
+	CritChanceCorrection = "chance-correction"
+	CritDefinedness      = "definedness"
+	CritStability        = "stability"
+	CritDiscrimination   = "discrimination"
+	CritValidity         = "validity"
+	CritInterpretability = "interpretability"
+)
+
+// spreadScore maps a spread (0 = invariant, large or Inf = useless) onto
+// (0, 1]: 1/(1 + 4·spread).
+func spreadScore(spread float64) float64 {
+	if math.IsInf(spread, 1) {
+		return 0
+	}
+	return 1 / (1 + 4*spread)
+}
+
+// Criteria returns the full criterion list in stable order.
+func Criteria() []Criterion {
+	return []Criterion{
+		{
+			ID:          CritMissSensitivity,
+			Name:        "Sensitivity to missed vulnerabilities",
+			Description: "The metric visibly degrades when the tool misses vulnerabilities.",
+			Score:       func(p metricprop.Profile) float64 { return p.MissSensitivity },
+		},
+		{
+			ID:          CritAlarmSensitivity,
+			Name:        "Sensitivity to false alarms",
+			Description: "The metric visibly degrades when the tool raises false alarms.",
+			Score:       func(p metricprop.Profile) float64 { return p.FalseAlarmSensitivity },
+		},
+		{
+			ID:          CritPrevalenceRobust,
+			Name:        "Robustness to workload prevalence",
+			Description: "Fixed tool quality yields the same value regardless of how many vulnerabilities the workload contains.",
+			Score:       func(p metricprop.Profile) float64 { return spreadScore(p.PrevalenceSpread) },
+		},
+		{
+			ID:          CritChanceCorrection,
+			Name:        "Chance correction",
+			Description: "All uninformative tools collapse to a single baseline value.",
+			Score:       func(p metricprop.Profile) float64 { return spreadScore(p.ChanceSpread) },
+		},
+		{
+			ID:          CritDefinedness,
+			Name:        "Definedness on degenerate results",
+			Description: "The metric remains computable on extreme confusion matrices (no detections, no clean sinks, ...).",
+			Score:       func(p metricprop.Profile) float64 { return p.DefinednessRate },
+		},
+		{
+			ID:          CritStability,
+			Name:        "Stability under workload sampling",
+			Description: "Low variance when the benchmark workload is resampled.",
+			Score: func(p metricprop.Profile) float64 {
+				if math.IsInf(p.Stability, 1) {
+					return 0
+				}
+				s := 1 - 8*p.Stability
+				if s < 0 {
+					return 0
+				}
+				return s
+			},
+		},
+		{
+			ID:          CritDiscrimination,
+			Name:        "Discriminative power",
+			Description: "Orders two close tools correctly from a single benchmark run.",
+			Score: func(p metricprop.Profile) float64 {
+				// Rescale from coin-flip (0.5) to certainty (1.0).
+				s := 2 * (p.Discrimination - 0.5)
+				if s < 0 {
+					return 0
+				}
+				return s
+			},
+		},
+		{
+			ID:          CritValidity,
+			Name:        "Validity (monotone in both error types)",
+			Description: "Fixing a miss never worsens the metric; adding a false alarm never improves it.",
+			Score: func(p metricprop.Profile) float64 {
+				switch {
+				case p.MonotoneDetections && p.MonotoneFalseAlarms:
+					return 1
+				case p.MonotoneDetections || p.MonotoneFalseAlarms:
+					return 0.5
+				default:
+					return 0
+				}
+			},
+		},
+		{
+			ID:          CritInterpretability,
+			Name:        "Interpretability (bounded, normalised range)",
+			Description: "A finite range makes values comparable across benchmarks and intuitively readable.",
+			Score: func(p metricprop.Profile) float64 {
+				if p.Bounded {
+					return 1
+				}
+				return 0
+			},
+		},
+	}
+}
+
+// CriterionIDs returns the criterion IDs in catalogue order.
+func CriterionIDs() []string {
+	crits := Criteria()
+	out := make([]string, len(crits))
+	for i, c := range crits {
+		out[i] = c.ID
+	}
+	return out
+}
+
+// Scenario is one usage scenario with its criterion importance weights on
+// the Saaty 1–9 scale (9 = extremely important in this scenario).
+type Scenario struct {
+	// ID is the stable identifier.
+	ID string
+	// Name is the human-readable title.
+	Name string
+	// Description explains the usage context.
+	Description string
+	// ExpectedMetrics lists the metric IDs the domain analysis predicts as
+	// adequate; experiment E9 checks MCDA agreement with this prediction.
+	ExpectedMetrics []string
+	// Weights maps criterion ID to importance (1-9).
+	Weights map[string]float64
+}
+
+// WeightVector returns the weights in Criteria() order.
+func (s Scenario) WeightVector() ([]float64, error) {
+	out := make([]float64, 0, len(s.Weights))
+	for _, c := range Criteria() {
+		w, ok := s.Weights[c.ID]
+		if !ok {
+			return nil, fmt.Errorf("scenario %s: missing weight for criterion %s", s.ID, c.ID)
+		}
+		if w < 1 || w > 9 {
+			return nil, fmt.Errorf("scenario %s: weight %g for %s outside the 1-9 scale", s.ID, w, c.ID)
+		}
+		out = append(out, w)
+	}
+	if len(s.Weights) != len(Criteria()) {
+		return nil, fmt.Errorf("scenario %s: %d weights for %d criteria", s.ID, len(s.Weights), len(Criteria()))
+	}
+	return out, nil
+}
+
+// Scenario IDs.
+const (
+	ScenarioDevTriage   = "dev-triage"
+	ScenarioAudit       = "security-audit"
+	ScenarioGating      = "auto-gating"
+	ScenarioProcurement = "procurement"
+)
+
+// Scenarios returns the scenario catalogue in stable order.
+func Scenarios() []Scenario {
+	return []Scenario{
+		{
+			ID:   ScenarioDevTriage,
+			Name: "Development-time triage",
+			Description: "Developers run the tool during implementation and review every " +
+				"finding by hand. Missed vulnerabilities ship; false alarms only cost " +
+				"review minutes. The benchmark should favour tools that find as much " +
+				"as possible.",
+			ExpectedMetrics: []string{"recall", "fnr", "f2"},
+			Weights: map[string]float64{
+				CritMissSensitivity:  9,
+				CritAlarmSensitivity: 2,
+				CritPrevalenceRobust: 3,
+				CritChanceCorrection: 2,
+				CritDefinedness:      4,
+				CritStability:        4,
+				CritDiscrimination:   5,
+				CritValidity:         6,
+				CritInterpretability: 4,
+			},
+		},
+		{
+			ID:   ScenarioAudit,
+			Name: "Security audit and certification",
+			Description: "An independent assessor compares tools across systems whose " +
+				"vulnerability density is unknown and varies widely. The benchmark " +
+				"verdict must transfer across prevalence regimes and punish " +
+				"uninformative tools.",
+			ExpectedMetrics: []string{"informedness", "balanced-accuracy", "mcc"},
+			Weights: map[string]float64{
+				CritMissSensitivity:  5,
+				CritAlarmSensitivity: 5,
+				CritPrevalenceRobust: 9,
+				CritChanceCorrection: 8,
+				CritDefinedness:      4,
+				CritStability:        5,
+				CritDiscrimination:   6,
+				CritValidity:         7,
+				CritInterpretability: 4,
+			},
+		},
+		{
+			ID:   ScenarioGating,
+			Name: "Automated pipeline gating",
+			Description: "Findings block merges or trigger automatic fixes with no human " +
+				"in the loop. Every false alarm halts the pipeline or rewrites correct " +
+				"code, so the benchmark must put alarm discipline first.",
+			ExpectedMetrics: []string{"specificity", "fpr", "precision", "f0.5", "fdr"},
+			Weights: map[string]float64{
+				CritMissSensitivity:  2,
+				CritAlarmSensitivity: 9,
+				CritPrevalenceRobust: 3,
+				CritChanceCorrection: 2,
+				CritDefinedness:      5,
+				CritStability:        6,
+				CritDiscrimination:   5,
+				CritValidity:         6,
+				CritInterpretability: 4,
+			},
+		},
+		{
+			ID:   ScenarioProcurement,
+			Name: "Tool procurement",
+			Description: "An organisation selects one tool for broad adoption. Both error " +
+				"types matter, results must be explainable to non-specialists, and the " +
+				"ranking must be reproducible on a finite evaluation workload.",
+			ExpectedMetrics: []string{"balanced-accuracy", "kappa", "informedness", "f1", "mcc"},
+			Weights: map[string]float64{
+				CritMissSensitivity:  6,
+				CritAlarmSensitivity: 6,
+				CritPrevalenceRobust: 4,
+				CritChanceCorrection: 3,
+				CritDefinedness:      6,
+				CritStability:        6,
+				CritDiscrimination:   6,
+				CritValidity:         7,
+				CritInterpretability: 7,
+			},
+		},
+	}
+}
+
+// ByID returns the scenario with the given ID.
+func ByID(id string) (Scenario, bool) {
+	for _, s := range Scenarios() {
+		if s.ID == id {
+			return s, true
+		}
+	}
+	return Scenario{}, false
+}

@@ -1,0 +1,143 @@
+package scenario
+
+import (
+	"math"
+	"testing"
+
+	"github.com/dsn2015/vdbench/internal/metricprop"
+)
+
+func TestCriteriaWellFormed(t *testing.T) {
+	crits := Criteria()
+	if len(crits) != 9 {
+		t.Fatalf("criteria count = %d, want 9", len(crits))
+	}
+	seen := map[string]bool{}
+	for _, c := range crits {
+		if c.ID == "" || c.Name == "" || c.Description == "" || c.Score == nil {
+			t.Errorf("criterion %q incomplete", c.ID)
+		}
+		if seen[c.ID] {
+			t.Errorf("duplicate criterion %q", c.ID)
+		}
+		seen[c.ID] = true
+	}
+	if len(CriterionIDs()) != len(crits) {
+		t.Fatal("CriterionIDs length mismatch")
+	}
+}
+
+func TestCriterionScoresBounded(t *testing.T) {
+	// Scores must stay in [0,1] across representative profiles, including
+	// degenerate ones.
+	profiles := []metricprop.Profile{
+		{}, // zero profile
+		{
+			MetricID: "perfect", Bounded: true, DefinednessRate: 1,
+			MonotoneDetections: true, MonotoneFalseAlarms: true,
+			PrevalenceSpread: 0, ChanceSpread: 0, Stability: 0,
+			Discrimination: 1, MissSensitivity: 1, FalseAlarmSensitivity: 1,
+		},
+		{
+			MetricID: "awful", Bounded: false, DefinednessRate: 0.2,
+			PrevalenceSpread: math.Inf(1), ChanceSpread: math.Inf(1),
+			Stability: math.Inf(1), Discrimination: 0.3,
+		},
+	}
+	for _, p := range profiles {
+		for _, c := range Criteria() {
+			s := c.Score(p)
+			if math.IsNaN(s) || s < 0 || s > 1 {
+				t.Errorf("criterion %s score %g out of [0,1] on %+v", c.ID, s, p)
+			}
+		}
+	}
+}
+
+func TestSpreadScore(t *testing.T) {
+	if spreadScore(0) != 1 {
+		t.Fatal("zero spread should score 1")
+	}
+	if spreadScore(math.Inf(1)) != 0 {
+		t.Fatal("infinite spread should score 0")
+	}
+	if a, b := spreadScore(0.1), spreadScore(0.5); a <= b {
+		t.Fatal("smaller spread should score higher")
+	}
+}
+
+func TestScenariosWellFormed(t *testing.T) {
+	scens := Scenarios()
+	if len(scens) != 4 {
+		t.Fatalf("scenario count = %d, want 4", len(scens))
+	}
+	seen := map[string]bool{}
+	for _, s := range scens {
+		if s.ID == "" || s.Name == "" || s.Description == "" {
+			t.Errorf("scenario %q incomplete", s.ID)
+		}
+		if len(s.ExpectedMetrics) == 0 {
+			t.Errorf("scenario %q has no expected metrics", s.ID)
+		}
+		if seen[s.ID] {
+			t.Errorf("duplicate scenario %q", s.ID)
+		}
+		seen[s.ID] = true
+		w, err := s.WeightVector()
+		if err != nil {
+			t.Errorf("scenario %q: %v", s.ID, err)
+			continue
+		}
+		if len(w) != len(Criteria()) {
+			t.Errorf("scenario %q weight vector length %d", s.ID, len(w))
+		}
+	}
+}
+
+func TestWeightVectorErrors(t *testing.T) {
+	s := Scenario{ID: "x", Weights: map[string]float64{CritValidity: 5}}
+	if _, err := s.WeightVector(); err == nil {
+		t.Fatal("incomplete weights accepted")
+	}
+	full := map[string]float64{}
+	for _, id := range CriterionIDs() {
+		full[id] = 5
+	}
+	full[CritValidity] = 0.5 // below scale
+	s = Scenario{ID: "x", Weights: full}
+	if _, err := s.WeightVector(); err == nil {
+		t.Fatal("off-scale weight accepted")
+	}
+	full[CritValidity] = 5
+	full["bogus-criterion"] = 5
+	s = Scenario{ID: "x", Weights: full}
+	if _, err := s.WeightVector(); err == nil {
+		t.Fatal("extra weight accepted")
+	}
+}
+
+func TestScenarioWeightEmphases(t *testing.T) {
+	// The defining contrasts between scenarios.
+	dev, _ := ByID(ScenarioDevTriage)
+	gate, _ := ByID(ScenarioGating)
+	audit, _ := ByID(ScenarioAudit)
+	if dev.Weights[CritMissSensitivity] <= dev.Weights[CritAlarmSensitivity] {
+		t.Error("dev-triage must weigh misses above alarms")
+	}
+	if gate.Weights[CritAlarmSensitivity] <= gate.Weights[CritMissSensitivity] {
+		t.Error("auto-gating must weigh alarms above misses")
+	}
+	if audit.Weights[CritPrevalenceRobust] <= dev.Weights[CritPrevalenceRobust] {
+		t.Error("audit must weigh prevalence robustness above dev-triage")
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, ok := ByID("nope"); ok {
+		t.Fatal("bogus scenario resolved")
+	}
+	s, ok := ByID(ScenarioAudit)
+	if !ok || s.ID != ScenarioAudit {
+		t.Fatal("audit scenario not found")
+	}
+}

@@ -1,0 +1,156 @@
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// BootstrapConfig controls non-parametric bootstrap estimation.
+type BootstrapConfig struct {
+	// Resamples is the number of bootstrap resamples (B). Typical values
+	// are 1000-5000; the experiments use 2000.
+	Resamples int
+	// Confidence is the two-sided confidence level in (0,1), e.g. 0.95.
+	Confidence float64
+}
+
+// Validate reports whether the configuration is usable.
+func (c BootstrapConfig) Validate() error {
+	if c.Resamples <= 0 {
+		return fmt.Errorf("stats: bootstrap resamples must be positive, got %d", c.Resamples)
+	}
+	if c.Confidence <= 0 || c.Confidence >= 1 {
+		return fmt.Errorf("stats: bootstrap confidence must be in (0,1), got %g", c.Confidence)
+	}
+	return nil
+}
+
+// Interval is a two-sided confidence interval around a point estimate.
+type Interval struct {
+	Point float64
+	Lo    float64
+	Hi    float64
+}
+
+// Width returns the interval width.
+func (iv Interval) Width() float64 { return iv.Hi - iv.Lo }
+
+// Contains reports whether x lies within the interval (inclusive).
+func (iv Interval) Contains(x float64) bool { return x >= iv.Lo && x <= iv.Hi }
+
+// Bootstrap estimates a percentile confidence interval for the statistic
+// computed by fn over resamples of xs. fn receives a resample (which it
+// must not retain) and returns the statistic value.
+func Bootstrap(rng *RNG, xs []float64, cfg BootstrapConfig, fn func([]float64) float64) (Interval, error) {
+	if err := cfg.Validate(); err != nil {
+		return Interval{}, err
+	}
+	if len(xs) == 0 {
+		return Interval{}, ErrEmpty
+	}
+	if rng == nil {
+		return Interval{}, errors.New("stats: nil RNG")
+	}
+	point := fn(xs)
+	resample := make([]float64, len(xs))
+	estimates := make([]float64, cfg.Resamples)
+	for b := range estimates {
+		for i := range resample {
+			resample[i] = xs[rng.Intn(len(xs))]
+		}
+		estimates[b] = fn(resample)
+	}
+	lo, hi := percentileBounds(estimates, cfg.Confidence)
+	return Interval{Point: point, Lo: lo, Hi: hi}, nil
+}
+
+// BootstrapIndexed estimates a percentile confidence interval for a
+// statistic computed from resampled *indices* of a dataset of size n. This
+// supports statistics over structured records (e.g. per-test-case detection
+// outcomes) without copying the records into float slices.
+func BootstrapIndexed(rng *RNG, n int, cfg BootstrapConfig, fn func(idx []int) float64) (Interval, error) {
+	if err := cfg.Validate(); err != nil {
+		return Interval{}, err
+	}
+	if n <= 0 {
+		return Interval{}, ErrEmpty
+	}
+	if rng == nil {
+		return Interval{}, errors.New("stats: nil RNG")
+	}
+	identity := make([]int, n)
+	for i := range identity {
+		identity[i] = i
+	}
+	point := fn(identity)
+	idx := make([]int, n)
+	estimates := make([]float64, cfg.Resamples)
+	for b := range estimates {
+		for i := range idx {
+			idx[i] = rng.Intn(n)
+		}
+		estimates[b] = fn(idx)
+	}
+	lo, hi := percentileBounds(estimates, cfg.Confidence)
+	return Interval{Point: point, Lo: lo, Hi: hi}, nil
+}
+
+// SignStability returns the fraction of bootstrap resamples in which the
+// statistic computed by fn has the same sign as its point estimate. It is
+// the discriminative-power measure used by experiment E7: a metric
+// discriminates two tools well when the sign of their metric delta is
+// stable under resampling of the workload.
+func SignStability(rng *RNG, n int, resamples int, fn func(idx []int) float64) (float64, error) {
+	if n <= 0 {
+		return 0, ErrEmpty
+	}
+	if resamples <= 0 {
+		return 0, fmt.Errorf("stats: resamples must be positive, got %d", resamples)
+	}
+	if rng == nil {
+		return 0, errors.New("stats: nil RNG")
+	}
+	identity := make([]int, n)
+	for i := range identity {
+		identity[i] = i
+	}
+	point := fn(identity)
+	idx := make([]int, n)
+	same := 0
+	for b := 0; b < resamples; b++ {
+		for i := range idx {
+			idx[i] = rng.Intn(n)
+		}
+		v := fn(idx)
+		if (point >= 0 && v >= 0) || (point < 0 && v < 0) {
+			same++
+		}
+	}
+	return float64(same) / float64(resamples), nil
+}
+
+// percentileBounds returns the symmetric percentile interval bounds for the
+// given two-sided confidence level. estimates is consumed (sorted in place).
+func percentileBounds(estimates []float64, confidence float64) (lo, hi float64) {
+	sort.Float64s(estimates)
+	alpha := (1 - confidence) / 2
+	lo = sortedPercentile(estimates, alpha)
+	hi = sortedPercentile(estimates, 1-alpha)
+	return lo, hi
+}
+
+// sortedPercentile interpolates the q-quantile (q in [0,1]) of an already
+// sorted slice.
+func sortedPercentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	rank := q * float64(len(sorted)-1)
+	loIdx := int(rank)
+	if loIdx >= len(sorted)-1 {
+		return sorted[len(sorted)-1]
+	}
+	frac := rank - float64(loIdx)
+	return sorted[loIdx]*(1-frac) + sorted[loIdx+1]*frac
+}

@@ -1,0 +1,193 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func meanOf(xs []float64) float64 {
+	m, _ := Mean(xs)
+	return m
+}
+
+func TestBootstrapConfigValidate(t *testing.T) {
+	cases := []struct {
+		cfg  BootstrapConfig
+		ok   bool
+		name string
+	}{
+		{BootstrapConfig{Resamples: 100, Confidence: 0.95}, true, "valid"},
+		{BootstrapConfig{Resamples: 0, Confidence: 0.95}, false, "zero resamples"},
+		{BootstrapConfig{Resamples: -1, Confidence: 0.95}, false, "negative resamples"},
+		{BootstrapConfig{Resamples: 100, Confidence: 0}, false, "zero confidence"},
+		{BootstrapConfig{Resamples: 100, Confidence: 1}, false, "unit confidence"},
+		{BootstrapConfig{Resamples: 100, Confidence: 1.2}, false, "overshoot confidence"},
+	}
+	for _, c := range cases {
+		err := c.cfg.Validate()
+		if (err == nil) != c.ok {
+			t.Errorf("%s: Validate() = %v", c.name, err)
+		}
+	}
+}
+
+func TestBootstrapMeanCoversTruth(t *testing.T) {
+	rng := NewRNG(1)
+	// Sample from N(10, 2^2).
+	xs := make([]float64, 400)
+	for i := range xs {
+		xs[i] = 10 + 2*rng.NormFloat64()
+	}
+	iv, err := Bootstrap(rng, xs, BootstrapConfig{Resamples: 2000, Confidence: 0.95}, meanOf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !iv.Contains(iv.Point) {
+		t.Fatalf("interval %+v does not contain its own point estimate", iv)
+	}
+	if !iv.Contains(10) {
+		t.Fatalf("95%% interval %+v misses the true mean 10 (possible but should not happen at this seed)", iv)
+	}
+	if iv.Width() <= 0 || iv.Width() > 1 {
+		t.Fatalf("interval width %g implausible for n=400, sd=2", iv.Width())
+	}
+}
+
+func TestBootstrapDeterministic(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	cfg := BootstrapConfig{Resamples: 500, Confidence: 0.9}
+	iv1, err1 := Bootstrap(NewRNG(9), xs, cfg, meanOf)
+	iv2, err2 := Bootstrap(NewRNG(9), xs, cfg, meanOf)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if iv1 != iv2 {
+		t.Fatalf("same seed produced different intervals: %+v vs %+v", iv1, iv2)
+	}
+}
+
+func TestBootstrapErrors(t *testing.T) {
+	cfg := BootstrapConfig{Resamples: 10, Confidence: 0.9}
+	if _, err := Bootstrap(NewRNG(1), nil, cfg, meanOf); !errors.Is(err, ErrEmpty) {
+		t.Fatal("empty sample should fail")
+	}
+	if _, err := Bootstrap(nil, []float64{1}, cfg, meanOf); err == nil {
+		t.Fatal("nil RNG should fail")
+	}
+	if _, err := Bootstrap(NewRNG(1), []float64{1}, BootstrapConfig{}, meanOf); err == nil {
+		t.Fatal("invalid config should fail")
+	}
+}
+
+func TestBootstrapIndexedAgreesWithPlain(t *testing.T) {
+	xs := []float64{2, 4, 6, 8, 10, 12}
+	cfg := BootstrapConfig{Resamples: 1000, Confidence: 0.9}
+	plain, err := Bootstrap(NewRNG(5), xs, cfg, meanOf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	indexed, err := BootstrapIndexed(NewRNG(5), len(xs), cfg, func(idx []int) float64 {
+		var s float64
+		for _, i := range idx {
+			s += xs[i]
+		}
+		return s / float64(len(idx))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain != indexed {
+		t.Fatalf("indexed bootstrap %+v != plain bootstrap %+v", indexed, plain)
+	}
+}
+
+func TestBootstrapIndexedErrors(t *testing.T) {
+	cfg := BootstrapConfig{Resamples: 10, Confidence: 0.9}
+	if _, err := BootstrapIndexed(NewRNG(1), 0, cfg, func([]int) float64 { return 0 }); !errors.Is(err, ErrEmpty) {
+		t.Fatal("n=0 should fail")
+	}
+	if _, err := BootstrapIndexed(nil, 3, cfg, func([]int) float64 { return 0 }); err == nil {
+		t.Fatal("nil RNG should fail")
+	}
+}
+
+func TestSignStabilityClearSeparation(t *testing.T) {
+	// Statistic: mean of resample minus 0. Data strictly positive, so the
+	// sign should be preserved in (almost) every resample.
+	xs := []float64{1, 1.5, 2, 2.5, 3}
+	frac, err := SignStability(NewRNG(2), len(xs), 500, func(idx []int) float64 {
+		var s float64
+		for _, i := range idx {
+			s += xs[i]
+		}
+		return s
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frac != 1 {
+		t.Fatalf("sign stability = %g, want 1 for strictly positive data", frac)
+	}
+}
+
+func TestSignStabilityAmbiguous(t *testing.T) {
+	// Zero-centred data: resampled mean flips sign often, stability ~0.5.
+	rng := NewRNG(3)
+	xs := make([]float64, 200)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	frac, err := SignStability(rng, len(xs), 1000, func(idx []int) float64 {
+		var s float64
+		for _, i := range idx {
+			s += xs[i]
+		}
+		return s / float64(len(idx))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frac < 0.2 || frac > 0.95 {
+		t.Fatalf("sign stability = %g for noise data, expected mid-range", frac)
+	}
+}
+
+func TestSignStabilityErrors(t *testing.T) {
+	fn := func([]int) float64 { return 1 }
+	if _, err := SignStability(NewRNG(1), 0, 10, fn); !errors.Is(err, ErrEmpty) {
+		t.Fatal("n=0 should fail")
+	}
+	if _, err := SignStability(NewRNG(1), 5, 0, fn); err == nil {
+		t.Fatal("resamples=0 should fail")
+	}
+	if _, err := SignStability(nil, 5, 10, fn); err == nil {
+		t.Fatal("nil RNG should fail")
+	}
+}
+
+func TestIntervalHelpers(t *testing.T) {
+	iv := Interval{Point: 0.5, Lo: 0.25, Hi: 0.75}
+	if iv.Width() != 0.5 {
+		t.Fatalf("Width = %g", iv.Width())
+	}
+	if !iv.Contains(0.25) || !iv.Contains(0.75) || iv.Contains(0.76) || iv.Contains(0.24) {
+		t.Fatal("Contains boundary behaviour wrong")
+	}
+}
+
+func TestSortedPercentileEndpoints(t *testing.T) {
+	s := []float64{1, 2, 3, 4}
+	if got := sortedPercentile(s, 0); got != 1 {
+		t.Fatalf("q=0 -> %g", got)
+	}
+	if got := sortedPercentile(s, 1); got != 4 {
+		t.Fatalf("q=1 -> %g", got)
+	}
+	if got := sortedPercentile([]float64{7}, 0.3); got != 7 {
+		t.Fatalf("single-element -> %g", got)
+	}
+	if got := sortedPercentile(s, 0.5); math.Abs(got-2.5) > 1e-12 {
+		t.Fatalf("q=0.5 -> %g", got)
+	}
+}

@@ -1,0 +1,45 @@
+package stats
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrLengthMismatch is returned when paired-sample statistics receive
+// slices of different lengths.
+var ErrLengthMismatch = errors.New("stats: paired samples have different lengths")
+
+// Covariance returns the unbiased sample covariance of the paired samples.
+func Covariance(xs, ys []float64) (float64, error) {
+	if len(xs) != len(ys) {
+		return 0, ErrLengthMismatch
+	}
+	if len(xs) < 2 {
+		return 0, ErrEmpty
+	}
+	mx, _ := Mean(xs)
+	my, _ := Mean(ys)
+	var s float64
+	for i := range xs {
+		s += (xs[i] - mx) * (ys[i] - my)
+	}
+	return s / float64(len(xs)-1), nil
+}
+
+// Pearson returns the Pearson product-moment correlation coefficient of the
+// paired samples. If either sample is constant the correlation is
+// undefined and an error is returned.
+func Pearson(xs, ys []float64) (float64, error) {
+	cov, err := Covariance(xs, ys)
+	if err != nil {
+		return 0, err
+	}
+	sx, _ := StdDev(xs)
+	sy, _ := StdDev(ys)
+	if sx == 0 || sy == 0 {
+		return 0, errors.New("stats: correlation undefined for constant sample")
+	}
+	r := cov / (sx * sy)
+	// Clamp tiny floating-point excursions outside [-1, 1].
+	return math.Max(-1, math.Min(1, r)), nil
+}

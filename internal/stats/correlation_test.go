@@ -1,0 +1,93 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCovariance(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{2, 4, 6, 8}
+	cov, err := Covariance(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vx, _ := Variance(xs)
+	if !almostEqual(cov, 2*vx, 1e-12) {
+		t.Fatalf("Cov(x, 2x) = %g, want %g", cov, 2*vx)
+	}
+}
+
+func TestCovarianceErrors(t *testing.T) {
+	if _, err := Covariance([]float64{1}, []float64{1, 2}); !errors.Is(err, ErrLengthMismatch) {
+		t.Fatal("length mismatch should fail")
+	}
+	if _, err := Covariance([]float64{1}, []float64{2}); !errors.Is(err, ErrEmpty) {
+		t.Fatal("n<2 should fail")
+	}
+}
+
+func TestPearsonPerfect(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	pos := []float64{10, 20, 30, 40, 50}
+	neg := []float64{5, 4, 3, 2, 1}
+	r, err := Pearson(xs, pos)
+	if err != nil || !almostEqual(r, 1, 1e-12) {
+		t.Fatalf("Pearson(x, 10x) = %g, %v", r, err)
+	}
+	r, err = Pearson(xs, neg)
+	if err != nil || !almostEqual(r, -1, 1e-12) {
+		t.Fatalf("Pearson(x, -x) = %g, %v", r, err)
+	}
+}
+
+func TestPearsonConstantFails(t *testing.T) {
+	if _, err := Pearson([]float64{1, 1, 1}, []float64{1, 2, 3}); err == nil {
+		t.Fatal("constant x should fail")
+	}
+	if _, err := Pearson([]float64{1, 2, 3}, []float64{5, 5, 5}); err == nil {
+		t.Fatal("constant y should fail")
+	}
+}
+
+// Property: Pearson is symmetric and bounded in [-1, 1].
+func TestPearsonProperties(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := NewRNG(seed)
+		n := 3 + rng.Intn(40)
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+			ys[i] = 0.5*xs[i] + rng.NormFloat64()
+		}
+		rxy, err1 := Pearson(xs, ys)
+		ryx, err2 := Pearson(ys, xs)
+		if err1 != nil || err2 != nil {
+			return true // degenerate constant draw; skip
+		}
+		return almostEqual(rxy, ryx, 1e-9) && rxy >= -1 && rxy <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPearsonClampsRoundoff(t *testing.T) {
+	// Nearly collinear data can push |r| infinitesimally above 1 before the
+	// clamp; ensure the result is always within bounds.
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 3*x + 1e-14*float64(i%2)
+	}
+	r, err := Pearson(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r) > 1 {
+		t.Fatalf("|r| = %g > 1", r)
+	}
+}

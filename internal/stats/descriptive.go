@@ -1,0 +1,143 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned by descriptive statistics that are undefined on an
+// empty sample.
+var ErrEmpty = errors.New("stats: empty sample")
+
+// Sum returns the sum of xs using Kahan compensation, so experiment
+// aggregates do not drift with sample ordering.
+func Sum(xs []float64) float64 {
+	var sum, comp float64
+	for _, x := range xs {
+		y := x - comp
+		t := sum + y
+		comp = (t - sum) - y
+		sum = t
+	}
+	return sum
+}
+
+// Mean returns the arithmetic mean of xs.
+func Mean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	return Sum(xs) / float64(len(xs)), nil
+}
+
+// Variance returns the unbiased (n-1) sample variance of xs. A single
+// observation has zero variance by convention here, because bootstrap
+// resamples of size one are legal in the harness.
+func Variance(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if len(xs) == 1 {
+		return 0, nil
+	}
+	m, _ := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(len(xs)-1), nil
+}
+
+// StdDev returns the unbiased sample standard deviation of xs.
+func StdDev(xs []float64) (float64, error) {
+	v, err := Variance(xs)
+	if err != nil {
+		return 0, err
+	}
+	return math.Sqrt(v), nil
+}
+
+// MinMax returns the smallest and largest values in xs.
+func MinMax(xs []float64) (minimum, maximum float64, err error) {
+	if len(xs) == 0 {
+		return 0, 0, ErrEmpty
+	}
+	minimum, maximum = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < minimum {
+			minimum = x
+		}
+		if x > maximum {
+			maximum = x
+		}
+	}
+	return minimum, maximum, nil
+}
+
+// Percentile returns the p-th percentile (p in [0,100]) of xs using linear
+// interpolation between order statistics (the "type 7" estimator used by
+// most statistics packages). xs is not modified.
+func Percentile(xs []float64, p float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if p < 0 || p > 100 {
+		return 0, errors.New("stats: percentile out of range [0,100]")
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0], nil
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo], nil
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac, nil
+}
+
+// Median returns the 50th percentile of xs.
+func Median(xs []float64) (float64, error) {
+	return Percentile(xs, 50)
+}
+
+// Summary holds the standard five-figure description of a sample plus the
+// mean and standard deviation. It is the unit the report package renders.
+type Summary struct {
+	N      int
+	Mean   float64
+	StdDev float64
+	Min    float64
+	P25    float64
+	Median float64
+	P75    float64
+	Max    float64
+}
+
+// Summarize computes a Summary of xs.
+func Summarize(xs []float64) (Summary, error) {
+	if len(xs) == 0 {
+		return Summary{}, ErrEmpty
+	}
+	mean, _ := Mean(xs)
+	sd, _ := StdDev(xs)
+	lo, hi, _ := MinMax(xs)
+	p25, _ := Percentile(xs, 25)
+	med, _ := Median(xs)
+	p75, _ := Percentile(xs, 75)
+	return Summary{
+		N:      len(xs),
+		Mean:   mean,
+		StdDev: sd,
+		Min:    lo,
+		P25:    p25,
+		Median: med,
+		P75:    p75,
+		Max:    hi,
+	}, nil
+}

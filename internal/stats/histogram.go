@@ -1,0 +1,64 @@
+package stats
+
+import "fmt"
+
+// Histogram is a fixed-width-bin histogram over a closed interval.
+// Values outside the interval are counted in Under/Over rather than
+// silently dropped, because the experiments use histograms to sanity-check
+// that metric values stay within their declared ranges.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+	Under  int
+	Over   int
+	total  int
+}
+
+// NewHistogram returns a histogram with the given number of equal-width
+// bins over [lo, hi].
+func NewHistogram(lo, hi float64, bins int) (*Histogram, error) {
+	if bins <= 0 {
+		return nil, fmt.Errorf("stats: histogram needs at least one bin, got %d", bins)
+	}
+	if !(lo < hi) {
+		return nil, fmt.Errorf("stats: histogram interval [%g, %g] is empty", lo, hi)
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins)}, nil
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	h.total++
+	switch {
+	case x < h.Lo:
+		h.Under++
+	case x > h.Hi:
+		h.Over++
+	default:
+		bin := int(float64(len(h.Counts)) * (x - h.Lo) / (h.Hi - h.Lo))
+		if bin == len(h.Counts) { // x == Hi lands in the last bin
+			bin--
+		}
+		h.Counts[bin]++
+	}
+}
+
+// Total returns the number of observations recorded, including out-of-range
+// ones.
+func (h *Histogram) Total() int { return h.total }
+
+// BinCenter returns the midpoint of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	width := (h.Hi - h.Lo) / float64(len(h.Counts))
+	return h.Lo + (float64(i)+0.5)*width
+}
+
+// Fraction returns the fraction of in-range observations that fell into
+// bin i, or 0 when no observations were recorded.
+func (h *Histogram) Fraction(i int) float64 {
+	inRange := h.total - h.Under - h.Over
+	if inRange == 0 {
+		return 0
+	}
+	return float64(h.Counts[i]) / float64(inRange)
+}

@@ -1,0 +1,66 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewHistogramValidation(t *testing.T) {
+	if _, err := NewHistogram(0, 1, 0); err == nil {
+		t.Fatal("zero bins should fail")
+	}
+	if _, err := NewHistogram(1, 1, 4); err == nil {
+		t.Fatal("empty interval should fail")
+	}
+	if _, err := NewHistogram(2, 1, 4); err == nil {
+		t.Fatal("inverted interval should fail")
+	}
+}
+
+func TestHistogramBinning(t *testing.T) {
+	h, err := NewHistogram(0, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{0, 0.1, 0.26, 0.5, 0.74, 0.9, 1.0} {
+		h.Add(x)
+	}
+	want := []int{2, 1, 2, 2} // 0.5 opens bin 2; 1.0 folds into the last bin
+	for i, c := range h.Counts {
+		if c != want[i] {
+			t.Fatalf("bin %d count = %d, want %d (all: %v)", i, c, want[i], h.Counts)
+		}
+	}
+	if h.Total() != 7 {
+		t.Fatalf("Total = %d", h.Total())
+	}
+}
+
+func TestHistogramOutOfRange(t *testing.T) {
+	h, _ := NewHistogram(0, 1, 2)
+	h.Add(-0.5)
+	h.Add(1.5)
+	h.Add(0.5)
+	if h.Under != 1 || h.Over != 1 {
+		t.Fatalf("Under=%d Over=%d", h.Under, h.Over)
+	}
+	if got := h.Fraction(1); got != 1 {
+		t.Fatalf("Fraction(1) = %g, want 1 (only in-range value lands in bin 1)", got)
+	}
+}
+
+func TestHistogramBinCenter(t *testing.T) {
+	h, _ := NewHistogram(0, 10, 5)
+	for i, want := range []float64{1, 3, 5, 7, 9} {
+		if got := h.BinCenter(i); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("BinCenter(%d) = %g, want %g", i, got, want)
+		}
+	}
+}
+
+func TestHistogramFractionEmpty(t *testing.T) {
+	h, _ := NewHistogram(0, 1, 3)
+	if got := h.Fraction(0); got != 0 {
+		t.Fatalf("Fraction on empty histogram = %g", got)
+	}
+}

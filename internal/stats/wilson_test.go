@@ -1,0 +1,127 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNormalQuantileKnownValues(t *testing.T) {
+	cases := []struct {
+		q, want float64
+	}{
+		{0.5, 0},
+		{0.975, 1.959963984540054},
+		{0.995, 2.5758293035489004},
+		{0.841344746, 1.0000000}, // Phi(1)
+		{0.025, -1.959963984540054},
+		{0.0001, -3.71901648545568},
+	}
+	for _, c := range cases {
+		got, err := normalQuantile(c.q)
+		if err != nil {
+			t.Fatalf("quantile(%g): %v", c.q, err)
+		}
+		if math.Abs(got-c.want) > 1e-6 {
+			t.Errorf("quantile(%g) = %.9f, want %.9f", c.q, got, c.want)
+		}
+	}
+	for _, q := range []float64{0, 1, -0.1, 1.1} {
+		if _, err := normalQuantile(q); err == nil {
+			t.Errorf("quantile(%g) accepted", q)
+		}
+	}
+}
+
+func TestWilsonKnownInterval(t *testing.T) {
+	// Classic check: 8 of 10 at 95% gives approximately [0.490, 0.943].
+	iv, err := Wilson(8, 10, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iv.Point != 0.8 {
+		t.Fatalf("point = %g", iv.Point)
+	}
+	if math.Abs(iv.Lo-0.4901) > 0.002 || math.Abs(iv.Hi-0.9433) > 0.002 {
+		t.Fatalf("interval = [%g, %g], want ~[0.490, 0.943]", iv.Lo, iv.Hi)
+	}
+}
+
+func TestWilsonEdges(t *testing.T) {
+	// k = 0 and k = n stay inside [0, 1] and have non-zero width.
+	zero, err := Wilson(0, 50, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zero.Lo < 0 || zero.Hi <= 0 || zero.Hi > 0.2 {
+		t.Fatalf("k=0 interval = [%g, %g]", zero.Lo, zero.Hi)
+	}
+	full, err := Wilson(50, 50, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Hi > 1 || full.Lo >= 1 || full.Lo < 0.8 {
+		t.Fatalf("k=n interval = [%g, %g]", full.Lo, full.Hi)
+	}
+}
+
+func TestWilsonShrinksWithN(t *testing.T) {
+	small, _ := Wilson(7, 10, 0.95)
+	large, _ := Wilson(700, 1000, 0.95)
+	if large.Width() >= small.Width() {
+		t.Fatalf("interval did not shrink: %g vs %g", large.Width(), small.Width())
+	}
+	if !large.Contains(0.7) || !small.Contains(0.7) {
+		t.Fatal("intervals should contain the true rate")
+	}
+}
+
+func TestWilsonConfidenceOrdering(t *testing.T) {
+	w90, _ := Wilson(30, 100, 0.90)
+	w99, _ := Wilson(30, 100, 0.99)
+	if w99.Width() <= w90.Width() {
+		t.Fatalf("99%% interval (%g) should be wider than 90%% (%g)", w99.Width(), w90.Width())
+	}
+}
+
+func TestWilsonValidation(t *testing.T) {
+	if _, err := Wilson(1, 0, 0.95); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := Wilson(-1, 10, 0.95); err == nil {
+		t.Error("negative k accepted")
+	}
+	if _, err := Wilson(11, 10, 0.95); err == nil {
+		t.Error("k>n accepted")
+	}
+	if _, err := Wilson(5, 10, 1); err == nil {
+		t.Error("confidence=1 accepted")
+	}
+}
+
+func TestWilsonCoverage(t *testing.T) {
+	// Empirical coverage: simulate binomial draws, count how often the
+	// 95% interval covers the true rate. Should be close to (and by the
+	// Wilson construction usually slightly above) 0.95.
+	rng := NewRNG(17)
+	const trials, n, p = 2000, 60, 0.3
+	covered := 0
+	for i := 0; i < trials; i++ {
+		k := 0
+		for j := 0; j < n; j++ {
+			if rng.Bernoulli(p) {
+				k++
+			}
+		}
+		iv, err := Wilson(k, n, 0.95)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if iv.Contains(p) {
+			covered++
+		}
+	}
+	rate := float64(covered) / trials
+	if rate < 0.92 || rate > 0.99 {
+		t.Fatalf("empirical coverage = %g, want ~0.95", rate)
+	}
+}

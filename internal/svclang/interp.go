@@ -1,0 +1,403 @@
+package svclang
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TString is a string whose characters carry taint flags: a character is
+// tainted when it originates from a request parameter. Sanitizer builtins
+// transform content (escaping, filtering) but never clear taint — whether
+// an escaped tainted character is dangerous is decided by the sink's
+// structure oracle, exactly as in real systems.
+type TString struct {
+	chars []rune
+	taint []bool
+}
+
+// NewTString builds a fully untainted value (program-internal constant).
+func NewTString(s string) TString {
+	rs := []rune(s)
+	return TString{chars: rs, taint: make([]bool, len(rs))}
+}
+
+// NewTaintedTString builds a fully tainted value (request parameter).
+func NewTaintedTString(s string) TString {
+	rs := []rune(s)
+	ts := make([]bool, len(rs))
+	for i := range ts {
+		ts[i] = true
+	}
+	return TString{chars: rs, taint: ts}
+}
+
+// String returns the character content.
+func (t TString) String() string { return string(t.chars) }
+
+// Len returns the number of characters.
+func (t TString) Len() int { return len(t.chars) }
+
+// TaintedAt reports whether character i is tainted.
+func (t TString) TaintedAt(i int) bool { return t.taint[i] }
+
+// AnyTainted reports whether any character is tainted.
+func (t TString) AnyTainted() bool {
+	for _, b := range t.taint {
+		if b {
+			return true
+		}
+	}
+	return false
+}
+
+// concatT concatenates tainted strings.
+func concatT(parts ...TString) TString {
+	var out TString
+	for _, p := range parts {
+		out.chars = append(out.chars, p.chars...)
+		out.taint = append(out.taint, p.taint...)
+	}
+	return out
+}
+
+// mapRunes rewrites each character through f, which returns the
+// replacement characters; each replacement inherits the source taint flag.
+func (t TString) mapRunes(f func(r rune) []rune) TString {
+	var out TString
+	for i, r := range t.chars {
+		for _, nr := range f(r) {
+			out.chars = append(out.chars, nr)
+			out.taint = append(out.taint, t.taint[i])
+		}
+	}
+	return out
+}
+
+// applyBuiltin evaluates a builtin on already-evaluated arguments.
+func applyBuiltin(fn Builtin, args []TString) (TString, error) {
+	switch fn {
+	case BuiltinConcat:
+		return concatT(args...), nil
+	case BuiltinEscapeSQL:
+		return args[0].mapRunes(func(r rune) []rune {
+			if r == '\'' {
+				return []rune{'\'', '\''}
+			}
+			return []rune{r}
+		}), nil
+	case BuiltinEscapeXPath:
+		return args[0].mapRunes(func(r rune) []rune {
+			switch r {
+			case '\'':
+				return []rune("&apos;")
+			case '"':
+				return []rune("&quot;")
+			default:
+				return []rune{r}
+			}
+		}), nil
+	case BuiltinEscapeHTML:
+		return args[0].mapRunes(func(r rune) []rune {
+			switch r {
+			case '<':
+				return []rune("&lt;")
+			case '>':
+				return []rune("&gt;")
+			case '&':
+				return []rune("&amp;")
+			case '"':
+				return []rune("&quot;")
+			case '\'':
+				return []rune("&#39;")
+			default:
+				return []rune{r}
+			}
+		}), nil
+	case BuiltinEscapeShell:
+		return args[0].mapRunes(func(r rune) []rune {
+			if strings.ContainsRune(" ;|&$`\"'\\()<>*?~#", r) {
+				return []rune{'\\', r}
+			}
+			return []rune{r}
+		}), nil
+	case BuiltinSanitizePath:
+		return args[0].mapRunes(func(r rune) []rune {
+			// Drop every path-structural character: separators and dots.
+			if r == '/' || r == '\\' || r == '.' {
+				return nil
+			}
+			return []rune{r}
+		}), nil
+	case BuiltinNumeric:
+		return args[0].mapRunes(func(r rune) []rune {
+			if r >= '0' && r <= '9' {
+				return []rune{r}
+			}
+			return nil
+		}), nil
+	case BuiltinUpper:
+		return args[0].mapRunes(func(r rune) []rune {
+			if r >= 'a' && r <= 'z' {
+				return []rune{r - 'a' + 'A'}
+			}
+			return []rune{r}
+		}), nil
+	case BuiltinTrim:
+		s := args[0]
+		start, end := 0, len(s.chars)
+		for start < end && s.chars[start] == ' ' {
+			start++
+		}
+		for end > start && s.chars[end-1] == ' ' {
+			end--
+		}
+		return TString{chars: s.chars[start:end], taint: s.taint[start:end]}, nil
+	default:
+		return TString{}, fmt.Errorf("svclang: unknown builtin %d", int(fn))
+	}
+}
+
+// SinkEvent records one value reaching a sink during execution.
+type SinkEvent struct {
+	SinkID int
+	Kind   SinkKind
+	Value  TString
+	Silent bool
+}
+
+// Result is the outcome of executing a service on one request.
+type Result struct {
+	// Rejected is true when input validation aborted the request.
+	Rejected bool
+	// Events lists the sink events in execution order. A sink inside a
+	// loop can appear multiple times.
+	Events []SinkEvent
+}
+
+// EventsFor returns the events for a particular sink ID.
+func (r Result) EventsFor(sinkID int) []SinkEvent {
+	var out []SinkEvent
+	for _, e := range r.Events {
+		if e.SinkID == sinkID {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Request maps parameter names to attacker-controlled values.
+type Request map[string]string
+
+// SessionStore is the persistent state shared by consecutive requests to
+// the same service (the moral equivalent of its database/session). The
+// zero value is not usable; allocate with NewSessionStore.
+type SessionStore struct {
+	values map[string]TString
+}
+
+// NewSessionStore returns an empty session store.
+func NewSessionStore() *SessionStore {
+	return &SessionStore{values: map[string]TString{}}
+}
+
+// Get returns the stored value for key (empty untainted string if absent).
+func (s *SessionStore) Get(key string) TString {
+	if v, ok := s.values[key]; ok {
+		return v
+	}
+	return NewTString("")
+}
+
+// Set stores a value under key.
+func (s *SessionStore) Set(key string, v TString) { s.values[key] = v }
+
+// Keys reports how many keys the store holds.
+func (s *SessionStore) Keys() int { return len(s.values) }
+
+// Execute runs the service on one request with a fresh session store and
+// returns the sink events. Missing parameters default to the empty string,
+// as web frameworks commonly do. The service must be valid (see Validate);
+// Execute revalidates cheaply to fail fast on malformed input.
+func Execute(svc *Service, req Request) (Result, error) {
+	return ExecuteInSession(svc, req, nil)
+}
+
+// ExecuteInSession runs the service on one request against an existing
+// session store, persisting any `store` effects into it. Passing a nil
+// store executes with a fresh one (equivalent to Execute). Consecutive
+// calls with the same store model a stateful service processing a request
+// sequence — the setting where second-order injections live.
+func ExecuteInSession(svc *Service, req Request, store *SessionStore) (Result, error) {
+	if svc == nil {
+		return Result{}, fmt.Errorf("svclang: nil service")
+	}
+	if err := svc.Validate(); err != nil {
+		return Result{}, err
+	}
+	if store == nil {
+		store = NewSessionStore()
+	}
+	env := make(map[string]TString, len(svc.Params)+4)
+	for _, p := range svc.Params {
+		env[p] = NewTaintedTString(req[p])
+	}
+	// Variable declarations are hoisted: every declared variable exists
+	// from the start of the request, initialised to the empty string. This
+	// matches the flat scope Validate checks (a variable declared inside a
+	// branch is usable after the branch, whether or not the branch ran).
+	var hoist func(list []Stmt)
+	hoist = func(list []Stmt) {
+		for _, st := range list {
+			switch v := st.(type) {
+			case VarDecl:
+				env[v.Name] = NewTString("")
+			case If:
+				hoist(v.Then)
+				hoist(v.Else)
+			case Repeat:
+				hoist(v.Body)
+			}
+		}
+	}
+	hoist(svc.Body)
+	ex := &executor{env: env, store: store}
+	err := ex.stmts(svc.Body)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Rejected: ex.rejected, Events: ex.events}, nil
+}
+
+// executor carries interpreter state; reject unwinds via the rejected flag
+// checked after every statement.
+type executor struct {
+	env      map[string]TString
+	store    *SessionStore
+	events   []SinkEvent
+	rejected bool
+}
+
+func (ex *executor) stmts(list []Stmt) error {
+	for _, st := range list {
+		if ex.rejected {
+			return nil
+		}
+		if err := ex.stmt(st); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (ex *executor) stmt(st Stmt) error {
+	switch v := st.(type) {
+	case VarDecl:
+		ex.env[v.Name] = NewTString("")
+		return nil
+	case Assign:
+		val, err := ex.expr(v.Expr)
+		if err != nil {
+			return err
+		}
+		ex.env[v.Name] = val
+		return nil
+	case If:
+		cond, err := ex.cond(v.Cond)
+		if err != nil {
+			return err
+		}
+		if cond {
+			return ex.stmts(v.Then)
+		}
+		return ex.stmts(v.Else)
+	case Repeat:
+		for i := 0; i < v.Count; i++ {
+			if ex.rejected {
+				return nil
+			}
+			if err := ex.stmts(v.Body); err != nil {
+				return err
+			}
+		}
+		return nil
+	case Sink:
+		val, err := ex.expr(v.Expr)
+		if err != nil {
+			return err
+		}
+		ex.events = append(ex.events, SinkEvent{SinkID: v.ID, Kind: v.Kind, Value: val, Silent: v.Silent})
+		return nil
+	case Reject:
+		ex.rejected = true
+		return nil
+	case Store:
+		val, err := ex.expr(v.Expr)
+		if err != nil {
+			return err
+		}
+		ex.store.Set(v.Key, val)
+		return nil
+	default:
+		return fmt.Errorf("svclang: unknown statement type %T", st)
+	}
+}
+
+func (ex *executor) expr(e Expr) (TString, error) {
+	switch v := e.(type) {
+	case Lit:
+		return NewTString(v.Value), nil
+	case Ident:
+		val, ok := ex.env[v.Name]
+		if !ok {
+			return TString{}, fmt.Errorf("svclang: undeclared name %q at runtime", v.Name)
+		}
+		return val, nil
+	case Call:
+		args := make([]TString, len(v.Args))
+		for i, a := range v.Args {
+			val, err := ex.expr(a)
+			if err != nil {
+				return TString{}, err
+			}
+			args[i] = val
+		}
+		return applyBuiltin(v.Fn, args)
+	case LoadExpr:
+		return ex.store.Get(v.Key), nil
+	default:
+		return TString{}, fmt.Errorf("svclang: unknown expression type %T", e)
+	}
+}
+
+func (ex *executor) cond(c Cond) (bool, error) {
+	switch v := c.(type) {
+	case Match:
+		val, err := ex.expr(v.Expr)
+		if err != nil {
+			return false, err
+		}
+		return v.Class.MatchesClass(val.String()), nil
+	case Contains:
+		val, err := ex.expr(v.Expr)
+		if err != nil {
+			return false, err
+		}
+		return strings.Contains(val.String(), v.Needle), nil
+	case Eq:
+		val, err := ex.expr(v.Expr)
+		if err != nil {
+			return false, err
+		}
+		return val.String() == v.Value, nil
+	case Not:
+		inner, err := ex.cond(v.Inner)
+		if err != nil {
+			return false, err
+		}
+		return !inner, nil
+	case BoolLit:
+		return v.Value, nil
+	default:
+		return false, fmt.Errorf("svclang: unknown condition type %T", c)
+	}
+}

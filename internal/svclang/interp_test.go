@@ -1,0 +1,295 @@
+package svclang
+
+import (
+	"strings"
+	"testing"
+)
+
+// mustParse parses one service or fails the test.
+func mustParse(t *testing.T, src string) *Service {
+	t.Helper()
+	svc, err := ParseOne(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return svc
+}
+
+// mustExec executes or fails the test.
+func mustExec(t *testing.T, svc *Service, req Request) Result {
+	t.Helper()
+	res, err := Execute(svc, req)
+	if err != nil {
+		t.Fatalf("execute: %v", err)
+	}
+	return res
+}
+
+const vulnSQLSrc = `
+service GetUser
+  param id
+  var q
+  q = concat("SELECT * FROM users WHERE id='", id, "'")
+  sink sql q
+end
+`
+
+func TestExecuteBasicConcat(t *testing.T) {
+	svc := mustParse(t, vulnSQLSrc)
+	res := mustExec(t, svc, Request{"id": "42"})
+	if len(res.Events) != 1 {
+		t.Fatalf("events = %d", len(res.Events))
+	}
+	got := res.Events[0].Value.String()
+	want := "SELECT * FROM users WHERE id='42'"
+	if got != want {
+		t.Fatalf("sink value = %q, want %q", got, want)
+	}
+}
+
+func TestExecuteTaintPropagation(t *testing.T) {
+	svc := mustParse(t, vulnSQLSrc)
+	res := mustExec(t, svc, Request{"id": "42"})
+	v := res.Events[0].Value
+	s := v.String()
+	idx := strings.Index(s, "42")
+	for i := 0; i < v.Len(); i++ {
+		inParam := i == idx || i == idx+1
+		if v.TaintedAt(i) != inParam {
+			t.Fatalf("taint at %d (%q) = %v, want %v", i, string(s[i]), v.TaintedAt(i), inParam)
+		}
+	}
+}
+
+func TestExecuteMissingParamDefaultsEmpty(t *testing.T) {
+	svc := mustParse(t, vulnSQLSrc)
+	res := mustExec(t, svc, nil)
+	want := "SELECT * FROM users WHERE id=''"
+	if got := res.Events[0].Value.String(); got != want {
+		t.Fatalf("value = %q, want %q", got, want)
+	}
+}
+
+func TestExecuteEscapeSQL(t *testing.T) {
+	svc := mustParse(t, `
+service Safe
+  param id
+  var q
+  q = concat("X='", escape_sql(id), "'")
+  sink sql q
+end
+`)
+	res := mustExec(t, svc, Request{"id": "a'b"})
+	if got := res.Events[0].Value.String(); got != "X='a''b'" {
+		t.Fatalf("escaped value = %q", got)
+	}
+}
+
+func TestExecuteNumeric(t *testing.T) {
+	svc := mustParse(t, `
+service Num
+  param id
+  sink sql numeric(id)
+end
+`)
+	res := mustExec(t, svc, Request{"id": "a1b2-c3"})
+	if got := res.Events[0].Value.String(); got != "123" {
+		t.Fatalf("numeric = %q", got)
+	}
+	// Taint is preserved on surviving characters.
+	if !res.Events[0].Value.AnyTainted() {
+		t.Fatal("numeric cleared taint flags; it should only filter characters")
+	}
+}
+
+func TestExecuteUpperTrim(t *testing.T) {
+	svc := mustParse(t, `
+service T
+  param x
+  sink html upper(trim(x))
+end
+`)
+	res := mustExec(t, svc, Request{"x": "  ab c  "})
+	if got := res.Events[0].Value.String(); got != "AB C" {
+		t.Fatalf("upper(trim) = %q", got)
+	}
+}
+
+func TestExecuteEscapeHTML(t *testing.T) {
+	svc := mustParse(t, `
+service H
+  param x
+  sink html escape_html(x)
+end
+`)
+	res := mustExec(t, svc, Request{"x": `<b a="1">&'`})
+	want := "&lt;b a=&quot;1&quot;&gt;&amp;&#39;"
+	if got := res.Events[0].Value.String(); got != want {
+		t.Fatalf("escape_html = %q, want %q", got, want)
+	}
+}
+
+func TestExecuteEscapeShell(t *testing.T) {
+	svc := mustParse(t, `
+service C
+  param f
+  sink cmd concat("cat ", escape_shell(f))
+end
+`)
+	res := mustExec(t, svc, Request{"f": "a;b c"})
+	if got := res.Events[0].Value.String(); got != `cat a\;b\ c` {
+		t.Fatalf("escape_shell = %q", got)
+	}
+}
+
+func TestExecuteSanitizePath(t *testing.T) {
+	svc := mustParse(t, `
+service P
+  param f
+  sink path sanitize_path(f)
+end
+`)
+	res := mustExec(t, svc, Request{"f": "../../etc/passwd"})
+	if got := res.Events[0].Value.String(); got != "etcpasswd" {
+		t.Fatalf("sanitize_path = %q", got)
+	}
+}
+
+func TestExecuteRejectStopsExecution(t *testing.T) {
+	svc := mustParse(t, `
+service V
+  param id
+  if not matches(id, digits)
+    reject
+  end
+  sink sql concat("Q='", id, "'")
+end
+`)
+	res := mustExec(t, svc, Request{"id": "abc"})
+	if !res.Rejected || len(res.Events) != 0 {
+		t.Fatalf("expected rejection with no events: %+v", res)
+	}
+	res = mustExec(t, svc, Request{"id": "123"})
+	if res.Rejected || len(res.Events) != 1 {
+		t.Fatalf("digits should pass validation: %+v", res)
+	}
+}
+
+func TestExecuteRejectInsideRepeat(t *testing.T) {
+	svc := mustParse(t, `
+service R
+  param x
+  repeat 3
+    if eq(x, "stop")
+      reject
+    end
+    sink html x
+  end
+end
+`)
+	res := mustExec(t, svc, Request{"x": "stop"})
+	if !res.Rejected || len(res.Events) != 0 {
+		t.Fatalf("reject inside repeat: %+v", res)
+	}
+	res = mustExec(t, svc, Request{"x": "go"})
+	if len(res.Events) != 3 {
+		t.Fatalf("repeat 3 produced %d events", len(res.Events))
+	}
+}
+
+func TestExecuteBranches(t *testing.T) {
+	svc := mustParse(t, `
+service B
+  param x
+  var q
+  if contains(x, "admin")
+    q = concat("ROLE('", x, "')")
+  else
+    q = "ROLE('guest')"
+  end
+  sink sql q
+end
+`)
+	res := mustExec(t, svc, Request{"x": "superadmin"})
+	if got := res.Events[0].Value.String(); got != "ROLE('superadmin')" {
+		t.Fatalf("then branch value = %q", got)
+	}
+	res = mustExec(t, svc, Request{"x": "user"})
+	if got := res.Events[0].Value.String(); got != "ROLE('guest')" {
+		t.Fatalf("else branch value = %q", got)
+	}
+	if res.Events[0].Value.AnyTainted() {
+		t.Fatal("constant else-branch value should carry no taint")
+	}
+}
+
+func TestExecuteRepeatAccumulates(t *testing.T) {
+	svc := mustParse(t, `
+service L
+  param x
+  var acc
+  repeat 3
+    acc = concat(acc, x)
+  end
+  sink html acc
+end
+`)
+	res := mustExec(t, svc, Request{"x": "ab"})
+	if got := res.Events[0].Value.String(); got != "ababab" {
+		t.Fatalf("loop accumulation = %q", got)
+	}
+}
+
+func TestExecuteEventsForAndSilent(t *testing.T) {
+	svc := mustParse(t, `
+service S
+  param x
+  sink sql silent concat("A'", x, "'")
+  sink sql concat("B'", x, "'")
+end
+`)
+	res := mustExec(t, svc, Request{"x": "1"})
+	if len(res.Events) != 2 {
+		t.Fatalf("events = %d", len(res.Events))
+	}
+	if !res.Events[0].Silent || res.Events[1].Silent {
+		t.Fatalf("silent flags wrong: %+v", res.Events)
+	}
+	if got := res.EventsFor(1); len(got) != 1 || !strings.HasPrefix(got[0].Value.String(), "B") {
+		t.Fatalf("EventsFor(1) = %+v", got)
+	}
+	if got := res.EventsFor(99); len(got) != 0 {
+		t.Fatalf("EventsFor(99) = %+v", got)
+	}
+}
+
+func TestExecuteNilService(t *testing.T) {
+	if _, err := Execute(nil, nil); err == nil {
+		t.Fatal("nil service accepted")
+	}
+}
+
+func TestExecuteInvalidService(t *testing.T) {
+	svc := &Service{Name: "Bad", Body: []Stmt{Assign{Name: "ghost", Expr: Lit{Value: "x"}}}}
+	if _, err := Execute(svc, nil); err == nil {
+		t.Fatal("invalid service accepted")
+	}
+}
+
+func TestTStringBasics(t *testing.T) {
+	clean := NewTString("ab")
+	if clean.AnyTainted() {
+		t.Fatal("literal should be untainted")
+	}
+	dirty := NewTaintedTString("ab")
+	if !dirty.AnyTainted() || !dirty.TaintedAt(0) || !dirty.TaintedAt(1) {
+		t.Fatal("parameter value should be fully tainted")
+	}
+	joined := concatT(clean, dirty)
+	if joined.String() != "abab" || joined.TaintedAt(0) || !joined.TaintedAt(2) {
+		t.Fatal("concat taint bookkeeping wrong")
+	}
+	if joined.Len() != 4 {
+		t.Fatalf("Len = %d", joined.Len())
+	}
+}

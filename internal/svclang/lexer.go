@@ -1,0 +1,163 @@
+package svclang
+
+import (
+	"fmt"
+	"strings"
+)
+
+// tokenKind enumerates lexical token kinds of the textual service format.
+type tokenKind int
+
+const (
+	tokIdent tokenKind = iota + 1
+	tokString
+	tokInt
+	tokLParen
+	tokRParen
+	tokComma
+	tokAssign
+	tokNewline
+	tokEOF
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokIdent:
+		return "identifier"
+	case tokString:
+		return "string"
+	case tokInt:
+		return "integer"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokComma:
+		return "','"
+	case tokAssign:
+		return "'='"
+	case tokNewline:
+		return "newline"
+	case tokEOF:
+		return "end of input"
+	default:
+		return fmt.Sprintf("token(%d)", int(k))
+	}
+}
+
+type token struct {
+	kind tokenKind
+	text string
+	line int
+}
+
+// SyntaxError reports a lexical or parse error with its source line.
+type SyntaxError struct {
+	Line int
+	Msg  string
+}
+
+// Error implements the error interface.
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("svclang: line %d: %s", e.Line, e.Msg)
+}
+
+// lex splits source text into tokens. Comments run from '#' to end of
+// line. Consecutive newlines collapse into one token; a leading newline is
+// suppressed.
+func lex(src string) ([]token, error) {
+	var toks []token
+	line := 1
+	rs := []rune(src)
+	i, n := 0, len(rs)
+	emit := func(k tokenKind, text string) {
+		if k == tokNewline {
+			if len(toks) == 0 || toks[len(toks)-1].kind == tokNewline {
+				return
+			}
+		}
+		toks = append(toks, token{kind: k, text: text, line: line})
+	}
+	for i < n {
+		r := rs[i]
+		switch {
+		case r == '\n':
+			emit(tokNewline, "\n")
+			line++
+			i++
+		case r == ' ' || r == '\t' || r == '\r':
+			i++
+		case r == '#':
+			for i < n && rs[i] != '\n' {
+				i++
+			}
+		case r == '(':
+			emit(tokLParen, "(")
+			i++
+		case r == ')':
+			emit(tokRParen, ")")
+			i++
+		case r == ',':
+			emit(tokComma, ",")
+			i++
+		case r == '=':
+			emit(tokAssign, "=")
+			i++
+		case r == '"':
+			i++
+			var sb strings.Builder
+			closed := false
+			for i < n {
+				c := rs[i]
+				if c == '"' {
+					closed = true
+					i++
+					break
+				}
+				if c == '\\' && i+1 < n {
+					i++
+					switch rs[i] {
+					case 'n':
+						sb.WriteRune('\n')
+					case 't':
+						sb.WriteRune('\t')
+					case '\\':
+						sb.WriteRune('\\')
+					case '"':
+						sb.WriteRune('"')
+					default:
+						return nil, &SyntaxError{Line: line, Msg: fmt.Sprintf("unknown escape \\%c", rs[i])}
+					}
+					i++
+					continue
+				}
+				if c == '\n' {
+					return nil, &SyntaxError{Line: line, Msg: "newline in string literal"}
+				}
+				sb.WriteRune(c)
+				i++
+			}
+			if !closed {
+				return nil, &SyntaxError{Line: line, Msg: "unterminated string literal"}
+			}
+			emit(tokString, sb.String())
+		case r >= '0' && r <= '9':
+			start := i
+			for i < n && rs[i] >= '0' && rs[i] <= '9' {
+				i++
+			}
+			emit(tokInt, string(rs[start:i]))
+		case isWordRune(r):
+			start := i
+			for i < n && (isWordRune(rs[i]) || rs[i] >= '0' && rs[i] <= '9' || rs[i] == '.') {
+				i++
+			}
+			emit(tokIdent, string(rs[start:i]))
+		default:
+			return nil, &SyntaxError{Line: line, Msg: fmt.Sprintf("unexpected character %q", string(r))}
+		}
+	}
+	emit(tokNewline, "\n")
+	toks = append(toks, token{kind: tokEOF, line: line})
+	return toks, nil
+}

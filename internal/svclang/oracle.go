@@ -1,0 +1,566 @@
+package svclang
+
+import (
+	"fmt"
+	"strings"
+)
+
+// This file defines what "vulnerable" means for the mini-language, at two
+// levels:
+//
+//  1. StructuralTaint: a white-box, per-event judgment — does
+//     attacker-originated content occupy a *structural* position in the
+//     value that reached the sink? This is the definitional notion of
+//     injection (the attacker can alter the parse structure of the sink
+//     payload, not merely data content).
+//
+//  2. Exploitable: the ground-truth oracle — a sink is vulnerable iff some
+//     assignment of benign values and canonical attack payloads to the
+//     service parameters produces a sink event with structural taint. The
+//     workload generator labels every sink with this oracle, so ground
+//     truth is computed, not asserted.
+//
+// Black-box tools do not get to see taint; they use Structure (the
+// token-type skeleton of the sink value) and compare benign and attack
+// runs, as real error-based penetration testers do.
+
+// StructuralTaint reports whether the value carries tainted characters in
+// structural positions for the given sink kind.
+func StructuralTaint(kind SinkKind, v TString) bool {
+	switch kind {
+	case SinkSQL:
+		return quotedLanguageStructuralTaint(v, true)
+	case SinkXPath:
+		return quotedLanguageStructuralTaint(v, false)
+	case SinkHTML:
+		return htmlStructuralTaint(v)
+	case SinkCmd:
+		return cmdStructuralTaint(v)
+	case SinkPath:
+		return pathStructuralTaint(v)
+	default:
+		return false
+	}
+}
+
+// quotedLanguageStructuralTaint covers SQL (sqlEscapes=true: ” is an
+// escaped quote inside a string) and XPath (no escapes, both quote kinds).
+// Structural positions are: string delimiters, and every non-digit
+// character outside string literals. Tainted digits outside strings select
+// different data, which is not an injection.
+func quotedLanguageStructuralTaint(v TString, sqlEscapes bool) bool {
+	i := 0
+	n := v.Len()
+	for i < n {
+		r := v.chars[i]
+		switch {
+		case r == '\'' || (!sqlEscapes && r == '"'):
+			quote := r
+			if v.taint[i] {
+				return true // tainted string delimiter
+			}
+			i++
+			for i < n {
+				if v.chars[i] == quote {
+					if sqlEscapes && i+1 < n && v.chars[i+1] == quote {
+						i += 2 // escaped quote: content, stays inside
+						continue
+					}
+					if v.taint[i] {
+						return true // tainted closing delimiter
+					}
+					i++
+					break
+				}
+				i++ // string content: never structural
+			}
+		case r >= '0' && r <= '9':
+			i++ // numeric data outside strings: not structural
+		default:
+			if v.taint[i] {
+				return true // tainted keyword/identifier/symbol character
+			}
+			i++
+		}
+	}
+	return false
+}
+
+// htmlStructuralTaint: a tainted raw '<' lets the attacker open markup.
+// escape_html rewrites '<' to "&lt;", which contains no raw '<'.
+func htmlStructuralTaint(v TString) bool {
+	for i := 0; i < v.Len(); i++ {
+		if v.chars[i] == '<' && v.taint[i] {
+			return true
+		}
+	}
+	return false
+}
+
+// cmdStructuralTaint: tainted unescaped, unquoted shell metacharacters or
+// separators are structural. A backslash escapes the following character.
+func cmdStructuralTaint(v TString) bool {
+	const metas = " ;|&$`\"'()<>*?~#\t\n"
+	i := 0
+	n := v.Len()
+	for i < n {
+		r := v.chars[i]
+		if r == '\\' && i+1 < n {
+			i += 2 // escaped character: not structural
+			continue
+		}
+		if strings.ContainsRune(metas, r) && v.taint[i] {
+			return true
+		}
+		i++
+	}
+	return false
+}
+
+// pathStructuralTaint: tainted path separators, or a tainted dot that is
+// part of a ".." sequence, let the attacker navigate the filesystem.
+func pathStructuralTaint(v TString) bool {
+	for i := 0; i < v.Len(); i++ {
+		r := v.chars[i]
+		if (r == '/' || r == '\\') && v.taint[i] {
+			return true
+		}
+		if r == '.' && v.taint[i] {
+			prev := i > 0 && v.chars[i-1] == '.'
+			next := i+1 < v.Len() && v.chars[i+1] == '.'
+			if prev || next {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Structure returns the token-type skeleton of a sink value: the part of
+// the value an injection must alter. Black-box tools compare skeletons of
+// benign and attack responses.
+func Structure(kind SinkKind, s string) []string {
+	switch kind {
+	case SinkSQL:
+		return quotedStructure(s, true)
+	case SinkXPath:
+		return quotedStructure(s, false)
+	case SinkHTML:
+		return htmlStructure(s)
+	case SinkCmd:
+		return cmdStructure(s)
+	case SinkPath:
+		return pathStructure(s)
+	default:
+		return nil
+	}
+}
+
+// quotedStructure tokenises SQL/XPath text into type tags: "str" for a
+// string literal, "n" for a number, "w" for a word, single-character
+// symbol tokens, and "ERR" for an unterminated string (a syntax error —
+// precisely what error-based detection observes).
+func quotedStructure(s string, sqlEscapes bool) []string {
+	var out []string
+	rs := []rune(s)
+	i, n := 0, len(rs)
+	for i < n {
+		r := rs[i]
+		switch {
+		case r == ' ' || r == '\t' || r == '\n':
+			i++
+		case r == '\'' || (!sqlEscapes && r == '"'):
+			quote := r
+			i++
+			closed := false
+			for i < n {
+				if rs[i] == quote {
+					if sqlEscapes && i+1 < n && rs[i+1] == quote {
+						i += 2
+						continue
+					}
+					i++
+					closed = true
+					break
+				}
+				i++
+			}
+			if closed {
+				out = append(out, "str")
+			} else {
+				out = append(out, "ERR")
+			}
+		case r >= '0' && r <= '9':
+			for i < n && rs[i] >= '0' && rs[i] <= '9' {
+				i++
+			}
+			out = append(out, "n")
+		case isWordRune(r):
+			for i < n && isWordRune(rs[i]) {
+				i++
+			}
+			out = append(out, "w")
+		default:
+			out = append(out, string(r))
+			i++
+		}
+	}
+	return out
+}
+
+func isWordRune(r rune) bool {
+	return r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r == '_'
+}
+
+// htmlStructure returns the sequence of tag names in the markup. Text and
+// entities contribute nothing; a '<' not followed by a letter or '/' is
+// treated as text, as browsers do.
+func htmlStructure(s string) []string {
+	var out []string
+	rs := []rune(s)
+	i, n := 0, len(rs)
+	for i < n {
+		if rs[i] != '<' {
+			i++
+			continue
+		}
+		j := i + 1
+		if j < n && rs[j] == '/' {
+			j++
+		}
+		start := j
+		for j < n && (rs[j] >= 'a' && rs[j] <= 'z' || rs[j] >= 'A' && rs[j] <= 'Z') {
+			j++
+		}
+		if j == start { // "<" followed by non-letter: text
+			i++
+			continue
+		}
+		name := strings.ToLower(string(rs[start:j]))
+		for j < n && rs[j] != '>' {
+			j++
+		}
+		if j < n {
+			out = append(out, name)
+			i = j + 1
+		} else {
+			i = n // unterminated tag: treated as text
+		}
+	}
+	return out
+}
+
+// cmdStructure tokenises a shell-like command line: "a" per argument word
+// (quoting and backslash escapes respected), and each unquoted
+// metacharacter as its own token. "ERR" marks an unterminated quote.
+func cmdStructure(s string) []string {
+	const metas = ";|&$`()<>*?~#"
+	var out []string
+	rs := []rune(s)
+	i, n := 0, len(rs)
+	inWord := false
+	flush := func() {
+		if inWord {
+			out = append(out, "a")
+			inWord = false
+		}
+	}
+	for i < n {
+		r := rs[i]
+		switch {
+		case r == '\\' && i+1 < n:
+			inWord = true
+			i += 2
+		case r == '\'' || r == '"':
+			quote := r
+			i++
+			closed := false
+			for i < n {
+				if rs[i] == quote {
+					closed = true
+					i++
+					break
+				}
+				i++
+			}
+			if !closed {
+				flush()
+				out = append(out, "ERR")
+				return out
+			}
+			inWord = true
+		case r == ' ' || r == '\t':
+			flush()
+			i++
+		case strings.ContainsRune(metas, r):
+			flush()
+			out = append(out, string(r))
+			i++
+		default:
+			inWord = true
+			i++
+		}
+	}
+	flush()
+	return out
+}
+
+// pathBase is the virtual directory every path sink resolves against.
+const pathBase = "/srv/data"
+
+// pathStructure normalises pathBase + "/" + s and reports whether the
+// result stays inside the base ("inside") or escapes it ("escape"). An
+// absolute attacker path also escapes.
+func pathStructure(s string) []string {
+	s = strings.ReplaceAll(s, "\\", "/")
+	var full string
+	if strings.HasPrefix(s, "/") {
+		full = s
+	} else {
+		full = pathBase + "/" + s
+	}
+	var parts []string
+	for _, seg := range strings.Split(full, "/") {
+		switch seg {
+		case "", ".":
+			// skip
+		case "..":
+			if len(parts) > 0 {
+				parts = parts[:len(parts)-1]
+			} else {
+				return []string{"escape"}
+			}
+		default:
+			parts = append(parts, seg)
+		}
+	}
+	resolved := "/" + strings.Join(parts, "/")
+	if resolved == pathBase || strings.HasPrefix(resolved, pathBase+"/") {
+		return []string{"inside"}
+	}
+	return []string{"escape"}
+}
+
+// StructureEqual compares two skeletons.
+func StructureEqual(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// AttackPayloads returns the canonical attack payloads for a sink kind, in
+// rough order of potency. These are the payloads the ground-truth oracle
+// quantifies over; dynamic tools may use subsets (that is precisely how
+// they lose recall).
+func AttackPayloads(kind SinkKind) []string {
+	switch kind {
+	case SinkSQL:
+		return []string{
+			"' OR '1'='1",
+			"'; DROP TABLE users--",
+			"1 OR 1=1",
+			"' UNION SELECT null--",
+		}
+	case SinkXPath:
+		return []string{
+			"' or '1'='1",
+			"\" or \"1\"=\"1",
+			"1 or 1=1",
+		}
+	case SinkHTML:
+		return []string{
+			"<script>alert(1)</script>",
+			"<img src=x onerror=alert(1)>",
+		}
+	case SinkCmd:
+		return []string{
+			"; cat /etc/passwd",
+			"| id",
+			"`reboot`",
+			"$(whoami)",
+		}
+	case SinkPath:
+		return []string{
+			"../../etc/passwd",
+			"/etc/shadow",
+			"..\\..\\windows\\system32",
+		}
+	default:
+		return nil
+	}
+}
+
+// BenignValues returns representative harmless parameter values used as
+// the benign side of differential testing and as fillers in the
+// ground-truth search. They cover the main validation classes (digits,
+// alpha, filename-ish, free text).
+func BenignValues() []string {
+	return []string{"7", "alpha", "file1", "hello world"}
+}
+
+// GroundTruth is the oracle label of one sink.
+type GroundTruth struct {
+	SinkID int
+	Kind   SinkKind
+	// Vulnerable is true when some assignment in the oracle's search space
+	// produces structural taint at this sink.
+	Vulnerable bool
+	// Witness, when vulnerable, is the parameter assignment of the request
+	// in which the structural taint manifested (the last request of
+	// Sequence).
+	Witness Request
+	// Sequence, when vulnerable, is the full request sequence that
+	// demonstrates the vulnerability. For stateless services it has one
+	// element; for stateful services (session store) it may take two — the
+	// poisoning request and the triggering one.
+	Sequence []Request
+}
+
+// maxOracleParams bounds the exhaustive assignment search for stateless
+// services. Services with more parameters cannot be labelled exactly and
+// are rejected, which keeps ground-truth quality a hard guarantee of the
+// corpus rather than a best-effort property.
+const maxOracleParams = 3
+
+// maxStatefulParams bounds the search for stateful services, where the
+// oracle enumerates request *pairs* and the space squares.
+const maxStatefulParams = 1
+
+// Analyze computes ground truth for every sink of the service by
+// exhaustive search over the oracle's value pool (benign values plus all
+// canonical payloads). Stateless services are searched over every
+// single-request parameter assignment; services using the session store
+// are searched over every two-request sequence, which covers the
+// second-order flows a single request cannot reach.
+func Analyze(svc *Service) ([]GroundTruth, error) {
+	if svc == nil {
+		return nil, fmt.Errorf("svclang: nil service")
+	}
+	if err := svc.Validate(); err != nil {
+		return nil, err
+	}
+	stateful := svc.UsesStore()
+	if stateful && len(svc.Params) > maxStatefulParams {
+		return nil, fmt.Errorf("svclang: %s: stateful services are limited to %d parameter(s) for exhaustive sequence labelling, got %d",
+			svc.Name, maxStatefulParams, len(svc.Params))
+	}
+	if len(svc.Params) > maxOracleParams {
+		return nil, fmt.Errorf("svclang: %s: %d parameters exceed the oracle limit of %d", svc.Name, len(svc.Params), maxOracleParams)
+	}
+	sinks := svc.Sinks()
+	truths := make([]GroundTruth, len(sinks))
+	for i, sk := range sinks {
+		truths[i] = GroundTruth{SinkID: sk.ID, Kind: sk.Kind}
+	}
+	if len(sinks) == 0 {
+		return truths, nil
+	}
+	byID := make(map[int]*GroundTruth, len(truths))
+	for i := range truths {
+		byID[truths[i].SinkID] = &truths[i]
+	}
+
+	pool := BenignValues()
+	for _, k := range AllSinkKinds() {
+		pool = append(pool, AttackPayloads(k)...)
+	}
+
+	record := func(res Result, sequence []Request) {
+		for _, ev := range res.Events {
+			gt := byID[ev.SinkID]
+			if gt == nil || gt.Vulnerable {
+				continue
+			}
+			if StructuralTaint(ev.Kind, ev.Value) {
+				gt.Vulnerable = true
+				gt.Sequence = cloneSequence(sequence)
+				gt.Witness = gt.Sequence[len(gt.Sequence)-1]
+			}
+		}
+	}
+
+	if stateful {
+		return truths, analyzeStateful(svc, pool, record)
+	}
+
+	// Stateless: enumerate the full cross product of pool values over
+	// parameters.
+	assignment := make([]int, len(svc.Params))
+	for {
+		req := make(Request, len(svc.Params))
+		for i, p := range svc.Params {
+			req[p] = pool[assignment[i]]
+		}
+		res, err := Execute(svc, req)
+		if err != nil {
+			return nil, err
+		}
+		record(res, []Request{req})
+		// Advance the odometer.
+		i := 0
+		for ; i < len(assignment); i++ {
+			assignment[i]++
+			if assignment[i] < len(pool) {
+				break
+			}
+			assignment[i] = 0
+		}
+		if i == len(assignment) {
+			break
+		}
+	}
+	return truths, nil
+}
+
+// analyzeStateful enumerates every two-request sequence over the pool,
+// sharing a session store within each sequence. Single-request exploits
+// are covered by the first element of each pair.
+func analyzeStateful(svc *Service, pool []string, record func(Result, []Request)) error {
+	reqFor := func(v string) Request {
+		req := Request{}
+		for _, p := range svc.Params {
+			req[p] = v
+		}
+		return req
+	}
+	for _, v1 := range pool {
+		for _, v2 := range pool {
+			store := NewSessionStore()
+			r1 := reqFor(v1)
+			res1, err := ExecuteInSession(svc, r1, store)
+			if err != nil {
+				return err
+			}
+			record(res1, []Request{r1})
+			r2 := reqFor(v2)
+			res2, err := ExecuteInSession(svc, r2, store)
+			if err != nil {
+				return err
+			}
+			record(res2, []Request{r1, r2})
+		}
+	}
+	return nil
+}
+
+func cloneSequence(seq []Request) []Request {
+	out := make([]Request, len(seq))
+	for i, r := range seq {
+		out[i] = cloneRequest(r)
+	}
+	return out
+}
+
+func cloneRequest(r Request) Request {
+	out := make(Request, len(r))
+	for k, v := range r {
+		out[k] = v
+	}
+	return out
+}

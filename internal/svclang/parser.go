@@ -1,0 +1,432 @@
+package svclang
+
+import "fmt"
+
+// Parse parses source text containing one or more service definitions.
+// Sink IDs are assigned sequentially (0, 1, ...) within each service in
+// source order. Every parsed service is validated before it is returned.
+func Parse(src string) ([]*Service, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	var services []*Service
+	p.skipNewlines()
+	for !p.at(tokEOF) {
+		svc, err := p.service()
+		if err != nil {
+			return nil, err
+		}
+		if err := svc.Validate(); err != nil {
+			return nil, err
+		}
+		services = append(services, svc)
+		p.skipNewlines()
+	}
+	if len(services) == 0 {
+		return nil, &SyntaxError{Line: 1, Msg: "no service definitions found"}
+	}
+	return services, nil
+}
+
+// ParseOne parses source text that must contain exactly one service.
+func ParseOne(src string) (*Service, error) {
+	services, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(services) != 1 {
+		return nil, fmt.Errorf("svclang: expected exactly one service, found %d", len(services))
+	}
+	return services[0], nil
+}
+
+type parser struct {
+	toks   []token
+	pos    int
+	sinkID int
+}
+
+func (p *parser) cur() token          { return p.toks[p.pos] }
+func (p *parser) at(k tokenKind) bool { return p.cur().kind == k }
+
+func (p *parser) advance() token {
+	t := p.cur()
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) expect(k tokenKind) (token, error) {
+	if !p.at(k) {
+		return token{}, &SyntaxError{Line: p.cur().line, Msg: fmt.Sprintf("expected %s, found %s %q", k, p.cur().kind, p.cur().text)}
+	}
+	return p.advance(), nil
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.at(tokIdent) || p.cur().text != kw {
+		return &SyntaxError{Line: p.cur().line, Msg: fmt.Sprintf("expected %q, found %q", kw, p.cur().text)}
+	}
+	p.advance()
+	return nil
+}
+
+func (p *parser) atKeyword(kw string) bool {
+	return p.at(tokIdent) && p.cur().text == kw
+}
+
+func (p *parser) skipNewlines() {
+	for p.at(tokNewline) {
+		p.advance()
+	}
+}
+
+func (p *parser) endOfStmt() error {
+	if p.at(tokEOF) {
+		return nil
+	}
+	if _, err := p.expect(tokNewline); err != nil {
+		return err
+	}
+	p.skipNewlines()
+	return nil
+}
+
+func (p *parser) service() (*Service, error) {
+	p.sinkID = 0
+	if err := p.expectKeyword("service"); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.endOfStmt(); err != nil {
+		return nil, err
+	}
+	svc := &Service{Name: name.text}
+	body, err := p.stmts(map[string]bool{"end": true})
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("end"); err != nil {
+		return nil, err
+	}
+	if err := p.endOfStmt(); err != nil {
+		return nil, err
+	}
+	// Hoist param declarations: they must appear first.
+	var stmts []Stmt
+	for _, st := range body {
+		if pd, ok := st.(paramDecl); ok {
+			if len(stmts) > 0 {
+				return nil, &SyntaxError{Line: pd.line, Msg: "param declarations must precede other statements"}
+			}
+			svc.Params = append(svc.Params, pd.name)
+			continue
+		}
+		stmts = append(stmts, st)
+	}
+	svc.Body = stmts
+	return svc, nil
+}
+
+// paramDecl is a parser-internal pseudo-statement: params live on the
+// Service, not in the body.
+type paramDecl struct {
+	name string
+	line int
+}
+
+func (paramDecl) stmtNode() {}
+
+// stmts parses statements until one of the terminator keywords is seen
+// (not consumed).
+func (p *parser) stmts(terminators map[string]bool) ([]Stmt, error) {
+	var out []Stmt
+	for {
+		p.skipNewlines()
+		if p.at(tokEOF) {
+			return nil, &SyntaxError{Line: p.cur().line, Msg: "unexpected end of input inside block"}
+		}
+		if p.at(tokIdent) && terminators[p.cur().text] {
+			return out, nil
+		}
+		st, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, st)
+	}
+}
+
+func (p *parser) stmt() (Stmt, error) {
+	t := p.cur()
+	if t.kind != tokIdent {
+		return nil, &SyntaxError{Line: t.line, Msg: fmt.Sprintf("expected statement, found %s", t.kind)}
+	}
+	switch t.text {
+	case "param":
+		p.advance()
+		name, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		if err := p.endOfStmt(); err != nil {
+			return nil, err
+		}
+		return paramDecl{name: name.text, line: name.line}, nil
+	case "var":
+		p.advance()
+		name, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		if err := p.endOfStmt(); err != nil {
+			return nil, err
+		}
+		return VarDecl{Name: name.text}, nil
+	case "if":
+		p.advance()
+		cond, err := p.cond()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.endOfStmt(); err != nil {
+			return nil, err
+		}
+		thenBody, err := p.stmts(map[string]bool{"else": true, "end": true})
+		if err != nil {
+			return nil, err
+		}
+		var elseBody []Stmt
+		if p.atKeyword("else") {
+			p.advance()
+			if err := p.endOfStmt(); err != nil {
+				return nil, err
+			}
+			elseBody, err = p.stmts(map[string]bool{"end": true})
+			if err != nil {
+				return nil, err
+			}
+		}
+		if err := p.expectKeyword("end"); err != nil {
+			return nil, err
+		}
+		if err := p.endOfStmt(); err != nil {
+			return nil, err
+		}
+		return If{Cond: cond, Then: thenBody, Else: elseBody}, nil
+	case "repeat":
+		p.advance()
+		count, err := p.expect(tokInt)
+		if err != nil {
+			return nil, err
+		}
+		n := 0
+		for _, c := range count.text {
+			n = n*10 + int(c-'0')
+		}
+		if err := p.endOfStmt(); err != nil {
+			return nil, err
+		}
+		body, err := p.stmts(map[string]bool{"end": true})
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("end"); err != nil {
+			return nil, err
+		}
+		if err := p.endOfStmt(); err != nil {
+			return nil, err
+		}
+		return Repeat{Count: n, Body: body}, nil
+	case "sink":
+		p.advance()
+		kindTok, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		kind, ok := SinkKindFromString(kindTok.text)
+		if !ok {
+			return nil, &SyntaxError{Line: kindTok.line, Msg: fmt.Sprintf("unknown sink kind %q", kindTok.text)}
+		}
+		silent := false
+		if p.atKeyword("silent") {
+			silent = true
+			p.advance()
+		}
+		expr, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.endOfStmt(); err != nil {
+			return nil, err
+		}
+		sk := Sink{ID: p.sinkID, Kind: kind, Expr: expr, Silent: silent}
+		p.sinkID++
+		return sk, nil
+	case "reject":
+		p.advance()
+		if err := p.endOfStmt(); err != nil {
+			return nil, err
+		}
+		return Reject{}, nil
+	case "store":
+		p.advance()
+		key, err := p.expect(tokString)
+		if err != nil {
+			return nil, err
+		}
+		expr, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.endOfStmt(); err != nil {
+			return nil, err
+		}
+		return Store{Key: key.text, Expr: expr}, nil
+	default:
+		// Assignment: IDENT '=' expr
+		name := p.advance()
+		if _, err := p.expect(tokAssign); err != nil {
+			return nil, err
+		}
+		expr, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.endOfStmt(); err != nil {
+			return nil, err
+		}
+		return Assign{Name: name.text, Expr: expr}, nil
+	}
+}
+
+func (p *parser) expr() (Expr, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokString:
+		p.advance()
+		return Lit{Value: t.text}, nil
+	case tokIdent:
+		if t.text == "load" {
+			p.advance()
+			if _, err := p.expect(tokLParen); err != nil {
+				return nil, err
+			}
+			key, err := p.expect(tokString)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokRParen); err != nil {
+				return nil, err
+			}
+			return LoadExpr{Key: key.text}, nil
+		}
+		if fn, ok := BuiltinFromString(t.text); ok {
+			p.advance()
+			if _, err := p.expect(tokLParen); err != nil {
+				return nil, err
+			}
+			var args []Expr
+			if !p.at(tokRParen) {
+				for {
+					arg, err := p.expr()
+					if err != nil {
+						return nil, err
+					}
+					args = append(args, arg)
+					if p.at(tokComma) {
+						p.advance()
+						continue
+					}
+					break
+				}
+			}
+			if _, err := p.expect(tokRParen); err != nil {
+				return nil, err
+			}
+			return Call{Fn: fn, Args: args}, nil
+		}
+		p.advance()
+		return Ident{Name: t.text}, nil
+	default:
+		return nil, &SyntaxError{Line: t.line, Msg: fmt.Sprintf("expected expression, found %s", t.kind)}
+	}
+}
+
+func (p *parser) cond() (Cond, error) {
+	t := p.cur()
+	if t.kind != tokIdent {
+		return nil, &SyntaxError{Line: t.line, Msg: fmt.Sprintf("expected condition, found %s", t.kind)}
+	}
+	switch t.text {
+	case "not":
+		p.advance()
+		inner, err := p.cond()
+		if err != nil {
+			return nil, err
+		}
+		return Not{Inner: inner}, nil
+	case "true":
+		p.advance()
+		return BoolLit{Value: true}, nil
+	case "false":
+		p.advance()
+		return BoolLit{Value: false}, nil
+	case "matches":
+		p.advance()
+		if _, err := p.expect(tokLParen); err != nil {
+			return nil, err
+		}
+		expr, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokComma); err != nil {
+			return nil, err
+		}
+		classTok, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		class, ok := CharClassFromString(classTok.text)
+		if !ok {
+			return nil, &SyntaxError{Line: classTok.line, Msg: fmt.Sprintf("unknown character class %q", classTok.text)}
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		return Match{Expr: expr, Class: class}, nil
+	case "contains", "eq":
+		kw := t.text
+		p.advance()
+		if _, err := p.expect(tokLParen); err != nil {
+			return nil, err
+		}
+		expr, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokComma); err != nil {
+			return nil, err
+		}
+		lit, err := p.expect(tokString)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		if kw == "contains" {
+			return Contains{Expr: expr, Needle: lit.text}, nil
+		}
+		return Eq{Expr: expr, Value: lit.text}, nil
+	default:
+		return nil, &SyntaxError{Line: t.line, Msg: fmt.Sprintf("unknown condition %q", t.text)}
+	}
+}

@@ -1,0 +1,117 @@
+package svclang
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Print renders the service in the canonical textual form accepted by
+// Parse. Parse(Print(svc)) yields a service equal to svc up to sink-ID
+// renumbering (IDs are positional in both directions, so a valid service
+// round-trips exactly).
+func Print(svc *Service) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "service %s\n", svc.Name)
+	for _, p := range svc.Params {
+		fmt.Fprintf(&sb, "  param %s\n", p)
+	}
+	printStmts(&sb, svc.Body, 1)
+	sb.WriteString("end\n")
+	return sb.String()
+}
+
+func printStmts(sb *strings.Builder, stmts []Stmt, depth int) {
+	indent := strings.Repeat("  ", depth)
+	for _, st := range stmts {
+		switch v := st.(type) {
+		case VarDecl:
+			fmt.Fprintf(sb, "%svar %s\n", indent, v.Name)
+		case Assign:
+			fmt.Fprintf(sb, "%s%s = %s\n", indent, v.Name, printExpr(v.Expr))
+		case If:
+			fmt.Fprintf(sb, "%sif %s\n", indent, printCond(v.Cond))
+			printStmts(sb, v.Then, depth+1)
+			if len(v.Else) > 0 {
+				fmt.Fprintf(sb, "%selse\n", indent)
+				printStmts(sb, v.Else, depth+1)
+			}
+			fmt.Fprintf(sb, "%send\n", indent)
+		case Repeat:
+			fmt.Fprintf(sb, "%srepeat %d\n", indent, v.Count)
+			printStmts(sb, v.Body, depth+1)
+			fmt.Fprintf(sb, "%send\n", indent)
+		case Sink:
+			silent := ""
+			if v.Silent {
+				silent = "silent "
+			}
+			fmt.Fprintf(sb, "%ssink %s %s%s\n", indent, v.Kind, silent, printExpr(v.Expr))
+		case Reject:
+			fmt.Fprintf(sb, "%sreject\n", indent)
+		case Store:
+			fmt.Fprintf(sb, "%sstore %s %s\n", indent, quoteLit(v.Key), printExpr(v.Expr))
+		default:
+			fmt.Fprintf(sb, "%s# <unknown statement %T>\n", indent, st)
+		}
+	}
+}
+
+func printExpr(e Expr) string {
+	switch v := e.(type) {
+	case Lit:
+		return quoteLit(v.Value)
+	case Ident:
+		return v.Name
+	case Call:
+		parts := make([]string, len(v.Args))
+		for i, a := range v.Args {
+			parts[i] = printExpr(a)
+		}
+		return fmt.Sprintf("%s(%s)", v.Fn, strings.Join(parts, ", "))
+	case LoadExpr:
+		return fmt.Sprintf("load(%s)", quoteLit(v.Key))
+	default:
+		return fmt.Sprintf("<unknown expr %T>", e)
+	}
+}
+
+func printCond(c Cond) string {
+	switch v := c.(type) {
+	case Match:
+		return fmt.Sprintf("matches(%s, %s)", printExpr(v.Expr), v.Class)
+	case Contains:
+		return fmt.Sprintf("contains(%s, %s)", printExpr(v.Expr), quoteLit(v.Needle))
+	case Eq:
+		return fmt.Sprintf("eq(%s, %s)", printExpr(v.Expr), quoteLit(v.Value))
+	case Not:
+		return fmt.Sprintf("not %s", printCond(v.Inner))
+	case BoolLit:
+		if v.Value {
+			return "true"
+		}
+		return "false"
+	default:
+		return fmt.Sprintf("<unknown cond %T>", c)
+	}
+}
+
+func quoteLit(s string) string {
+	var sb strings.Builder
+	sb.WriteByte('"')
+	for _, r := range s {
+		switch r {
+		case '"':
+			sb.WriteString(`\"`)
+		case '\\':
+			sb.WriteString(`\\`)
+		case '\n':
+			sb.WriteString(`\n`)
+		case '\t':
+			sb.WriteString(`\t`)
+		default:
+			sb.WriteRune(r)
+		}
+	}
+	sb.WriteByte('"')
+	return sb.String()
+}

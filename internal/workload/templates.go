@@ -1,0 +1,501 @@
+// Package workload generates labelled benchmark corpora: collections of
+// mini-language services with seeded vulnerabilities and exact ground
+// truth.
+//
+// Each service is built from a template that mirrors a vulnerability
+// pattern from the Juliet-style test-suite tradition (direct splice,
+// missing/wrong/accidental sanitizer, validation bugs, unreachable code,
+// guarded flows, loops, silent sinks). Templates declare the expected
+// vulnerability of every sink they emit; the generator verifies the
+// declaration against the exhaustive structural-taint oracle, so a corpus
+// can never carry a wrong label.
+package workload
+
+import (
+	"fmt"
+
+	"github.com/dsn2015/vdbench/internal/svclang"
+)
+
+// Difficulty buckets templates by how hard their sinks are for typical
+// tools to classify correctly.
+type Difficulty int
+
+// Difficulty levels.
+const (
+	Easy Difficulty = iota + 1
+	Medium
+	Hard
+)
+
+// String implements fmt.Stringer.
+func (d Difficulty) String() string {
+	switch d {
+	case Easy:
+		return "easy"
+	case Medium:
+		return "medium"
+	case Hard:
+		return "hard"
+	default:
+		return fmt.Sprintf("Difficulty(%d)", int(d))
+	}
+}
+
+// Template builds services embodying one vulnerability pattern.
+type Template struct {
+	// Name identifies the template in case metadata.
+	Name string
+	// Difficulty buckets the template for workload mixing.
+	Difficulty Difficulty
+	// Kinds lists the sink kinds the template supports.
+	Kinds []svclang.SinkKind
+	// Build constructs a service. vulnerable selects the vulnerable or the
+	// safe variant. The returned slice declares the expected vulnerability
+	// of each sink in sink-ID order.
+	Build func(name string, kind svclang.SinkKind, vulnerable bool) (*svclang.Service, []bool)
+}
+
+// SupportsKind reports whether the template can target the given kind.
+func (t Template) SupportsKind(k svclang.SinkKind) bool {
+	for _, kk := range t.Kinds {
+		if kk == k {
+			return true
+		}
+	}
+	return false
+}
+
+// splice returns prefix + mid + suffix for the canonical injection context
+// of each kind.
+func splice(kind svclang.SinkKind, mid svclang.Expr) svclang.Expr {
+	var prefix, suffix string
+	switch kind {
+	case svclang.SinkSQL:
+		prefix, suffix = "SELECT * FROM accounts WHERE owner='", "'"
+	case svclang.SinkXPath:
+		prefix, suffix = "//user[name='", "']"
+	case svclang.SinkHTML:
+		prefix, suffix = "<p>Results for ", "</p>"
+	case svclang.SinkCmd:
+		prefix, suffix = "report ", ""
+	case svclang.SinkPath:
+		prefix, suffix = "exports/", ""
+	}
+	return svclang.Call{Fn: svclang.BuiltinConcat, Args: []svclang.Expr{
+		svclang.Lit{Value: prefix}, mid, svclang.Lit{Value: suffix},
+	}}
+}
+
+// adequateSanitizer returns the canonical sanitizer for a kind.
+func adequateSanitizer(kind svclang.SinkKind) svclang.Builtin {
+	switch kind {
+	case svclang.SinkSQL:
+		return svclang.BuiltinEscapeSQL
+	case svclang.SinkXPath:
+		return svclang.BuiltinEscapeXPath
+	case svclang.SinkHTML:
+		return svclang.BuiltinEscapeHTML
+	case svclang.SinkCmd:
+		return svclang.BuiltinEscapeShell
+	case svclang.SinkPath:
+		return svclang.BuiltinSanitizePath
+	default:
+		return svclang.BuiltinNumeric
+	}
+}
+
+// inadequateSanitizer returns a sanitizer that does NOT protect the
+// canonical context of the kind (verified by the adequacy-matrix tests).
+func inadequateSanitizer(kind svclang.SinkKind) svclang.Builtin {
+	switch kind {
+	case svclang.SinkSQL:
+		return svclang.BuiltinEscapeShell
+	case svclang.SinkXPath:
+		return svclang.BuiltinEscapeSQL
+	case svclang.SinkHTML:
+		return svclang.BuiltinEscapeXPath
+	case svclang.SinkCmd:
+		return svclang.BuiltinEscapeHTML
+	case svclang.SinkPath:
+		return svclang.BuiltinEscapeSQL
+	default:
+		return svclang.BuiltinUpper
+	}
+}
+
+func ident(name string) svclang.Expr { return svclang.Ident{Name: name} }
+
+func call(fn svclang.Builtin, args ...svclang.Expr) svclang.Expr {
+	return svclang.Call{Fn: fn, Args: args}
+}
+
+// sinkStmt builds a sink statement.
+func sinkStmt(id int, kind svclang.SinkKind, expr svclang.Expr, silent bool) svclang.Stmt {
+	return svclang.Sink{ID: id, Kind: kind, Expr: expr, Silent: silent}
+}
+
+// Templates returns the full template library in a stable order.
+func Templates() []Template {
+	return []Template{
+		{
+			// The textbook case: parameter spliced straight into the sink.
+			// Safe variant applies the canonical sanitizer.
+			Name:       "direct-splice",
+			Difficulty: Easy,
+			Kinds:      svclang.AllSinkKinds(),
+			Build: func(name string, kind svclang.SinkKind, vulnerable bool) (*svclang.Service, []bool) {
+				var mid svclang.Expr = ident("input")
+				if !vulnerable {
+					mid = call(adequateSanitizer(kind), mid)
+				}
+				svc := &svclang.Service{
+					Name:   name,
+					Params: []string{"input"},
+					Body: []svclang.Stmt{
+						svclang.VarDecl{Name: "q"},
+						svclang.Assign{Name: "q", Expr: splice(kind, mid)},
+						sinkStmt(0, kind, ident("q"), false),
+					},
+				}
+				return svc, []bool{vulnerable}
+			},
+		},
+		{
+			// Unquoted numeric splice (SQL/XPath only). Safe variant casts
+			// with numeric().
+			Name:       "numeric-splice",
+			Difficulty: Easy,
+			Kinds:      []svclang.SinkKind{svclang.SinkSQL, svclang.SinkXPath},
+			Build: func(name string, kind svclang.SinkKind, vulnerable bool) (*svclang.Service, []bool) {
+				var mid svclang.Expr = ident("id")
+				if !vulnerable {
+					mid = call(svclang.BuiltinNumeric, mid)
+				}
+				var prefix string
+				if kind == svclang.SinkSQL {
+					prefix = "SELECT * FROM orders WHERE id="
+				} else {
+					prefix = "//order[id="
+				}
+				expr := call(svclang.BuiltinConcat, svclang.Lit{Value: prefix}, mid)
+				if kind == svclang.SinkXPath {
+					expr = call(svclang.BuiltinConcat, expr, svclang.Lit{Value: "]"})
+				}
+				svc := &svclang.Service{
+					Name:   name,
+					Params: []string{"id"},
+					Body:   []svclang.Stmt{sinkStmt(0, kind, expr, false)},
+				}
+				return svc, []bool{vulnerable}
+			},
+		},
+		{
+			// Constant sink: no attacker data at all. Always safe; pure
+			// true-negative filler that penalises trigger-happy tools.
+			Name:       "constant-sink",
+			Difficulty: Easy,
+			Kinds:      svclang.AllSinkKinds(),
+			Build: func(name string, kind svclang.SinkKind, _ bool) (*svclang.Service, []bool) {
+				svc := &svclang.Service{
+					Name:   name,
+					Params: []string{"unused"},
+					Body: []svclang.Stmt{
+						sinkStmt(0, kind, splice(kind, svclang.Lit{Value: "static"}), false),
+					},
+				}
+				return svc, []bool{false}
+			},
+		},
+		{
+			// Input validation guards the splice. Safe variant validates
+			// the spliced parameter; vulnerable variant validates the WRONG
+			// parameter (a classic copy-paste bug).
+			Name:       "validated-splice",
+			Difficulty: Medium,
+			Kinds:      svclang.AllSinkKinds(),
+			Build: func(name string, kind svclang.SinkKind, vulnerable bool) (*svclang.Service, []bool) {
+				checked := "input"
+				if vulnerable {
+					checked = "other"
+				}
+				svc := &svclang.Service{
+					Name:   name,
+					Params: []string{"input", "other"},
+					Body: []svclang.Stmt{
+						svclang.If{
+							Cond: svclang.Not{Inner: svclang.Match{Expr: ident(checked), Class: svclang.ClassAlnum}},
+							Then: []svclang.Stmt{svclang.Reject{}},
+						},
+						sinkStmt(0, kind, splice(kind, ident("input")), false),
+					},
+				}
+				return svc, []bool{vulnerable}
+			},
+		},
+		{
+			// A sanitizer is applied, but it is the wrong one for this sink
+			// kind. Vulnerable despite "looking sanitized" — the trap for
+			// tools that do not model sanitizer adequacy per sink.
+			Name:       "wrong-sanitizer",
+			Difficulty: Medium,
+			Kinds:      svclang.AllSinkKinds(),
+			Build: func(name string, kind svclang.SinkKind, vulnerable bool) (*svclang.Service, []bool) {
+				san := adequateSanitizer(kind)
+				if vulnerable {
+					san = inadequateSanitizer(kind)
+				}
+				svc := &svclang.Service{
+					Name:   name,
+					Params: []string{"input"},
+					Body: []svclang.Stmt{
+						sinkStmt(0, kind, splice(kind, call(san, ident("input"))), false),
+					},
+				}
+				return svc, []bool{vulnerable}
+			},
+		},
+		{
+			// Quoted SQL/XPath behind escape_html: safe by accident. Tools
+			// with a diagonal sanitizer model report it — a pure
+			// false-positive trap. The vulnerable variant omits the
+			// sanitizer entirely.
+			Name:       "accidental-sanitizer",
+			Difficulty: Hard,
+			Kinds:      []svclang.SinkKind{svclang.SinkSQL, svclang.SinkXPath},
+			Build: func(name string, kind svclang.SinkKind, vulnerable bool) (*svclang.Service, []bool) {
+				var mid svclang.Expr = ident("input")
+				if !vulnerable {
+					mid = call(svclang.BuiltinEscapeHTML, mid)
+				}
+				svc := &svclang.Service{
+					Name:   name,
+					Params: []string{"input"},
+					Body: []svclang.Stmt{
+						sinkStmt(0, kind, splice(kind, mid), false),
+					},
+				}
+				return svc, []bool{vulnerable}
+			},
+		},
+		{
+			// Sink inside a statically false branch plus a live constant
+			// sink. Neither is vulnerable; path-insensitive tools flag the
+			// dead one.
+			Name:       "dead-sink",
+			Difficulty: Hard,
+			Kinds:      svclang.AllSinkKinds(),
+			Build: func(name string, kind svclang.SinkKind, vulnerable bool) (*svclang.Service, []bool) {
+				dead := svclang.If{
+					Cond: svclang.BoolLit{Value: false},
+					Then: []svclang.Stmt{sinkStmt(0, kind, splice(kind, ident("input")), false)},
+				}
+				var live svclang.Stmt
+				expected := []bool{false, false}
+				if vulnerable {
+					live = sinkStmt(1, kind, splice(kind, ident("input")), false)
+					expected = []bool{false, true}
+				} else {
+					live = sinkStmt(1, kind, splice(kind, svclang.Lit{Value: "static"}), false)
+				}
+				svc := &svclang.Service{
+					Name:   name,
+					Params: []string{"input"},
+					Body:   []svclang.Stmt{dead, live},
+				}
+				return svc, expected
+			},
+		},
+		{
+			// Sink reachable only when a second parameter holds a magic
+			// value. Hard for dynamic tools with shallow input exploration.
+			Name:       "guarded-splice",
+			Difficulty: Hard,
+			Kinds:      svclang.AllSinkKinds(),
+			Build: func(name string, kind svclang.SinkKind, vulnerable bool) (*svclang.Service, []bool) {
+				var mid svclang.Expr = ident("input")
+				if !vulnerable {
+					mid = call(adequateSanitizer(kind), mid)
+				}
+				svc := &svclang.Service{
+					Name:   name,
+					Params: []string{"input", "mode"},
+					Body: []svclang.Stmt{
+						svclang.If{
+							Cond: svclang.Eq{Expr: ident("mode"), Value: "alpha"},
+							Then: []svclang.Stmt{sinkStmt(0, kind, splice(kind, mid), false)},
+							Else: []svclang.Stmt{sinkStmt(1, kind, splice(kind, svclang.Lit{Value: "default"}), false)},
+						},
+					},
+				}
+				return svc, []bool{vulnerable, false}
+			},
+		},
+		{
+			// Taint accumulated through a loop before reaching the sink.
+			// Safe variant sanitizes inside the loop.
+			Name:       "loop-flow",
+			Difficulty: Hard,
+			Kinds:      svclang.AllSinkKinds(),
+			Build: func(name string, kind svclang.SinkKind, vulnerable bool) (*svclang.Service, []bool) {
+				var piece svclang.Expr = ident("input")
+				if !vulnerable {
+					piece = call(adequateSanitizer(kind), piece)
+				}
+				svc := &svclang.Service{
+					Name:   name,
+					Params: []string{"input"},
+					Body: []svclang.Stmt{
+						svclang.VarDecl{Name: "acc"},
+						svclang.Repeat{Count: 3, Body: []svclang.Stmt{
+							svclang.Assign{Name: "acc", Expr: call(svclang.BuiltinConcat, ident("acc"), piece)},
+						}},
+						sinkStmt(0, kind, splice(kind, ident("acc")), false),
+					},
+				}
+				return svc, []bool{vulnerable}
+			},
+		},
+		{
+			// Multi-hop data flow through intermediate variables and
+			// taint-preserving transforms. Safe variant sanitizes mid-chain.
+			Name:       "indirect-flow",
+			Difficulty: Medium,
+			Kinds:      svclang.AllSinkKinds(),
+			Build: func(name string, kind svclang.SinkKind, vulnerable bool) (*svclang.Service, []bool) {
+				var hop svclang.Expr = call(svclang.BuiltinTrim, ident("input"))
+				if !vulnerable {
+					hop = call(adequateSanitizer(kind), hop)
+				}
+				svc := &svclang.Service{
+					Name:   name,
+					Params: []string{"input"},
+					Body: []svclang.Stmt{
+						svclang.VarDecl{Name: "a"},
+						svclang.VarDecl{Name: "b"},
+						svclang.Assign{Name: "a", Expr: hop},
+						svclang.Assign{Name: "b", Expr: ident("a")},
+						sinkStmt(0, kind, splice(kind, ident("b")), false),
+					},
+				}
+				return svc, []bool{vulnerable}
+			},
+		},
+		{
+			// Silent sink: exploitable, but failures produce no observable
+			// response. Error-based dynamic tools cannot confirm it.
+			Name:       "silent-sink",
+			Difficulty: Hard,
+			Kinds:      svclang.AllSinkKinds(),
+			Build: func(name string, kind svclang.SinkKind, vulnerable bool) (*svclang.Service, []bool) {
+				var mid svclang.Expr = ident("input")
+				if !vulnerable {
+					mid = call(adequateSanitizer(kind), mid)
+				}
+				svc := &svclang.Service{
+					Name:   name,
+					Params: []string{"input"},
+					Body: []svclang.Stmt{
+						sinkStmt(0, kind, splice(kind, mid), true),
+					},
+				}
+				return svc, []bool{vulnerable}
+			},
+		},
+		{
+			// Two parameters: one sanitized, one raw, concatenated into the
+			// same sink. Safe variant sanitizes both.
+			Name:       "double-param",
+			Difficulty: Medium,
+			Kinds:      svclang.AllSinkKinds(),
+			Build: func(name string, kind svclang.SinkKind, vulnerable bool) (*svclang.Service, []bool) {
+				san := adequateSanitizer(kind)
+				var second svclang.Expr = ident("b")
+				if !vulnerable {
+					second = call(san, second)
+				}
+				mid := call(svclang.BuiltinConcat, call(san, ident("a")), svclang.Lit{Value: " "}, second)
+				svc := &svclang.Service{
+					Name:   name,
+					Params: []string{"a", "b"},
+					Body: []svclang.Stmt{
+						sinkStmt(0, kind, splice(kind, mid), false),
+					},
+				}
+				return svc, []bool{vulnerable}
+			},
+		},
+		{
+			// Second-order flow: the sink renders what a *previous* request
+			// stored, so a stateless scanner's differential probe never sees
+			// its own payload come back. Safe variant sanitizes on store.
+			// One parameter only: the exhaustive oracle enumerates request
+			// pairs for stateful services.
+			Name:       "stored-splice",
+			Difficulty: Hard,
+			Kinds:      svclang.AllSinkKinds(),
+			Build: func(name string, kind svclang.SinkKind, vulnerable bool) (*svclang.Service, []bool) {
+				var stored svclang.Expr = ident("input")
+				if !vulnerable {
+					stored = call(adequateSanitizer(kind), stored)
+				}
+				svc := &svclang.Service{
+					Name:   name,
+					Params: []string{"input"},
+					Body: []svclang.Stmt{
+						sinkStmt(0, kind, splice(kind, svclang.LoadExpr{Key: "saved"}), false),
+						svclang.Store{Key: "saved", Expr: stored},
+					},
+				}
+				return svc, []bool{vulnerable}
+			},
+		},
+		{
+			// Validation exists but runs AFTER the sink — an ordering bug.
+			// Safe variant validates before the sink.
+			Name:       "late-validation",
+			Difficulty: Hard,
+			Kinds:      svclang.AllSinkKinds(),
+			Build: func(name string, kind svclang.SinkKind, vulnerable bool) (*svclang.Service, []bool) {
+				validate := svclang.If{
+					Cond: svclang.Not{Inner: svclang.Match{Expr: ident("input"), Class: svclang.ClassAlnum}},
+					Then: []svclang.Stmt{svclang.Reject{}},
+				}
+				sink := sinkStmt(0, kind, splice(kind, ident("input")), false)
+				var body []svclang.Stmt
+				if vulnerable {
+					body = []svclang.Stmt{sink, validate}
+				} else {
+					body = []svclang.Stmt{validate, sink}
+				}
+				svc := &svclang.Service{
+					Name:   name,
+					Params: []string{"input"},
+					Body:   body,
+				}
+				return svc, []bool{vulnerable}
+			},
+		},
+	}
+}
+
+// TemplateByName returns the template with the given name.
+func TemplateByName(name string) (Template, bool) {
+	for _, t := range Templates() {
+		if t.Name == name {
+			return t, true
+		}
+	}
+	return Template{}, false
+}
+
+// TemplatesByDifficulty returns the templates in the given bucket.
+func TemplatesByDifficulty(d Difficulty) []Template {
+	var out []Template
+	for _, t := range Templates() {
+		if t.Difficulty == d {
+			out = append(out, t)
+		}
+	}
+	return out
+}

@@ -1,0 +1,247 @@
+// Package vdbench is a benchmark framework for vulnerability detection
+// tools, reproducing Antunes & Vieira, "On the Metrics for Benchmarking
+// Vulnerability Detection Tools" (DSN 2015).
+//
+// The package is the public facade over the internal building blocks:
+//
+//   - a catalogue of 29 candidate benchmark metrics over confusion
+//     matrices, with computed property profiles (boundedness, prevalence
+//     robustness, chance correction, stability, discriminative power, ...);
+//   - a workload generator producing labelled corpora of synthetic web
+//     services with seeded injection vulnerabilities, ground truth verified
+//     by an exhaustive structural-taint oracle;
+//   - a suite of real miniature detection tools (taint-analysis SAST,
+//     signature SAST, differential penetration testers) plus calibrated
+//     simulated tools;
+//   - a campaign harness scoring tools at sink granularity;
+//   - usage scenarios with per-scenario criterion weights, an analytical
+//     metric selector, and MCDA validation (AHP with encoded expert
+//     panels; weighted-sum, weighted-product and TOPSIS baselines).
+//
+// # Quick start
+//
+//	corpus, err := vdbench.GenerateWorkload(vdbench.WorkloadConfig{
+//		Services:         100,
+//		TargetPrevalence: 0.35,
+//		Seed:             1,
+//	})
+//	// handle err
+//	tools, err := vdbench.StandardTools()
+//	// handle err
+//	campaign, err := vdbench.RunCampaign(corpus, tools, 1)
+//	// handle err
+//	recall := vdbench.MustMetric("recall")
+//	for _, res := range campaign.Results {
+//		v, _ := res.MetricValue(recall)
+//		fmt.Printf("%s recall=%.3f\n", res.Tool, v)
+//	}
+//
+// To reproduce the paper's experiments, see RunExperiment and the
+// cmd/vdbench command.
+package vdbench
+
+import (
+	"errors"
+
+	"github.com/dsn2015/vdbench/internal/core"
+	"github.com/dsn2015/vdbench/internal/detectors"
+	"github.com/dsn2015/vdbench/internal/experiments"
+	"github.com/dsn2015/vdbench/internal/harness"
+	"github.com/dsn2015/vdbench/internal/metricprop"
+	"github.com/dsn2015/vdbench/internal/metrics"
+	"github.com/dsn2015/vdbench/internal/scenario"
+	"github.com/dsn2015/vdbench/internal/stats"
+	"github.com/dsn2015/vdbench/internal/svclang"
+	"github.com/dsn2015/vdbench/internal/workload"
+)
+
+// Re-exported core types. The aliases form the public API surface; the
+// internal packages stay internal.
+type (
+	// Confusion is a binary confusion matrix (TP/FP/FN/TN) over sinks.
+	Confusion = metrics.Confusion
+	// Metric is one candidate benchmark metric with its metadata.
+	Metric = metrics.Metric
+	// MetricProfile is the computed property profile of a metric.
+	MetricProfile = metricprop.Profile
+	// PropConfig configures the metric property analysis.
+	PropConfig = metricprop.Config
+	// WorkloadConfig configures corpus generation.
+	WorkloadConfig = workload.Config
+	// Corpus is a generated, ground-truth-labelled workload.
+	Corpus = workload.Corpus
+	// Case is one labelled service of a corpus.
+	Case = workload.Case
+	// Tool is a vulnerability detection tool under benchmark.
+	Tool = detectors.Tool
+	// Report is one tool finding.
+	Report = detectors.Report
+	// Campaign is the scored result of running tools over a corpus.
+	Campaign = harness.Campaign
+	// ToolResult is one tool's scored campaign outcome.
+	ToolResult = harness.ToolResult
+	// Scenario is a benchmark usage scenario with criterion weights.
+	Scenario = scenario.Scenario
+	// Criterion is one characteristic of a good benchmark metric.
+	Criterion = scenario.Criterion
+	// Selection is a per-scenario metric selection outcome.
+	Selection = core.Selection
+	// Validation is the MCDA validation outcome for a scenario.
+	Validation = core.Validation
+	// Service is a workload program in the mini service language.
+	Service = svclang.Service
+	// ExperimentConfig parameterises the paper experiments E1-E17.
+	ExperimentConfig = experiments.Config
+	// ExperimentResult is one experiment's rendered tables and figures.
+	ExperimentResult = experiments.Result
+)
+
+// Metrics returns the full candidate metric catalogue in presentation
+// order.
+func Metrics() []Metric { return metrics.Catalog() }
+
+// MetricByID looks a metric up by ID or alias.
+func MetricByID(id string) (Metric, bool) { return metrics.ByID(id) }
+
+// MustMetric returns the metric with the given ID and panics when it does
+// not exist; intended for fixed IDs in example and test code.
+func MustMetric(id string) Metric { return metrics.MustByID(id) }
+
+// GenerateWorkload builds a labelled benchmark corpus. Every sink label is
+// verified against the exhaustive ground-truth oracle during generation.
+func GenerateWorkload(cfg WorkloadConfig) (*Corpus, error) {
+	return workload.Generate(cfg)
+}
+
+// ParseServices parses service definitions in the textual mini-language
+// format (see the svclang grammar in the README).
+func ParseServices(src string) ([]*Service, error) { return svclang.Parse(src) }
+
+// PrintService renders a service in the canonical textual form.
+func PrintService(svc *Service) string { return svclang.Print(svc) }
+
+// LoadWorkload builds a labelled corpus from externally authored service
+// sources; ground truth is computed by the exhaustive oracle exactly as
+// for generated corpora.
+func LoadWorkload(src string) (*Corpus, error) { return workload.FromSources(src) }
+
+// StandardTools returns the benchmark campaign's standard tool suite:
+// four static tools, two penetration testers and one simulated heuristic
+// tool.
+func StandardTools() ([]Tool, error) { return detectors.StandardSuite() }
+
+// CombineMode selects how CombineTools merges member findings.
+type CombineMode = detectors.CombineMode
+
+// Combination modes for CombineTools.
+const (
+	Union        = detectors.Union
+	Intersection = detectors.Intersection
+	Majority     = detectors.Majority
+)
+
+// CombineTools builds a tool that merges the findings of at least two
+// member tools under the given mode (union raises recall, intersection
+// raises precision, majority votes).
+func CombineTools(name string, mode CombineMode, members []Tool) (Tool, error) {
+	return detectors.NewCombined(name, mode, members)
+}
+
+// RunCampaign executes every tool over every corpus case and scores the
+// reports at sink granularity. The seed drives simulated tools only; real
+// tools are deterministic.
+func RunCampaign(corpus *Corpus, tools []Tool, seed uint64) (*Campaign, error) {
+	return harness.Run(corpus, tools, seed)
+}
+
+// DefaultPropConfig returns the property-analysis configuration used by
+// the published experiment numbers.
+func DefaultPropConfig() PropConfig { return metricprop.DefaultConfig() }
+
+// AnalyzeMetrics computes property profiles for the whole metric
+// catalogue. The analysis is deterministic in the seed.
+func AnalyzeMetrics(cfg PropConfig, seed uint64) ([]MetricProfile, error) {
+	return metricprop.AnalyzeCatalog(cfg, stats.NewRNG(seed))
+}
+
+// Scenarios returns the benchmark usage scenarios.
+func Scenarios() []Scenario { return scenario.Scenarios() }
+
+// ScenarioByID looks a scenario up by ID (see Scenarios for the
+// catalogue).
+func ScenarioByID(id string) (Scenario, bool) { return scenario.ByID(id) }
+
+// Criteria returns the characteristics of a good benchmark metric used by
+// the scenario analysis.
+func Criteria() []Criterion { return scenario.Criteria() }
+
+// SelectMetric performs the analytical per-scenario metric selection.
+func SelectMetric(s Scenario, profiles []MetricProfile) (Selection, error) {
+	return core.Select(s, profiles)
+}
+
+// ValidateSelection validates a scenario's metric selection with the
+// Analytic Hierarchy Process over an encoded expert panel of the given
+// size and judgment-noise level.
+func ValidateSelection(s Scenario, profiles []MetricProfile, panelSize int, sigma float64, seed uint64) (Validation, error) {
+	return core.Validate(s, profiles, panelSize, sigma, stats.NewRNG(seed))
+}
+
+// DefaultExperimentConfig returns the configuration behind the numbers in
+// EXPERIMENTS.md.
+func DefaultExperimentConfig() ExperimentConfig { return experiments.DefaultConfig() }
+
+// QuickExperimentConfig returns a reduced configuration for smoke runs
+// (same code paths, roughly an order of magnitude faster).
+func QuickExperimentConfig() ExperimentConfig { return experiments.QuickConfig() }
+
+// ExperimentIDs lists the reproducible experiments (e1..e10) in
+// presentation order.
+func ExperimentIDs() []string { return experiments.IDs() }
+
+// RunExperiment reproduces one of the paper's tables or figures by ID.
+func RunExperiment(id string, cfg ExperimentConfig) (ExperimentResult, error) {
+	runner, err := experiments.NewRunner(cfg)
+	if err != nil {
+		return ExperimentResult{}, err
+	}
+	return runner.Run(id)
+}
+
+// RunAllExperiments reproduces every table and figure. Sharing one call
+// (rather than looping over RunExperiment) reuses the corpus, campaign and
+// metric profiles across experiments.
+func RunAllExperiments(cfg ExperimentConfig) ([]ExperimentResult, error) {
+	runner, err := experiments.NewRunner(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return runner.All()
+}
+
+// WilsonInterval computes the Wilson score interval for a binomial rate
+// (k successes in n trials) at the given confidence level. Rate metrics
+// (recall, precision, ...) are binomial proportions, so this is the
+// standard way to put error bars on them.
+func WilsonInterval(k, n int, confidence float64) (stats.Interval, error) {
+	return stats.Wilson(k, n, confidence)
+}
+
+// CompareTools runs McNemar's paired test on two tools' outcomes from the
+// same campaign: the statistically appropriate significance test for "do
+// these tools classify this workload differently?".
+func CompareTools(a, b *ToolResult) (stats.McNemarResult, error) {
+	if a == nil || b == nil {
+		return stats.McNemarResult{}, errors.New("vdbench: nil tool result")
+	}
+	if len(a.Outcomes) != len(b.Outcomes) {
+		return stats.McNemarResult{}, errors.New("vdbench: tools come from different campaigns")
+	}
+	aCorrect := make([]bool, len(a.Outcomes))
+	bCorrect := make([]bool, len(b.Outcomes))
+	for i := range a.Outcomes {
+		aCorrect[i] = a.Outcomes[i].Vulnerable == a.Outcomes[i].Flagged
+		bCorrect[i] = b.Outcomes[i].Vulnerable == b.Outcomes[i].Flagged
+	}
+	return stats.McNemarFromOutcomes(aCorrect, bCorrect)
+}
