@@ -7,10 +7,12 @@ package vdbench
 // configuration via cmd/vdbench.
 
 import (
+	"fmt"
 	"testing"
 
 	"github.com/dsn2015/vdbench/internal/detectors"
 	"github.com/dsn2015/vdbench/internal/experiments"
+	"github.com/dsn2015/vdbench/internal/harness"
 	"github.com/dsn2015/vdbench/internal/mcda"
 	"github.com/dsn2015/vdbench/internal/metrics"
 	"github.com/dsn2015/vdbench/internal/ranking"
@@ -246,6 +248,68 @@ func BenchmarkBootstrapMean(b *testing.B) {
 		}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// campaignWorkerCounts is the worker-pool sweep reported in README.md.
+var campaignWorkerCounts = []int{1, 2, 4, 8}
+
+// BenchmarkCampaignWorkers measures the raw campaign harness at several
+// pool sizes over one fixed corpus and tool suite. The output is
+// byte-identical across sub-benchmarks (see TestRunParallelEquivalence in
+// internal/harness); only the wall clock moves.
+func BenchmarkCampaignWorkers(b *testing.B) {
+	corpus, err := workload.Generate(workload.Config{
+		Services:         200,
+		TargetPrevalence: 0.35,
+		Seed:             1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tools, err := detectors.StandardSuite()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range campaignWorkerCounts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				camp, err := harness.RunParallel(corpus, tools, 1, workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(camp.Results) == 0 {
+					b.Fatal("empty campaign")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE3CampaignWorkers regenerates the E3 artefact end to end at
+// several campaign pool sizes: the experiment-level view of the same
+// sweep.
+func BenchmarkE3CampaignWorkers(b *testing.B) {
+	for _, workers := range campaignWorkerCounts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			cfg := experiments.QuickConfig()
+			cfg.Workers = workers
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				runner, err := experiments.NewRunner(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := runner.Run("e3")
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Tables) == 0 {
+					b.Fatal("e3 produced no tables")
+				}
+			}
+		})
 	}
 }
 

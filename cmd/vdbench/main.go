@@ -11,6 +11,7 @@
 //	vdbench -quick all      # every experiment at reduced sample sizes
 //	vdbench -format csv e5  # CSV output for downstream plotting
 //	vdbench -seed 7 -services 1000 e3
+//	vdbench -workers 8 e3   # campaign worker pool; output is identical
 package main
 
 import (
@@ -19,6 +20,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 
 	"github.com/dsn2015/vdbench"
@@ -37,6 +39,7 @@ func run(args []string, out io.Writer) error {
 		quick    = fs.Bool("quick", false, "use the reduced smoke-run configuration")
 		seed     = fs.Uint64("seed", 0, "override the experiment seed (0 = keep default)")
 		services = fs.Int("services", 0, "override the campaign corpus size (0 = keep default)")
+		workers  = fs.Int("workers", runtime.GOMAXPROCS(0), "campaign worker-pool size (output is identical for every value)")
 		format   = fs.String("format", "text", "output format: text, csv or markdown (tables only for csv/markdown)")
 		outDir   = fs.String("out", "", "also write per-experiment artefacts (.txt, .csv, .svg) into this directory")
 		list     = fs.Bool("list", false, "list the available experiments and exit")
@@ -70,6 +73,7 @@ func run(args []string, out io.Writer) error {
 	if *services != 0 {
 		cfg.Services = *services
 	}
+	cfg.Workers = *workers
 	target := strings.ToLower(fs.Arg(0))
 
 	var results []vdbench.ExperimentResult

@@ -85,6 +85,23 @@ func TestRunSeedOverrideChangesCampaign(t *testing.T) {
 	}
 }
 
+func TestRunWorkersFlagPreservesOutput(t *testing.T) {
+	var serial, parallel strings.Builder
+	if err := run([]string{"-quick", "-workers", "1", "e3"}, &serial); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-quick", "-workers", "4", "e3"}, &parallel); err != nil {
+		t.Fatal(err)
+	}
+	if serial.String() != parallel.String() {
+		t.Fatal("-workers changed the experiment output")
+	}
+	var out strings.Builder
+	if err := run([]string{"-quick", "-workers", "-3", "e3"}, &out); err == nil {
+		t.Fatal("negative -workers accepted")
+	}
+}
+
 func TestRunOutDirWritesArtefacts(t *testing.T) {
 	dir := t.TempDir()
 	var out strings.Builder

@@ -37,6 +37,10 @@ type Config struct {
 	// StabilityTrials is the per-sigma trial count of the MCDA
 	// sensitivity analysis (E10).
 	StabilityTrials int
+	// Workers sets the campaign worker-pool size: 0 selects
+	// runtime.GOMAXPROCS(0), 1 forces serial execution. The campaign
+	// output is byte-identical for every value (see harness.RunParallel).
+	Workers int
 }
 
 // DefaultConfig returns the configuration used for the published numbers
@@ -88,6 +92,9 @@ func (c Config) Validate() error {
 	}
 	if c.PanelSigma < 0 {
 		return fmt.Errorf("experiments: negative panel sigma %g", c.PanelSigma)
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("experiments: negative worker count %d", c.Workers)
 	}
 	return c.Prop.Validate()
 }
@@ -166,7 +173,7 @@ func (r *Runner) Campaign() (*harness.Campaign, error) {
 		if err != nil {
 			return nil, fmt.Errorf("experiments: tool suite: %w", err)
 		}
-		campaign, err := harness.Run(corpus, tools, r.cfg.Seed)
+		campaign, err := harness.RunParallel(corpus, tools, r.cfg.Seed, r.cfg.Workers)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: campaign: %w", err)
 		}

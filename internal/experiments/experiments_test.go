@@ -48,6 +48,11 @@ func TestConfigValidate(t *testing.T) {
 	if err := bad.Validate(); err == nil {
 		t.Error("negative sigma accepted")
 	}
+	bad = DefaultConfig()
+	bad.Workers = -2
+	if err := bad.Validate(); err == nil {
+		t.Error("negative worker count accepted")
+	}
 	if _, err := NewRunner(Config{}); err == nil {
 		t.Error("zero config accepted by NewRunner")
 	}
@@ -434,5 +439,33 @@ func TestE1MatchesGolden(t *testing.T) {
 	}
 	if got := res.String(); got != string(golden) {
 		t.Fatalf("E1 output diverged from the golden snapshot; if intentional, regenerate it\ngot:\n%s", got)
+	}
+}
+
+// TestE3MatchesGoldenAcrossWorkers pins the campaign's rendered raw
+// results and proves the worker pool does not perturb them: the E3 table
+// must match the snapshot byte for byte at every tested worker count.
+// Regenerate deliberately with:
+//
+//	go run ./cmd/vdbench -quick -workers 1 e3 > internal/experiments/testdata/e3_golden.txt
+func TestE3MatchesGoldenAcrossWorkers(t *testing.T) {
+	golden, err := os.ReadFile("testdata/e3_golden.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		cfg := QuickConfig()
+		cfg.Workers = workers
+		runner, err := NewRunner(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := runner.Run("e3")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := res.String(); got != string(golden) {
+			t.Fatalf("E3 output with workers=%d diverged from the golden snapshot\ngot:\n%s", workers, got)
+		}
 	}
 }

@@ -75,28 +75,97 @@ type Campaign struct {
 	Results []ToolResult
 }
 
-// Run executes the campaign. The seed drives the simulated tools; real
-// tools are deterministic. Each (tool, case) pair receives an independent
-// deterministic RNG stream, so adding or removing tools does not perturb
-// the others' draws.
+// Run executes the campaign serially. The seed drives the simulated
+// tools; real tools are deterministic. Each (tool, case) pair receives an
+// independent deterministic RNG stream, so adding or removing tools does
+// not perturb the others' draws. Run is RunParallel with one worker; see
+// parallel.go for the execution pipeline.
 func Run(corpus *workload.Corpus, tools []detectors.Tool, seed uint64) (*Campaign, error) {
+	return RunParallel(corpus, tools, seed, 1)
+}
+
+// validate checks the campaign inputs shared by Run and RunParallel.
+func validate(corpus *workload.Corpus, tools []detectors.Tool) error {
 	if corpus == nil || len(corpus.Cases) == 0 {
-		return nil, errors.New("harness: empty corpus")
+		return errors.New("harness: empty corpus")
 	}
 	if len(tools) == 0 {
-		return nil, errors.New("harness: no tools")
+		return errors.New("harness: no tools")
 	}
 	names := make(map[string]bool, len(tools))
 	for _, tool := range tools {
 		if tool == nil {
-			return nil, errors.New("harness: nil tool")
+			return errors.New("harness: nil tool")
 		}
 		if names[tool.Name()] {
-			return nil, fmt.Errorf("harness: duplicate tool name %q", tool.Name())
+			return fmt.Errorf("harness: duplicate tool name %q", tool.Name())
 		}
 		names[tool.Name()] = true
 	}
+	return nil
+}
+
+// validSinkSets precomputes, per case, the set of sink IDs a tool may
+// legitimately report. The sets depend only on the corpus, so they are
+// built once and shared across every tool (and every worker: read-only
+// after construction).
+func validSinkSets(corpus *workload.Corpus) []map[int]bool {
+	sets := make([]map[int]bool, len(corpus.Cases))
+	for i, cs := range corpus.Cases {
+		m := make(map[int]bool, len(cs.Truths))
+		for _, tr := range cs.Truths {
+			m[tr.SinkID] = true
+		}
+		sets[i] = m
+	}
+	return sets
+}
+
+// analyzeCase runs one tool over one case and scores the reports into
+// per-sink outcomes in truth order. It touches no shared mutable state, so
+// distinct (tool, case) pairs can be analysed concurrently as long as each
+// gets its own RNG.
+func analyzeCase(tool detectors.Tool, cs workload.Case, rng *stats.RNG, valid map[int]bool) ([]SinkOutcome, error) {
+	reports, err := tool.Analyze(cs, rng)
+	if err != nil {
+		return nil, fmt.Errorf("harness: %s on %s: %w", tool.Name(), cs.Service.Name, err)
+	}
+	flagged := make(map[int]float64, len(reports))
+	for _, r := range reports {
+		if r.Service != cs.Service.Name {
+			return nil, fmt.Errorf("harness: %s reported foreign service %q while analysing %q", tool.Name(), r.Service, cs.Service.Name)
+		}
+		if !valid[r.SinkID] {
+			return nil, fmt.Errorf("harness: %s reported unknown sink %d in %s", tool.Name(), r.SinkID, cs.Service.Name)
+		}
+		if prev, dup := flagged[r.SinkID]; !dup || r.Confidence > prev {
+			flagged[r.SinkID] = r.Confidence
+		}
+	}
+	out := make([]SinkOutcome, len(cs.Truths))
+	for i, tr := range cs.Truths {
+		conf, isFlagged := flagged[tr.SinkID]
+		out[i] = SinkOutcome{
+			Service:    cs.Service.Name,
+			SinkID:     tr.SinkID,
+			Kind:       tr.Kind,
+			Difficulty: cs.Difficulty,
+			Template:   cs.Template,
+			Vulnerable: tr.Vulnerable,
+			Flagged:    isFlagged,
+			Confidence: conf,
+		}
+	}
+	return out, nil
+}
+
+// mergeCampaign folds per-(tool, case) outcome slices back into a Campaign
+// in corpus order. Because aggregation happens tool-by-tool, case-by-case
+// in the same order the serial loop used, the result is identical to
+// serial execution regardless of the order the slices were produced in.
+func mergeCampaign(corpus *workload.Corpus, tools []detectors.Tool, outs [][][]SinkOutcome) *Campaign {
 	camp := &Campaign{Corpus: corpus}
+	total := corpus.TotalSinks()
 	for toolIdx, tool := range tools {
 		res := ToolResult{
 			Tool:         tool.Name(),
@@ -104,54 +173,21 @@ func Run(corpus *workload.Corpus, tools []detectors.Tool, seed uint64) (*Campaig
 			ByKind:       map[svclang.SinkKind]metrics.Confusion{},
 			ByDifficulty: map[workload.Difficulty]metrics.Confusion{},
 			ByTemplate:   map[string]metrics.Confusion{},
+			Outcomes:     make([]SinkOutcome, 0, total),
 		}
-		// Independent stream per tool; split per case below.
-		toolRNG := stats.NewRNG(seed ^ (uint64(toolIdx)+1)*0x9e3779b97f4a7c15)
-		for _, cs := range corpus.Cases {
-			caseRNG := toolRNG.Split()
-			reports, err := tool.Analyze(cs, caseRNG)
-			if err != nil {
-				return nil, fmt.Errorf("harness: %s on %s: %w", tool.Name(), cs.Service.Name, err)
-			}
-			flagged := make(map[int]float64, len(reports))
-			valid := make(map[int]bool, len(cs.Truths))
-			for _, tr := range cs.Truths {
-				valid[tr.SinkID] = true
-			}
-			for _, r := range reports {
-				if r.Service != cs.Service.Name {
-					return nil, fmt.Errorf("harness: %s reported foreign service %q while analysing %q", tool.Name(), r.Service, cs.Service.Name)
-				}
-				if !valid[r.SinkID] {
-					return nil, fmt.Errorf("harness: %s reported unknown sink %d in %s", tool.Name(), r.SinkID, cs.Service.Name)
-				}
-				if prev, dup := flagged[r.SinkID]; !dup || r.Confidence > prev {
-					flagged[r.SinkID] = r.Confidence
-				}
-			}
-			for _, tr := range cs.Truths {
-				conf, isFlagged := flagged[tr.SinkID]
-				outcome := SinkOutcome{
-					Service:    cs.Service.Name,
-					SinkID:     tr.SinkID,
-					Kind:       tr.Kind,
-					Difficulty: cs.Difficulty,
-					Template:   cs.Template,
-					Vulnerable: tr.Vulnerable,
-					Flagged:    isFlagged,
-					Confidence: conf,
-				}
+		for caseIdx := range corpus.Cases {
+			for _, outcome := range outs[toolIdx][caseIdx] {
 				cell := outcome.Confusion()
 				res.Overall = res.Overall.Add(cell)
-				res.ByKind[tr.Kind] = res.ByKind[tr.Kind].Add(cell)
-				res.ByDifficulty[cs.Difficulty] = res.ByDifficulty[cs.Difficulty].Add(cell)
-				res.ByTemplate[cs.Template] = res.ByTemplate[cs.Template].Add(cell)
+				res.ByKind[outcome.Kind] = res.ByKind[outcome.Kind].Add(cell)
+				res.ByDifficulty[outcome.Difficulty] = res.ByDifficulty[outcome.Difficulty].Add(cell)
+				res.ByTemplate[outcome.Template] = res.ByTemplate[outcome.Template].Add(cell)
 				res.Outcomes = append(res.Outcomes, outcome)
 			}
 		}
 		camp.Results = append(camp.Results, res)
 	}
-	return camp, nil
+	return camp
 }
 
 // ResultFor returns the result for a tool by name.

@@ -1,0 +1,129 @@
+package harness
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"github.com/dsn2015/vdbench/internal/detectors"
+	"github.com/dsn2015/vdbench/internal/stats"
+	"github.com/dsn2015/vdbench/internal/workload"
+)
+
+// RunParallel executes the campaign across a pool of workers and produces
+// a Campaign identical, field for field, to serial Run with the same seed.
+//
+// Determinism rests on two invariants:
+//
+//  1. RNG pre-split: the per-(tool, case) RNG streams are derived up front
+//     by walking toolRNG.Split() in exactly the order the serial loop
+//     would, so every task sees the same generator state it would have
+//     seen serially, no matter which worker runs it or when.
+//  2. Ordered merge: workers write each task's outcome slice into a
+//     dedicated (tool, case) slot, and the final aggregation folds the
+//     slots in corpus order — the same accumulation sequence as the
+//     serial loop.
+//
+// workers <= 0 selects runtime.GOMAXPROCS(0); workers == 1 runs inline
+// without spawning goroutines. Tool implementations must be safe for
+// concurrent Analyze calls on distinct cases (the standard suite is: all
+// per-request state lives in the call frame).
+//
+// On failure the campaign is aborted and one of the task errors is
+// returned; with workers == 1 it is exactly the error serial execution
+// would have hit first.
+func RunParallel(corpus *workload.Corpus, tools []detectors.Tool, seed uint64, workers int) (*Campaign, error) {
+	if err := validate(corpus, tools); err != nil {
+		return nil, err
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	rngs := preSplitRNGs(len(tools), len(corpus.Cases), seed)
+	valid := validSinkSets(corpus)
+
+	nTools, nCases := len(tools), len(corpus.Cases)
+	outs := make([][][]SinkOutcome, nTools)
+	for t := range outs {
+		outs[t] = make([][]SinkOutcome, nCases)
+	}
+
+	if workers == 1 {
+		for t, tool := range tools {
+			for c, cs := range corpus.Cases {
+				outcomes, err := analyzeCase(tool, cs, rngs[t][c], valid[c])
+				if err != nil {
+					return nil, err
+				}
+				outs[t][c] = outcomes
+			}
+		}
+		return mergeCampaign(corpus, tools, outs), nil
+	}
+
+	errs := make([][]error, nTools)
+	for t := range errs {
+		errs[t] = make([]error, nCases)
+	}
+	type task struct{ tool, cs int }
+	tasks := make(chan task, workers)
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for tk := range tasks {
+				if failed.Load() {
+					continue // a task failed; drain the queue
+				}
+				outcomes, err := analyzeCase(tools[tk.tool], corpus.Cases[tk.cs], rngs[tk.tool][tk.cs], valid[tk.cs])
+				if err != nil {
+					errs[tk.tool][tk.cs] = err
+					failed.Store(true)
+					continue
+				}
+				outs[tk.tool][tk.cs] = outcomes
+			}
+		}()
+	}
+	for t := 0; t < nTools; t++ {
+		for c := 0; c < nCases; c++ {
+			tasks <- task{tool: t, cs: c}
+		}
+	}
+	close(tasks)
+	wg.Wait()
+
+	if failed.Load() {
+		// Report the earliest recorded failure in (tool, case) order, so
+		// repeated runs over the same inputs fail the same way whenever
+		// the same task set got to run.
+		for t := range errs {
+			for c := range errs[t] {
+				if errs[t][c] != nil {
+					return nil, errs[t][c]
+				}
+			}
+		}
+	}
+	return mergeCampaign(corpus, tools, outs), nil
+}
+
+// preSplitRNGs derives the per-(tool, case) RNG streams by replaying the
+// serial harness's split sequence: an independent root stream per tool,
+// split once per case in corpus order. The derived generators are
+// independent, so handing them to concurrent workers cannot perturb any
+// draw.
+func preSplitRNGs(nTools, nCases int, seed uint64) [][]*stats.RNG {
+	rngs := make([][]*stats.RNG, nTools)
+	for t := range rngs {
+		toolRNG := stats.NewRNG(seed ^ (uint64(t)+1)*0x9e3779b97f4a7c15)
+		rngs[t] = make([]*stats.RNG, nCases)
+		for c := range rngs[t] {
+			rngs[t][c] = toolRNG.Split()
+		}
+	}
+	return rngs
+}

@@ -1,0 +1,110 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"github.com/dsn2015/vdbench/internal/stats"
+)
+
+// randomConfusion draws a matrix with cells in [0, 200), forcing each
+// cell to zero with probability 1/5 so degenerate denominators come up
+// constantly rather than almost never.
+func randomConfusion(rng *stats.RNG) Confusion {
+	cell := func() int {
+		if rng.Intn(5) == 0 {
+			return 0
+		}
+		return rng.Intn(200)
+	}
+	return Confusion{TP: cell(), FP: cell(), FN: cell(), TN: cell()}
+}
+
+// TestMetricRangeProperty is the catalogue's range contract as a property
+// test: over 1,000 seeded random confusion matrices, every metric either
+// reports a typed UndefinedError or returns a finite, non-NaN value — and
+// bounded metrics stay inside their declared [Lo, Hi].
+func TestMetricRangeProperty(t *testing.T) {
+	const trials = 1000
+	const eps = 1e-9
+	rng := stats.NewRNG(1)
+	catalog := Catalog()
+	for i := 0; i < trials; i++ {
+		c := randomConfusion(rng)
+		for _, m := range catalog {
+			v, err := m.Value(c)
+			if err != nil {
+				if !IsUndefined(err) {
+					t.Fatalf("%s on {%s}: non-Undefined error %v", m.ID, c, err)
+				}
+				continue
+			}
+			if math.IsNaN(v) {
+				t.Fatalf("%s on {%s} = NaN; the catalogue contract is UndefinedError, never NaN", m.ID, c)
+			}
+			if math.IsInf(v, 0) {
+				t.Fatalf("%s on {%s} = %g; infinite ratios must surface as UndefinedError", m.ID, c, v)
+			}
+			if m.Bounded() && (v < m.Lo-eps || v > m.Hi+eps) {
+				t.Fatalf("%s on {%s} = %g outside declared range [%g, %g]", m.ID, c, v, m.Lo, m.Hi)
+			}
+		}
+	}
+}
+
+// degenerateMatrices enumerates every all-zero row/column combination of
+// the confusion matrix: no instances at all, a single populated cell, no
+// actual positives/negatives, and no predicted positives/negatives.
+func degenerateMatrices() []Confusion {
+	return []Confusion{
+		{},             // empty matrix
+		{TP: 7},        // only true positives
+		{FP: 7},        // only false alarms
+		{FN: 7},        // only misses
+		{TN: 7},        // only true negatives
+		{TP: 4, FN: 3}, // no actual negatives
+		{FP: 4, TN: 3}, // no actual positives
+		{TP: 4, FP: 3}, // no predicted negatives
+		{FN: 4, TN: 3}, // no predicted positives
+		{TP: 4, TN: 3}, // perfect classifier, both classes present
+		{FP: 4, FN: 3}, // perfectly wrong classifier
+	}
+}
+
+// TestMetricDegeneratePolicy pins the documented degenerate-case policy:
+// on matrices with all-zero rows or columns, a metric either computes a
+// legitimate in-range value or refuses with a typed UndefinedError that
+// names the vanished denominator — it never leaks NaN or a generic error,
+// and ValueOr substitutes the fallback exactly when Value refused.
+func TestMetricDegeneratePolicy(t *testing.T) {
+	for _, c := range degenerateMatrices() {
+		for _, m := range Catalog() {
+			v, err := m.Value(c)
+			if err != nil {
+				if !IsUndefined(err) {
+					t.Errorf("%s on {%s}: generic error %v, want *UndefinedError", m.ID, c, err)
+					continue
+				}
+				ue := err.(*UndefinedError)
+				if ue.Metric != m.ID || ue.Reason == "" {
+					t.Errorf("%s on {%s}: malformed UndefinedError %+v", m.ID, c, ue)
+				}
+				fb, err := m.ValueOr(c, -123)
+				if err != nil || fb != -123 {
+					t.Errorf("%s on {%s}: ValueOr = (%g, %v), want fallback", m.ID, c, fb, err)
+				}
+				continue
+			}
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Errorf("%s on {%s} = %g, want finite value or UndefinedError", m.ID, c, v)
+			}
+			if m.Bounded() && (v < m.Lo || v > m.Hi) {
+				t.Errorf("%s on {%s} = %g outside [%g, %g]", m.ID, c, v, m.Lo, m.Hi)
+			}
+			fb, err := m.ValueOr(c, -123)
+			if err != nil || fb != v {
+				t.Errorf("%s on {%s}: ValueOr = (%g, %v), want defined value %g", m.ID, c, fb, err, v)
+			}
+		}
+	}
+}

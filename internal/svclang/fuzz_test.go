@@ -4,54 +4,9 @@ import (
 	"testing"
 )
 
-// FuzzParse asserts the parser's total-function contract: arbitrary input
-// either fails with a SyntaxError-style error or yields services that
-// validate, print, and re-parse to the same source shape.
-func FuzzParse(f *testing.F) {
-	seeds := []string{
-		vulnSQLSrc,
-		escapedSQLSrc,
-		"service X\nend\n",
-		"service X\n  param a\n  sink sql a\nend\n",
-		"service X\n  param a\n  if not matches(a, digits)\n    reject\n  end\n  sink html escape_html(a)\nend\n",
-		"service X\n  param a\n  repeat 3\n    sink cmd a\n  end\nend\n",
-		"service X\n  param a\n  sink path silent sanitize_path(a)\nend\n",
-		"# comment\nservice Y\n  var v\n  v = concat(\"x\\\"y\", \"z\")\n  sink xpath v\nend\n",
-		"garbage",
-		"service \"quoted\"",
-		"service X\n  sink sql \"unterminated\nend\n",
-	}
-	for _, s := range seeds {
-		f.Add(s)
-	}
-	f.Fuzz(func(t *testing.T, src string) {
-		services, err := Parse(src)
-		if err != nil {
-			return // rejection is fine; panics are not
-		}
-		for _, svc := range services {
-			if err := svc.Validate(); err != nil {
-				t.Fatalf("parsed service fails validation: %v", err)
-			}
-			printed := Print(svc)
-			again, err := ParseOne(printed)
-			if err != nil {
-				t.Fatalf("printed form does not re-parse: %v\n%s", err, printed)
-			}
-			if again.Name != svc.Name || len(again.Params) != len(svc.Params) {
-				t.Fatalf("print/parse changed the service shape")
-			}
-			// Execution must be total on valid services.
-			req := Request{}
-			for _, p := range svc.Params {
-				req[p] = "' OR '1'='1"
-			}
-			if _, err := Execute(svc, req); err != nil {
-				t.Fatalf("execution failed on valid service: %v", err)
-			}
-		}
-	})
-}
+// FuzzParse lives in parsefuzz_test.go (external test package, so it can
+// seed its corpus from the internal/workload template library without an
+// import cycle).
 
 // FuzzStructure asserts the structure tokenisers never panic and produce
 // deterministic output on arbitrary sink values.

@@ -154,6 +154,17 @@ func RunCampaign(corpus *Corpus, tools []Tool, seed uint64) (*Campaign, error) {
 	return harness.Run(corpus, tools, seed)
 }
 
+// RunCampaignParallel is RunCampaign over a worker pool. The result is
+// byte-identical to RunCampaign for every worker count: the per-(tool,
+// case) RNG streams are pre-split in serial order and the outcomes merged
+// back in corpus order. workers <= 0 selects runtime.GOMAXPROCS(0). Custom
+// Tool implementations must tolerate concurrent Analyze calls on distinct
+// cases (keep per-request state in the call frame, as the standard suite
+// does).
+func RunCampaignParallel(corpus *Corpus, tools []Tool, seed uint64, workers int) (*Campaign, error) {
+	return harness.RunParallel(corpus, tools, seed, workers)
+}
+
 // DefaultPropConfig returns the property-analysis configuration used by
 // the published experiment numbers.
 func DefaultPropConfig() PropConfig { return metricprop.DefaultConfig() }

@@ -34,6 +34,36 @@ func TestFacadeQuickstartFlow(t *testing.T) {
 	}
 }
 
+func TestFacadeParallelCampaignMatchesSerial(t *testing.T) {
+	corpus, err := GenerateWorkload(WorkloadConfig{
+		Services:         40,
+		TargetPrevalence: 0.35,
+		Seed:             1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tools, err := StandardTools()
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := RunCampaign(corpus, tools, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 4} {
+		par, err := RunCampaignParallel(corpus, tools, 1, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range serial.Results {
+			if par.Results[i].Overall != serial.Results[i].Overall {
+				t.Fatalf("workers=%d: %s matrix diverged from serial", workers, serial.Results[i].Tool)
+			}
+		}
+	}
+}
+
 func TestFacadeMetricLookup(t *testing.T) {
 	if len(Metrics()) < 25 {
 		t.Fatal("catalogue too small")
