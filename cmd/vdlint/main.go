@@ -1,0 +1,65 @@
+// Command vdlint runs the module's repo-specific static analyzers (see
+// internal/vdlint) over the source tree and exits non-zero when any
+// analyzer reports a finding. It is part of the tier-1 verification line:
+//
+//	go vet ./... && go run ./cmd/vdlint ./...
+//
+// Arguments are package patterns for familiarity with go tooling, but the
+// analyzers are whole-module checks: any pattern (or none) loads the
+// module containing the working directory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"github.com/dsn2015/vdbench/internal/vdlint"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: vdlint [./...]\n\nanalyzers:\n")
+		for _, a := range vdlint.All() {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-12s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+
+	root, err := moduleRoot(".")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vdlint:", err)
+		os.Exit(2)
+	}
+	prog, err := vdlint.Load(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vdlint:", err)
+		os.Exit(2)
+	}
+	diags := vdlint.Run(prog, vdlint.All())
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}
+
+// moduleRoot walks up from dir to the nearest directory holding go.mod.
+func moduleRoot(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(abs, "go.mod")); err == nil {
+			return abs, nil
+		}
+		parent := filepath.Dir(abs)
+		if parent == abs {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		abs = parent
+	}
+}

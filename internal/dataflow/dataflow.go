@@ -1,0 +1,145 @@
+// Package dataflow implements a generic monotone dataflow framework: a
+// join-semilattice interface and a worklist fixpoint solver over an
+// arbitrary directed graph. It is the engine room for CFG-based analyses
+// (see internal/svclang/cfg and the DataflowSAST detector): the client
+// supplies the lattice and a monotone transfer function, the solver
+// iterates to the least fixpoint, joining facts at merge points and
+// converging around loops instead of relying on a fixed pass count.
+//
+// The solver is deterministic: the worklist is ordered by reverse
+// postorder, so identical inputs produce identical visit sequences and —
+// because transfer functions may carry deterministic side effects such as
+// report recording — identical outputs.
+package dataflow
+
+import "fmt"
+
+// Lattice describes a join-semilattice over facts of type T. Join must be
+// commutative, associative and idempotent (the property tests in
+// internal/detectors check this for the taint lattice), must treat
+// Bottom() as its identity, and must not mutate its arguments.
+type Lattice[T any] interface {
+	// Bottom returns the least element: the fact for unreached code.
+	Bottom() T
+	// Join returns the least upper bound of a and b without mutating
+	// either.
+	Join(a, b T) T
+	// Equal reports whether two facts are identical.
+	Equal(a, b T) bool
+}
+
+// Graph is the shape the solver needs: a finite node set, a distinguished
+// entry, and successor edges. *cfg.Graph satisfies it.
+type Graph interface {
+	// NumNodes returns the number of nodes; node IDs are 0..NumNodes()-1.
+	NumNodes() int
+	// Entry returns the entry node's ID.
+	Entry() int
+	// Succs returns the successors of node n in deterministic order.
+	Succs(n int) []int
+}
+
+// Transfer computes the out-fact of node n from its in-fact. It must be
+// monotone (a larger in-fact never yields a smaller out-fact) and must not
+// mutate in; side effects must be deterministic functions of (n, in).
+type Transfer[T any] func(n int, in T) T
+
+// Result carries the fixpoint solution.
+type Result[T any] struct {
+	// In and Out hold the per-node facts, indexed by node ID. Nodes not
+	// reachable from the entry keep Bottom and are never visited.
+	In, Out []T
+	// Visits counts transfer evaluations. For a monotone transfer over a
+	// lattice of height h the solver needs at most NumNodes·(h+1) of them;
+	// the property tests pin this bound on generated workloads.
+	Visits int
+}
+
+// visitBudget bounds transfer evaluations per node as a runaway guard: a
+// non-monotone transfer (a client bug) could otherwise oscillate forever.
+// Far above the height of any lattice used in this module.
+const visitBudget = 1 << 12
+
+// Solve iterates the transfer function to the least fixpoint. The entry
+// node starts from entryFact; every other node starts from Bottom and is
+// only evaluated once some predecessor's out-fact reaches it, so
+// unreachable nodes are never visited. Nodes are drained in reverse
+// postorder, which reaches loop fixpoints with the fewest re-visits and
+// makes the visit sequence deterministic.
+//
+// Solve panics if any node is evaluated more than visitBudget times; that
+// only happens when the transfer function is not monotone.
+func Solve[T any](g Graph, lat Lattice[T], entryFact T, f Transfer[T]) Result[T] {
+	n := g.NumNodes()
+	res := Result[T]{In: make([]T, n), Out: make([]T, n)}
+	for i := 0; i < n; i++ {
+		res.In[i] = lat.Bottom()
+		res.Out[i] = lat.Bottom()
+	}
+	if n == 0 {
+		return res
+	}
+
+	order := rpo(g)
+	entry := g.Entry()
+	res.In[entry] = entryFact
+
+	pending := make([]bool, n)
+	pending[entry] = true
+	visitsPerNode := make([]int, n)
+	for {
+		// Pick the pending node earliest in reverse postorder. A linear
+		// scan keeps the solver simple; graphs here are small.
+		node := -1
+		for _, id := range order {
+			if pending[id] {
+				node = id
+				break
+			}
+		}
+		if node < 0 {
+			return res
+		}
+		pending[node] = false
+		visitsPerNode[node]++
+		if visitsPerNode[node] > visitBudget {
+			panic(fmt.Sprintf("dataflow: node %d evaluated %d times; transfer function is not monotone", node, visitsPerNode[node]))
+		}
+		res.Visits++
+		out := f(node, res.In[node])
+		if lat.Equal(out, res.Out[node]) {
+			continue
+		}
+		res.Out[node] = out
+		for _, succ := range g.Succs(node) {
+			joined := lat.Join(res.In[succ], out)
+			if !lat.Equal(joined, res.In[succ]) {
+				res.In[succ] = joined
+				pending[succ] = true
+			}
+		}
+	}
+}
+
+// rpo returns the reverse postorder of the nodes reachable from the
+// entry.
+func rpo(g Graph) []int {
+	seen := make([]bool, g.NumNodes())
+	var post []int
+	var walk func(id int)
+	walk = func(id int) {
+		seen[id] = true
+		for _, s := range g.Succs(id) {
+			if !seen[s] {
+				walk(s)
+			}
+		}
+		post = append(post, id)
+	}
+	walk(g.Entry())
+	order := make([]int, len(post))
+	for i, id := range post {
+		order[len(post)-1-i] = id
+	}
+	return order
+}

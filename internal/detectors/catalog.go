@@ -6,8 +6,9 @@ import (
 	"github.com/dsn2015/vdbench/internal/workload"
 )
 
-// StandardSuite returns the benchmark campaign's tool set: four static
-// tools, two penetration testers and one simulated heuristic tool. The
+// StandardSuite returns the benchmark campaign's tool set: six static
+// tools (four AST-walker taint configurations plus two CFG dataflow
+// engines), two penetration testers and one simulated heuristic tool. The
 // mix reproduces the qualitative spread of the published campaigns —
 // static analysis trades precision for recall, penetration testing the
 // reverse — with each tool's wrong results caused by a documented
@@ -48,6 +49,38 @@ func StandardSuite() ([]Tool, error) {
 
 	// grep-sast: signature matching without flow sensitivity.
 	tools = append(tools, NewSignatureSAST("grep-sast"))
+
+	// df-precise: the CFG/worklist engine at ts-precise's knob settings
+	// plus path sensitivity. Branch-condition refinement clears validated
+	// in-branch splices the walker family false-alarms on; the diagonal
+	// sanitizer model remains its one blind spot.
+	tools = append(tools, NewDataflowSAST(DataflowSASTConfig{
+		TaintSASTConfig: TaintSASTConfig{
+			Name:              "df-precise",
+			SinkAware:         true,
+			DiagonalAdequacy:  true,
+			ValidatorAware:    true,
+			PruneDeadBranches: true,
+			TrackLoops:        true,
+			TrackStores:       true,
+		},
+		PathSensitive: true,
+	}))
+
+	// df-stateless: the same engine without session-store modelling — the
+	// common real-world configuration that misses second-order (stored)
+	// flows.
+	tools = append(tools, NewDataflowSAST(DataflowSASTConfig{
+		TaintSASTConfig: TaintSASTConfig{
+			Name:              "df-stateless",
+			SinkAware:         true,
+			DiagonalAdequacy:  true,
+			ValidatorAware:    true,
+			PruneDeadBranches: true,
+			TrackLoops:        true,
+		},
+		PathSensitive: true,
+	}))
 
 	// pt-deep: thorough penetration tester with input exploration and the
 	// full payload dictionary.

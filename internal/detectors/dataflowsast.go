@@ -1,0 +1,268 @@
+package detectors
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/dsn2015/vdbench/internal/dataflow"
+	"github.com/dsn2015/vdbench/internal/stats"
+	"github.com/dsn2015/vdbench/internal/svclang"
+	"github.com/dsn2015/vdbench/internal/svclang/cfg"
+	"github.com/dsn2015/vdbench/internal/workload"
+)
+
+// DataflowSASTConfig configures the CFG-based taint analyser. It carries
+// every precision knob of the AST walker (the two engines are report-
+// identical at shared settings — TestDataflowMatchesWalker pins this) plus
+// one capability only a CFG engine can express.
+type DataflowSASTConfig struct {
+	TaintSASTConfig
+
+	// PathSensitive: the engine interprets branch conditions along CFG
+	// edges — a variable that passed matches()/eq() validation is clean on
+	// the holding edge, and edges contradicting a constant condition are
+	// infeasible. This refines taint per path, which the AST walker's
+	// joined-environment traversal cannot express; it only ever removes
+	// reports, never adds them.
+	PathSensitive bool
+}
+
+// dataflowSAST is a flow-sensitive taint analyser built the way industrial
+// SAST engines are: the service is lowered to a basic-block CFG
+// (internal/svclang/cfg) and taint facts are propagated to a worklist
+// fixpoint (internal/dataflow) with joins at merge points and convergence
+// around loops, instead of the walker's fixed three-pass widening.
+type dataflowSAST struct {
+	cfg DataflowSASTConfig
+}
+
+var _ Tool = (*dataflowSAST)(nil)
+
+// NewDataflowSAST builds a CFG-based static taint analyser with the given
+// configuration.
+func NewDataflowSAST(config DataflowSASTConfig) Tool {
+	return &dataflowSAST{cfg: config}
+}
+
+func (d *dataflowSAST) Name() string { return d.cfg.Name }
+
+func (d *dataflowSAST) Class() Class { return ClassSAST }
+
+// taintFact is the dataflow fact: live marks reachable-so-far code (the
+// lattice bottom is the unreached fact), vars is the abstract variable
+// environment.
+type taintFact struct {
+	live bool
+	vars absEnv
+}
+
+// taintLattice is the join-semilattice over taintFact. Facts are treated
+// as immutable: Join returns fresh state and the transfer function clones
+// before mutating.
+type taintLattice struct{}
+
+var _ dataflow.Lattice[taintFact] = taintLattice{}
+
+func (taintLattice) Bottom() taintFact { return taintFact{} }
+
+func (taintLattice) Join(a, b taintFact) taintFact {
+	switch {
+	case !a.live:
+		return b
+	case !b.live:
+		return a
+	}
+	vars := a.vars.clone()
+	vars.joinWith(b.vars)
+	return taintFact{live: true, vars: vars}
+}
+
+func (taintLattice) Equal(a, b taintFact) bool {
+	if a.live != b.live {
+		return false
+	}
+	if !a.live {
+		return true
+	}
+	// Missing keys read as the zero value, so {x: clean} and {} are the
+	// same environment.
+	for k, v := range a.vars {
+		if b.vars[k] != v {
+			return false
+		}
+	}
+	for k, v := range b.vars {
+		if a.vars[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Analyze implements Tool.
+func (d *dataflowSAST) Analyze(cs workload.Case, _ *stats.RNG) ([]Report, error) {
+	svc := cs.Service
+	if svc == nil {
+		return nil, fmt.Errorf("detectors: %s: nil service", d.cfg.Name)
+	}
+	g := cfg.Build(svc, cfg.Options{
+		PruneConstantBranches: d.cfg.PruneDeadBranches,
+		SkipLoops:             !d.cfg.TrackLoops,
+	})
+	entry := make(absEnv, len(svc.Params))
+	for _, p := range svc.Params {
+		entry[p] = absVal{dangerous: allKindsMask()}
+	}
+	run := &dataflowRun{tool: d, svc: svc, found: map[int]Report{}, store: absEnv{}}
+	// Stateful services get a second pass, like the walker: a load in
+	// request N observes what request N-1 stored, so pass 2 reads the
+	// store image accumulated by pass 1. Within a pass the store snapshot
+	// is fixed (writes land in the next pass's image), which keeps the
+	// transfer function monotone during the solve.
+	passes := 1
+	if d.cfg.TrackStores && svc.UsesStore() {
+		passes = 2
+	}
+	for i := 0; i < passes; i++ {
+		run.nextStore = run.store.clone()
+		dataflow.Solve[taintFact](g, taintLattice{},
+			taintFact{live: true, vars: entry.clone()},
+			func(n int, in taintFact) taintFact {
+				return run.transfer(g.Blocks[n], in)
+			})
+		run.store = run.nextStore
+	}
+	reports := make([]Report, 0, len(run.found))
+	for _, r := range run.found {
+		reports = append(reports, r)
+	}
+	sort.Slice(reports, func(i, j int) bool { return reports[i].SinkID < reports[j].SinkID })
+	return reports, nil
+}
+
+// dataflowRun is the per-analysis state shared across solver passes.
+type dataflowRun struct {
+	tool  *dataflowSAST
+	svc   *svclang.Service
+	found map[int]Report
+	// store is the read snapshot for the current pass; nextStore
+	// accumulates writes (weak joins) for the following pass.
+	store     absEnv
+	nextStore absEnv
+}
+
+// transfer interprets one basic block. Sinks are recorded as a side
+// effect with first-report-wins deduplication: the solver's reverse-
+// postorder worklist evaluates each block first with its earliest
+// (smallest) in-fact, so the recorded confidence matches the walker's
+// first-pass recording.
+func (r *dataflowRun) transfer(blk *cfg.Block, in taintFact) taintFact {
+	if !in.live {
+		return taintFact{}
+	}
+	env := in.vars.clone()
+	for _, instr := range blk.Instrs {
+		if instr.Refine != nil {
+			if !r.refine(*instr.Refine, env) {
+				return taintFact{} // infeasible edge: the path is dead
+			}
+			continue
+		}
+		switch v := instr.Stmt.(type) {
+		case svclang.VarDecl:
+			env[v.Name] = absVal{}
+		case svclang.Assign:
+			env[v.Name] = r.eval(v.Expr, env)
+		case svclang.Store:
+			if r.tool.cfg.TrackStores {
+				val := r.eval(v.Expr, env)
+				r.nextStore[v.Key] = r.nextStore[v.Key].join(val)
+			}
+		case svclang.Sink:
+			val := r.eval(v.Expr, env)
+			if val.dangerous&maskOf(v.Kind) != 0 {
+				conf := 0.9
+				if val.sanitized {
+					conf = 0.6
+				}
+				if _, dup := r.found[v.ID]; !dup {
+					r.found[v.ID] = Report{
+						Service:    r.svc.Name,
+						SinkID:     v.ID,
+						Kind:       v.Kind,
+						Confidence: conf,
+					}
+				}
+			}
+		case svclang.Reject:
+			// Terminator: the block has no fallthrough successor (or, for
+			// an always-rejecting loop body, flows its state to the loop
+			// exit), so nothing to do here.
+		}
+	}
+	return taintFact{live: true, vars: env}
+}
+
+func (r *dataflowRun) eval(e svclang.Expr, env absEnv) absVal {
+	return evalExpr(r.tool.cfg.TaintSASTConfig, e, env, r.store)
+}
+
+// refine interprets a synthetic Refine instruction against env, mutating
+// it in place. It returns false when the refinement proves the edge
+// infeasible.
+func (r *dataflowRun) refine(ref cfg.Refine, env absEnv) bool {
+	cond, holds := ref.Cond, ref.Holds
+	// Peel negations, flipping the polarity — same normalisation as the
+	// walker's applyValidator.
+	for {
+		n, ok := cond.(svclang.Not)
+		if !ok {
+			break
+		}
+		cond = n.Inner
+		holds = !holds
+	}
+	switch ref.Gate {
+	case cfg.GateValidator:
+		// Join-point narrowing after validate-and-reject: identical to the
+		// walker's applyValidator, gated on the same knob.
+		if !r.tool.cfg.ValidatorAware {
+			return true
+		}
+		m, ok := cond.(svclang.Match)
+		if !ok || !holds {
+			return true
+		}
+		if id, ok := m.Expr.(svclang.Ident); ok {
+			env[id.Name] = absVal{}
+		}
+	case cfg.GatePath:
+		if !r.tool.cfg.PathSensitive {
+			return true
+		}
+		switch c := cond.(type) {
+		case svclang.BoolLit:
+			// An edge contradicting a constant condition is infeasible.
+			return c.Value == holds
+		case svclang.Match:
+			// On the holding edge the variable passed class validation:
+			// its content is inert in every sink context the workload
+			// uses. The failing edge tells us nothing (the value is merely
+			// not all-in-class).
+			if holds {
+				if id, ok := c.Expr.(svclang.Ident); ok {
+					env[id.Name] = absVal{}
+				}
+			}
+		case svclang.Eq:
+			// On the holding edge the variable equals a program literal,
+			// so the attacker no longer controls it.
+			if holds {
+				if id, ok := c.Expr.(svclang.Ident); ok {
+					env[id.Name] = absVal{}
+				}
+			}
+		}
+	}
+	return true
+}

@@ -355,8 +355,8 @@ func TestStandardSuite(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tools) != 7 {
-		t.Fatalf("suite has %d tools, want 7", len(tools))
+	if len(tools) != 9 {
+		t.Fatalf("suite has %d tools, want 9", len(tools))
 	}
 	names := map[string]bool{}
 	classes := map[Class]int{}
@@ -367,7 +367,7 @@ func TestStandardSuite(t *testing.T) {
 		names[tool.Name()] = true
 		classes[tool.Class()]++
 	}
-	if classes[ClassSAST] != 4 || classes[ClassDAST] != 2 || classes[ClassSimulated] != 1 {
+	if classes[ClassSAST] != 6 || classes[ClassDAST] != 2 || classes[ClassSimulated] != 1 {
 		t.Fatalf("class mix = %v", classes)
 	}
 }

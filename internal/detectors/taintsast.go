@@ -104,13 +104,15 @@ func (e absEnv) joinWith(other absEnv) {
 	}
 }
 
-// sanitizesUnder applies the configured adequacy model.
-func (t *taintSAST) sanitizesUnder(b svclang.Builtin, k svclang.SinkKind) bool {
-	if !t.cfg.SinkAware {
+// sanitizesUnder applies the configured adequacy model. It is shared by
+// the AST walker and the CFG dataflow engine, which must agree on
+// expression semantics exactly (the differential tests pin this).
+func (cfg TaintSASTConfig) sanitizesUnder(b svclang.Builtin, k svclang.SinkKind) bool {
+	if !cfg.SinkAware {
 		// Any sanitizer is believed to clear everything.
 		return b.IsSanitizer()
 	}
-	if t.cfg.DiagonalAdequacy {
+	if cfg.DiagonalAdequacy {
 		switch b {
 		case svclang.BuiltinNumeric:
 			return true
@@ -297,31 +299,40 @@ func (s *taintState) applyValidator(cond svclang.Cond, condHolds bool, env absEn
 
 // expr computes the abstract value of an expression.
 func (s *taintState) expr(e svclang.Expr, env absEnv) absVal {
+	return evalExpr(s.tool.cfg, e, env, s.store)
+}
+
+// evalExpr computes the abstract value of an expression under a variable
+// environment and an abstract session store. Both static engines — the
+// AST walker above and the CFG dataflow engine in dataflowsast.go — share
+// this definition, so any report divergence between them can only come
+// from control flow, never from expression semantics.
+func evalExpr(cfg TaintSASTConfig, e svclang.Expr, env absEnv, store absEnv) absVal {
 	switch v := e.(type) {
 	case svclang.Lit:
 		return absVal{}
 	case svclang.Ident:
 		return env[v.Name]
 	case svclang.LoadExpr:
-		if !s.tool.cfg.TrackStores {
+		if !cfg.TrackStores {
 			return absVal{} // blind to stored data
 		}
-		return s.store[v.Key]
+		return store[v.Key]
 	case svclang.Call:
 		switch v.Fn {
 		case svclang.BuiltinConcat:
 			var out absVal
 			for _, a := range v.Args {
-				out = out.join(s.expr(a, env))
+				out = out.join(evalExpr(cfg, a, env, store))
 			}
 			return out
 		case svclang.BuiltinUpper, svclang.BuiltinTrim:
-			return s.expr(v.Args[0], env)
+			return evalExpr(cfg, v.Args[0], env, store)
 		default:
-			in := s.expr(v.Args[0], env)
+			in := evalExpr(cfg, v.Args[0], env, store)
 			out := absVal{sanitized: true}
 			for _, k := range svclang.AllSinkKinds() {
-				if in.dangerous&maskOf(k) != 0 && !s.tool.sanitizesUnder(v.Fn, k) {
+				if in.dangerous&maskOf(k) != 0 && !cfg.sanitizesUnder(v.Fn, k) {
 					out.dangerous |= maskOf(k)
 				}
 			}

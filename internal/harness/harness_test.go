@@ -168,7 +168,7 @@ func TestRunValidation(t *testing.T) {
 func TestResultForAndToolNames(t *testing.T) {
 	camp := runCampaign(t, 20)
 	names := camp.ToolNames()
-	if len(names) != 7 {
+	if len(names) != 9 {
 		t.Fatalf("names = %v", names)
 	}
 	if _, ok := camp.ResultFor("no-such-tool"); ok {

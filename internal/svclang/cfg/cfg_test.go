@@ -1,0 +1,299 @@
+package cfg_test
+
+import (
+	"testing"
+
+	"github.com/dsn2015/vdbench/internal/svclang"
+	"github.com/dsn2015/vdbench/internal/svclang/cfg"
+)
+
+func ident(name string) svclang.Ident { return svclang.Ident{Name: name} }
+
+func sink(id int) svclang.Sink {
+	return svclang.Sink{ID: id, Kind: svclang.SinkSQL, Expr: ident("x")}
+}
+
+// reachable returns the set of block IDs reachable from the entry.
+func reachable(g *cfg.Graph) map[int]bool {
+	seen := map[int]bool{}
+	stack := []int{g.Entry()}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[n] {
+			continue
+		}
+		seen[n] = true
+		stack = append(stack, g.Succs(n)...)
+	}
+	return seen
+}
+
+func TestStraightLineSingleBlock(t *testing.T) {
+	svc := &svclang.Service{
+		Name:   "straight",
+		Params: []string{"x"},
+		Body: []svclang.Stmt{
+			svclang.Assign{Name: "y", Expr: ident("x")},
+			sink(0),
+		},
+	}
+	g := cfg.Build(svc, cfg.Options{})
+	if g.NumNodes() != 1 {
+		t.Fatalf("straight-line service lowered to %d blocks, want 1", g.NumNodes())
+	}
+	if got := g.SinkBlock[0]; got != 0 {
+		t.Fatalf("sink 0 in block %d, want entry", got)
+	}
+	if len(g.Succs(0)) != 0 {
+		t.Fatalf("exit block has successors %v", g.Succs(0))
+	}
+}
+
+func TestBranchLoweringShape(t *testing.T) {
+	svc := &svclang.Service{
+		Name:   "branch",
+		Params: []string{"x"},
+		Body: []svclang.Stmt{
+			svclang.If{
+				Cond: svclang.Match{Expr: ident("x"), Class: svclang.ClassAlnum},
+				Then: []svclang.Stmt{sink(0)},
+				Else: []svclang.Stmt{sink(1)},
+			},
+			sink(2),
+		},
+	}
+	g := cfg.Build(svc, cfg.Options{})
+	entrySuccs := g.Succs(g.Entry())
+	if len(entrySuccs) != 2 {
+		t.Fatalf("branch head has %d successors, want 2", len(entrySuccs))
+	}
+	thenID, elseID := entrySuccs[0], entrySuccs[1]
+	if g.SinkBlock[0] != thenID || g.SinkBlock[1] != elseID {
+		t.Fatalf("sink provenance: got then=%d else=%d, SinkBlock=%v",
+			thenID, elseID, g.SinkBlock)
+	}
+	// Both arms open with a GatePath refinement of opposite polarity.
+	thenRef := g.Blocks[thenID].Instrs[0].Refine
+	elseRef := g.Blocks[elseID].Instrs[0].Refine
+	if thenRef == nil || elseRef == nil {
+		t.Fatal("branch arms missing edge refinements")
+	}
+	if thenRef.Gate != cfg.GatePath || !thenRef.Holds || elseRef.Gate != cfg.GatePath || elseRef.Holds {
+		t.Fatalf("refinement polarity wrong: then=%+v else=%+v", thenRef, elseRef)
+	}
+	// Both arms converge on the join block holding sink 2.
+	join := g.SinkBlock[2]
+	if got := g.Succs(thenID); len(got) != 1 || got[0] != join {
+		t.Fatalf("then arm succs = %v, want [%d]", got, join)
+	}
+	if got := g.Succs(elseID); len(got) != 1 || got[0] != join {
+		t.Fatalf("else arm succs = %v, want [%d]", got, join)
+	}
+}
+
+func TestValidateAndRejectRefinesJoin(t *testing.T) {
+	svc := &svclang.Service{
+		Name:   "validate",
+		Params: []string{"x"},
+		Body: []svclang.Stmt{
+			svclang.If{
+				Cond: svclang.Not{Inner: svclang.Match{Expr: ident("x"), Class: svclang.ClassAlnum}},
+				Then: []svclang.Stmt{svclang.Reject{}},
+			},
+			sink(0),
+		},
+	}
+	g := cfg.Build(svc, cfg.Options{})
+	join := g.Blocks[g.SinkBlock[0]]
+	ref := join.Instrs[0].Refine
+	if ref == nil || ref.Gate != cfg.GateValidator {
+		t.Fatalf("join block lacks validator refinement: %+v", join.Instrs[0])
+	}
+	// The then-arm rejected, so the surviving polarity is "condition false".
+	if ref.Holds {
+		t.Fatal("validator refinement polarity: want Holds=false (else survives)")
+	}
+	// The rejecting arm must not reach the join.
+	seen := reachable(g)
+	if !seen[join.ID] {
+		t.Fatal("join unreachable")
+	}
+	for id := range seen {
+		for _, in := range g.Blocks[id].Instrs {
+			if _, ok := in.Stmt.(svclang.Reject); ok {
+				if len(g.Succs(id)) != 0 {
+					t.Fatalf("reject block %d has successors %v", id, g.Succs(id))
+				}
+			}
+		}
+	}
+}
+
+func TestPostRejectCodeUnreachable(t *testing.T) {
+	svc := &svclang.Service{
+		Name:   "dead",
+		Params: []string{"x"},
+		Body: []svclang.Stmt{
+			svclang.Reject{},
+			sink(0),
+		},
+	}
+	g := cfg.Build(svc, cfg.Options{})
+	blk, ok := g.SinkBlock[0]
+	if !ok {
+		t.Fatal("lowering dropped the post-reject sink; it must stay total")
+	}
+	if reachable(g)[blk] {
+		t.Fatal("post-reject sink reachable from entry")
+	}
+}
+
+func TestConstantBranchPruning(t *testing.T) {
+	svc := &svclang.Service{
+		Name:   "constif",
+		Params: []string{"x"},
+		Body: []svclang.Stmt{
+			svclang.If{
+				Cond: svclang.BoolLit{Value: false},
+				Then: []svclang.Stmt{sink(0)},
+				Else: []svclang.Stmt{sink(1)},
+			},
+		},
+	}
+	pruned := cfg.Build(svc, cfg.Options{PruneConstantBranches: true})
+	seen := reachable(pruned)
+	if seen[pruned.SinkBlock[0]] {
+		t.Fatal("pruned dead arm still reachable")
+	}
+	if !seen[pruned.SinkBlock[1]] {
+		t.Fatal("live arm of pruned constant branch unreachable")
+	}
+	// Without pruning, both arms are ordinary branch targets.
+	plain := cfg.Build(svc, cfg.Options{})
+	seen = reachable(plain)
+	if !seen[plain.SinkBlock[0]] || !seen[plain.SinkBlock[1]] {
+		t.Fatal("unpruned constant branch lost an arm")
+	}
+}
+
+func TestLoopLowering(t *testing.T) {
+	svc := &svclang.Service{
+		Name:   "loop",
+		Params: []string{"x"},
+		Body: []svclang.Stmt{
+			svclang.Repeat{Count: 3, Body: []svclang.Stmt{
+				svclang.Assign{Name: "y", Expr: ident("x")},
+				sink(0),
+			}},
+			sink(1),
+		},
+	}
+	g := cfg.Build(svc, cfg.Options{})
+	body := g.SinkBlock[0]
+	succs := g.Succs(body)
+	if len(succs) != 2 {
+		t.Fatalf("loop body exit has %d successors, want back edge + exit", len(succs))
+	}
+	// Back edge first (lowering order), exit second.
+	if succs[0] != body {
+		t.Fatalf("first successor %d is not the back edge to %d", succs[0], body)
+	}
+	if succs[1] != g.SinkBlock[1] {
+		t.Fatalf("loop exit %d does not hold sink 1 (block %d)", succs[1], g.SinkBlock[1])
+	}
+
+	skipped := cfg.Build(svc, cfg.Options{SkipLoops: true})
+	seen := reachable(skipped)
+	if seen[skipped.SinkBlock[0]] {
+		t.Fatal("skipped loop body reachable")
+	}
+	if !seen[skipped.SinkBlock[1]] {
+		t.Fatal("code after skipped loop unreachable")
+	}
+}
+
+func TestRejectingLoopBodyRoutesToExit(t *testing.T) {
+	svc := &svclang.Service{
+		Name:   "rejectloop",
+		Params: []string{"x"},
+		Body: []svclang.Stmt{
+			svclang.Repeat{Count: 2, Body: []svclang.Stmt{
+				svclang.Assign{Name: "y", Expr: ident("x")},
+				svclang.Reject{},
+				sink(0),
+			}},
+			sink(1),
+		},
+	}
+	g := cfg.Build(svc, cfg.Options{})
+	seen := reachable(g)
+	if seen[g.SinkBlock[0]] {
+		t.Fatal("post-reject loop sink reachable")
+	}
+	if !seen[g.SinkBlock[1]] {
+		t.Fatal("loop exit unreachable: rejecting body must still flow to the exit")
+	}
+}
+
+func TestReversePostorderStartsAtEntry(t *testing.T) {
+	svc := &svclang.Service{
+		Name:   "rpo",
+		Params: []string{"x"},
+		Body: []svclang.Stmt{
+			svclang.If{
+				Cond: svclang.Match{Expr: ident("x"), Class: svclang.ClassAlnum},
+				Then: []svclang.Stmt{sink(0)},
+				Else: []svclang.Stmt{sink(1)},
+			},
+			svclang.Repeat{Count: 2, Body: []svclang.Stmt{sink(2)}},
+		},
+	}
+	g := cfg.Build(svc, cfg.Options{})
+	order := g.ReversePostorder()
+	if order[0].ID != g.Entry() {
+		t.Fatalf("RPO starts at block %d, want entry", order[0].ID)
+	}
+	pos := map[int]int{}
+	for i, b := range order {
+		pos[b.ID] = i
+	}
+	// Every reachable block appears exactly once, and every forward edge
+	// (excluding the loop back edge) goes later in the order.
+	seen := reachable(g)
+	for id := range seen {
+		if _, ok := pos[id]; !ok {
+			t.Fatalf("reachable block %d missing from RPO", id)
+		}
+	}
+	if len(order) != len(seen) {
+		t.Fatalf("RPO has %d blocks, %d reachable", len(order), len(seen))
+	}
+	for _, b := range order {
+		for _, s := range b.Succs {
+			if s.ID != b.ID && pos[s.ID] < pos[b.ID] && !isBackEdge(b, s) {
+				t.Fatalf("forward edge %d->%d goes backwards in RPO", b.ID, s.ID)
+			}
+		}
+	}
+}
+
+// isBackEdge approximates back-edge detection for the test graph: an edge
+// to a block that can reach its source again.
+func isBackEdge(from, to *cfg.Block) bool {
+	seen := map[int]bool{}
+	stack := []*cfg.Block{to}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if b.ID == from.ID {
+			return true
+		}
+		if seen[b.ID] {
+			continue
+		}
+		seen[b.ID] = true
+		stack = append(stack, b.Succs...)
+	}
+	return false
+}

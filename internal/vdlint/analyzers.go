@@ -1,0 +1,160 @@
+package vdlint
+
+import (
+	"fmt"
+	"go/ast"
+	"strings"
+)
+
+// All returns the module's analyzer suite in the order cmd/vdlint runs
+// it.
+func All() []*Analyzer {
+	return []*Analyzer{ToolWired, RandImport}
+}
+
+// ToolWired checks that every exported New* constructor in
+// internal/detectors that returns a Tool is actually exercised — called
+// from StandardSuite or from some test file. An unwired constructor is a
+// detector the benchmark silently stopped measuring.
+var ToolWired = &Analyzer{
+	Name: "toolwired",
+	Doc:  "exported Tool constructors in internal/detectors must be exercised by StandardSuite or a test",
+	Run:  runToolWired,
+}
+
+func runToolWired(prog *Program) []Finding {
+	var detectors *Package
+	for _, pkg := range prog.Packages {
+		if pkg.Path == prog.ModulePath+"/internal/detectors" {
+			detectors = pkg
+		}
+	}
+	if detectors == nil {
+		return nil
+	}
+
+	// Collect the exported New* constructors whose results include Tool.
+	type ctor struct {
+		name string
+		decl *ast.FuncDecl
+	}
+	var ctors []ctor
+	for _, file := range detectors.Files {
+		if isTestFile(prog, file) {
+			continue
+		}
+		for _, d := range file.Decls {
+			fn, ok := d.(*ast.FuncDecl)
+			if !ok || fn.Recv != nil || !fn.Name.IsExported() || !strings.HasPrefix(fn.Name.Name, "New") {
+				continue
+			}
+			if returnsTool(fn) {
+				ctors = append(ctors, ctor{name: fn.Name.Name, decl: fn})
+			}
+		}
+	}
+
+	// Collect the names called from the places that count as "exercised":
+	// the bodies of test files anywhere in the module, and StandardSuite
+	// itself.
+	called := map[string]bool{}
+	collect := func(n ast.Node) {
+		ast.Inspect(n, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch fun := call.Fun.(type) {
+			case *ast.Ident:
+				called[fun.Name] = true
+			case *ast.SelectorExpr:
+				called[fun.Sel.Name] = true
+			}
+			return true
+		})
+	}
+	for _, pkg := range prog.Packages {
+		for _, file := range pkg.Files {
+			if isTestFile(prog, file) {
+				collect(file)
+			}
+		}
+	}
+	for _, file := range detectors.Files {
+		for _, d := range file.Decls {
+			if fn, ok := d.(*ast.FuncDecl); ok && fn.Name.Name == "StandardSuite" && fn.Body != nil {
+				collect(fn.Body)
+			}
+		}
+	}
+
+	var out []Finding
+	for _, c := range ctors {
+		if !called[c.name] {
+			out = append(out, Finding{
+				Pos: c.decl.Name.Pos(),
+				Message: fmt.Sprintf(
+					"constructor %s returns a Tool but is never exercised by StandardSuite or a test", c.name),
+			})
+		}
+	}
+	return out
+}
+
+// returnsTool reports whether fn's result list mentions the Tool type
+// (bare Tool within the package, or detectors.Tool from outside).
+func returnsTool(fn *ast.FuncDecl) bool {
+	if fn.Type.Results == nil {
+		return false
+	}
+	for _, field := range fn.Type.Results.List {
+		switch t := field.Type.(type) {
+		case *ast.Ident:
+			if t.Name == "Tool" {
+				return true
+			}
+		case *ast.SelectorExpr:
+			if t.Sel.Name == "Tool" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// RandImport checks that no package outside internal/stats imports
+// math/rand (v1 or v2). All randomness in the module must flow through
+// the seedable, splittable stats.RNG so campaigns stay reproducible;
+// a stray global-state rand import silently breaks determinism.
+var RandImport = &Analyzer{
+	Name: "randimport",
+	Doc:  "only internal/stats may import math/rand; everything else must use stats.RNG",
+	Run:  runRandImport,
+}
+
+func runRandImport(prog *Program) []Finding {
+	var out []Finding
+	for _, pkg := range prog.Packages {
+		if pkg.Path == prog.ModulePath+"/internal/stats" {
+			continue
+		}
+		for _, file := range pkg.Files {
+			for _, imp := range file.Imports {
+				path := strings.Trim(imp.Path.Value, `"`)
+				if path == "math/rand" || path == "math/rand/v2" {
+					out = append(out, Finding{
+						Pos: imp.Path.Pos(),
+						Message: fmt.Sprintf(
+							"package %s imports %s; use internal/stats.RNG for reproducible randomness", pkg.Path, path),
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// isTestFile reports whether the file's name ends in _test.go.
+func isTestFile(prog *Program, file *ast.File) bool {
+	return strings.HasSuffix(prog.Fset.Position(file.Package).Filename, "_test.go")
+}

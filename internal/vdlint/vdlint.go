@@ -1,0 +1,171 @@
+// Package vdlint is a small, dependency-free static-analysis framework
+// for this module, in the style of go/analysis: a loader that parses the
+// module's packages, an Analyzer interface, and a driver that runs the
+// analyzers and collects position-tagged diagnostics. The toolchain's
+// golang.org/x/tools multichecker is deliberately not used — the module
+// is stdlib-only — so cmd/vdlint binds the repo-specific analyzers in
+// this package into a standalone checker.
+package vdlint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed directory of the module.
+type Package struct {
+	// Path is the package's import path (module path + relative dir).
+	Path string
+	// Dir is the directory relative to the module root ("." for the root).
+	Dir string
+	// Files holds the parsed files, test files included, in file-name
+	// order. File names are available through Program.Fset.
+	Files []*ast.File
+}
+
+// Program is the loaded module: every package, sharing one FileSet.
+type Program struct {
+	// ModulePath is the module path from go.mod.
+	ModulePath string
+	// Fset resolves token positions for all files.
+	Fset *token.FileSet
+	// Packages lists the parsed packages in path order.
+	Packages []*Package
+}
+
+// Diagnostic is one finding, anchored to a source position.
+type Diagnostic struct {
+	// Pos is the resolved file position of the finding.
+	Pos token.Position
+	// Analyzer names the analyzer that produced the finding.
+	Analyzer string
+	// Message describes the finding.
+	Message string
+}
+
+// String formats the diagnostic the way Go tools print findings.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Analyzer is one whole-program check. Run inspects the program and
+// returns its findings; the driver sorts and positions them.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and on the command line.
+	Name string
+	// Doc is a one-line description.
+	Doc string
+	// Run produces the findings as (pos, message) pairs.
+	Run func(prog *Program) []Finding
+}
+
+// Finding is an unresolved diagnostic: a token.Pos plus a message. The
+// driver resolves positions against the program's FileSet.
+type Finding struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Load parses every .go file of the module rooted at dir, grouping files
+// by directory. Hidden directories and testdata trees are skipped, like
+// the go tool does. Test files are included: the analyzers here reason
+// about what the tests exercise.
+func Load(dir string) (*Program, error) {
+	modPath, err := modulePath(filepath.Join(dir, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	prog := &Program{ModulePath: modPath, Fset: token.NewFileSet()}
+	byDir := map[string]*Package{}
+	err = filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != dir && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		file, err := parser.ParseFile(prog.Fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return fmt.Errorf("vdlint: parse %s: %w", path, err)
+		}
+		rel, err := filepath.Rel(dir, filepath.Dir(path))
+		if err != nil {
+			return err
+		}
+		rel = filepath.ToSlash(rel)
+		pkg, ok := byDir[rel]
+		if !ok {
+			importPath := modPath
+			if rel != "." {
+				importPath = modPath + "/" + rel
+			}
+			pkg = &Package{Path: importPath, Dir: rel}
+			byDir[rel] = pkg
+		}
+		pkg.Files = append(pkg.Files, file)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, pkg := range byDir {
+		prog.Packages = append(prog.Packages, pkg)
+	}
+	sort.Slice(prog.Packages, func(i, j int) bool { return prog.Packages[i].Path < prog.Packages[j].Path })
+	return prog, nil
+}
+
+// Run executes the analyzers against the program and returns all
+// diagnostics sorted by position.
+func Run(prog *Program, analyzers []*Analyzer) []Diagnostic {
+	var out []Diagnostic
+	for _, a := range analyzers {
+		for _, f := range a.Run(prog) {
+			out = append(out, Diagnostic{
+				Pos:      prog.Fset.Position(f.Pos),
+				Analyzer: a.Name,
+				Message:  f.Message,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Message < b.Message
+	})
+	return out
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", fmt.Errorf("vdlint: %w", err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("vdlint: no module line in %s", gomod)
+}

@@ -1,0 +1,148 @@
+package vdlint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeModule materialises a fixture module from a map of relative path
+// to file contents and returns its root.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	for rel, content := range files {
+		path := filepath.Join(root, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+const fixtureGomod = "module example.com/fix\n\ngo 1.22\n"
+
+func TestLoadGroupsPackages(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod":                         fixtureGomod,
+		"a.go":                           "package fix\n",
+		"internal/x/x.go":                "package x\n",
+		"internal/x/x_test.go":           "package x\n",
+		"internal/x/testdata/ignored.go": "this is not Go and must be skipped\n",
+	})
+	prog, err := Load(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.ModulePath != "example.com/fix" {
+		t.Fatalf("module path = %q", prog.ModulePath)
+	}
+	if len(prog.Packages) != 2 {
+		t.Fatalf("packages = %d, want 2", len(prog.Packages))
+	}
+	if prog.Packages[0].Path != "example.com/fix" || prog.Packages[1].Path != "example.com/fix/internal/x" {
+		t.Fatalf("package paths = %q, %q", prog.Packages[0].Path, prog.Packages[1].Path)
+	}
+	if n := len(prog.Packages[1].Files); n != 2 {
+		t.Fatalf("internal/x parsed %d files, want 2 (test file included, testdata skipped)", n)
+	}
+}
+
+func TestToolWiredFlagsOrphanConstructor(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod": fixtureGomod,
+		"internal/detectors/tool.go": `package detectors
+type Tool interface{ Name() string }
+func NewWired() Tool { return nil }
+func NewOrphan() Tool { return nil }
+func NewTested() (Tool, error) { return nil, nil }
+func NewHelper() int { return 0 } // not a Tool constructor
+func StandardSuite() []Tool { return []Tool{NewWired()} }
+`,
+		"internal/detectors/tool_test.go": `package detectors
+import "testing"
+func TestTested(t *testing.T) { NewTested() }
+`,
+	})
+	prog, err := Load(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run(prog, []*Analyzer{ToolWired})
+	if len(diags) != 1 {
+		t.Fatalf("diagnostics = %v, want exactly the orphan", diags)
+	}
+	if !strings.Contains(diags[0].Message, "NewOrphan") {
+		t.Fatalf("flagged the wrong constructor: %s", diags[0])
+	}
+	if diags[0].Analyzer != "toolwired" {
+		t.Fatalf("analyzer = %q", diags[0].Analyzer)
+	}
+}
+
+func TestToolWiredCountsCrossPackageTestUse(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod": fixtureGomod,
+		"internal/detectors/tool.go": `package detectors
+type Tool interface{ Name() string }
+func NewRemote() Tool { return nil }
+`,
+		"elsewhere_test.go": `package fix
+import "example.com/fix/internal/detectors"
+import "testing"
+func TestRemote(t *testing.T) { detectors.NewRemote() }
+`,
+	})
+	prog, err := Load(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diags := Run(prog, []*Analyzer{ToolWired}); len(diags) != 0 {
+		t.Fatalf("cross-package test call not recognised: %v", diags)
+	}
+}
+
+func TestRandImportFlagsOutsideStats(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod": fixtureGomod,
+		"internal/stats/rng.go": `package stats
+import "math/rand"
+var _ = rand.Int
+`,
+		"internal/bad/bad.go": `package bad
+import "math/rand/v2"
+var _ = rand.Int
+`,
+	})
+	prog, err := Load(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run(prog, []*Analyzer{RandImport})
+	if len(diags) != 1 {
+		t.Fatalf("diagnostics = %v, want exactly the import outside internal/stats", diags)
+	}
+	if !strings.Contains(diags[0].Message, "internal/bad") || diags[0].Analyzer != "randimport" {
+		t.Fatalf("unexpected diagnostic: %s", diags[0])
+	}
+}
+
+// TestRepoSelfCheck runs the full analyzer suite against this module
+// itself: the tier-1 gate `go run ./cmd/vdlint ./...` must be clean.
+func TestRepoSelfCheck(t *testing.T) {
+	prog, err := Load(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.ModulePath != "github.com/dsn2015/vdbench" {
+		t.Fatalf("module path = %q", prog.ModulePath)
+	}
+	diags := Run(prog, All())
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

@@ -451,6 +451,37 @@ func Templates() []Template {
 			},
 		},
 		{
+			// The sink sits INSIDE the validated branch rather than after a
+			// validate-and-reject guard: if the input passes class
+			// validation it is spliced, otherwise a constant fallback is
+			// used. Safe variant validates the spliced parameter;
+			// vulnerable variant validates the wrong one. Flow-sensitive
+			// tools that only recognise the reject idiom still flag the
+			// safe variant — only branch-condition (path-sensitive)
+			// reasoning clears it.
+			Name:       "validated-branch",
+			Difficulty: Hard,
+			Kinds:      svclang.AllSinkKinds(),
+			Build: func(name string, kind svclang.SinkKind, vulnerable bool) (*svclang.Service, []bool) {
+				checked := "input"
+				if vulnerable {
+					checked = "other"
+				}
+				svc := &svclang.Service{
+					Name:   name,
+					Params: []string{"input", "other"},
+					Body: []svclang.Stmt{
+						svclang.If{
+							Cond: svclang.Match{Expr: ident(checked), Class: svclang.ClassAlnum},
+							Then: []svclang.Stmt{sinkStmt(0, kind, splice(kind, ident("input")), false)},
+							Else: []svclang.Stmt{sinkStmt(1, kind, splice(kind, svclang.Lit{Value: "default"}), false)},
+						},
+					},
+				}
+				return svc, []bool{vulnerable, false}
+			},
+		},
+		{
 			// Validation exists but runs AFTER the sink — an ordering bug.
 			// Safe variant validates before the sink.
 			Name:       "late-validation",

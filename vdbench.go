@@ -10,9 +10,9 @@
 //   - a workload generator producing labelled corpora of synthetic web
 //     services with seeded injection vulnerabilities, ground truth verified
 //     by an exhaustive structural-taint oracle;
-//   - a suite of real miniature detection tools (taint-analysis SAST,
-//     signature SAST, differential penetration testers) plus calibrated
-//     simulated tools;
+//   - a suite of real miniature detection tools (AST-walker and CFG
+//     dataflow taint SASTs, signature SAST, differential penetration
+//     testers) plus calibrated simulated tools;
 //   - a campaign harness scoring tools at sink granularity;
 //   - usage scenarios with per-scenario criterion weights, an analytical
 //     metric selector, and MCDA validation (AHP with encoded expert
@@ -126,7 +126,8 @@ func PrintService(svc *Service) string { return svclang.Print(svc) }
 func LoadWorkload(src string) (*Corpus, error) { return workload.FromSources(src) }
 
 // StandardTools returns the benchmark campaign's standard tool suite:
-// four static tools, two penetration testers and one simulated heuristic
+// six static tools (four AST-walker taint configurations plus two CFG
+// dataflow engines), two penetration testers and one simulated heuristic
 // tool.
 func StandardTools() ([]Tool, error) { return detectors.StandardSuite() }
 
