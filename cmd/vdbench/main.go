@@ -40,7 +40,7 @@ func run(args []string, out io.Writer) error {
 		seed     = fs.Uint64("seed", 0, "override the experiment seed (0 = keep default)")
 		services = fs.Int("services", 0, "override the campaign corpus size (0 = keep default)")
 		workers  = fs.Int("workers", runtime.GOMAXPROCS(0), "campaign worker-pool size (output is identical for every value)")
-		format   = fs.String("format", "text", "output format: text, csv or markdown (tables only for csv/markdown)")
+		format   = fs.String("format", "text", "output format: text, csv, markdown or json (tables only for csv/markdown)")
 		outDir   = fs.String("out", "", "also write per-experiment artefacts (.txt, .csv, .svg) into this directory")
 		list     = fs.Bool("list", false, "list the available experiments and exit")
 	)
@@ -62,6 +62,9 @@ func run(args []string, out io.Writer) error {
 	if fs.NArg() != 1 {
 		fs.Usage()
 		return fmt.Errorf("expected exactly one experiment ID, got %d arguments", fs.NArg())
+	}
+	if *workers <= 0 {
+		return fmt.Errorf("-workers must be positive, got %d (campaign output is identical for every positive value)", *workers)
 	}
 	cfg := vdbench.DefaultExperimentConfig()
 	if *quick {
@@ -119,6 +122,11 @@ func writeArtefacts(dir string, res vdbench.ExperimentResult) error {
 	if err := write(res.ID+".txt", res.String()); err != nil {
 		return err
 	}
+	if data, err := res.JSON(); err == nil {
+		if err := write(res.ID+".json", string(data)+"\n"); err != nil {
+			return err
+		}
+	}
 	for i, t := range res.Tables {
 		if err := write(fmt.Sprintf("%s_table%d.csv", res.ID, i+1), t.CSV()); err != nil {
 			return err
@@ -132,36 +140,14 @@ func writeArtefacts(dir string, res vdbench.ExperimentResult) error {
 	return nil
 }
 
+// render writes the result in the requested format. All formats —
+// including JSON — come from ExperimentResult.Render, the same code path
+// the serving API (cmd/vdserved) responds with.
 func render(out io.Writer, res vdbench.ExperimentResult, format string) error {
-	switch format {
-	case "text":
-		_, err := io.WriteString(out, res.String())
+	s, err := res.Render(format)
+	if err != nil {
 		return err
-	case "csv":
-		for _, t := range res.Tables {
-			if _, err := io.WriteString(out, t.CSV()+"\n"); err != nil {
-				return err
-			}
-		}
-		for _, f := range res.Figures {
-			if _, err := io.WriteString(out, f.String()+"\n"); err != nil {
-				return err
-			}
-		}
-		return nil
-	case "markdown":
-		for _, t := range res.Tables {
-			if _, err := io.WriteString(out, t.Markdown()+"\n"); err != nil {
-				return err
-			}
-		}
-		for _, f := range res.Figures {
-			if _, err := io.WriteString(out, f.String()+"\n"); err != nil {
-				return err
-			}
-		}
-		return nil
-	default:
-		return fmt.Errorf("unknown format %q (want text, csv or markdown)", format)
 	}
+	_, err = io.WriteString(out, s)
+	return err
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -49,6 +50,24 @@ func TestRunMarkdownFormat(t *testing.T) {
 	}
 }
 
+func TestRunJSONFormat(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-quick", "-format", "json", "e1"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		ID     string            `json:"id"`
+		Title  string            `json:"title"`
+		Tables []json.RawMessage `json:"tables"`
+	}
+	if err := json.Unmarshal([]byte(out.String()), &decoded); err != nil {
+		t.Fatalf("json output does not parse: %v\n%.120s", err, out.String())
+	}
+	if decoded.ID != "e1" || decoded.Title == "" || len(decoded.Tables) == 0 {
+		t.Fatalf("json output shape wrong: %+v", decoded)
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	cases := [][]string{
 		{},                                  // no experiment
@@ -56,6 +75,8 @@ func TestRunErrors(t *testing.T) {
 		{"-quick", "e99"},                   // unknown experiment
 		{"-quick", "-format", "xml", "e1"},  // unknown format
 		{"-quick", "-services", "-5", "e3"}, // invalid override
+		{"-quick", "-workers", "0", "e1"},   // workers must be positive
+		{"-quick", "-workers", "-3", "e1"},  // workers must be positive
 	}
 	for _, args := range cases {
 		var out strings.Builder

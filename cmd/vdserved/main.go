@@ -1,0 +1,117 @@
+// Command vdserved serves the benchmark as a JSON API: experiments are
+// submitted as jobs, executed on a bounded worker pool, memoised in a
+// content-addressed result cache (sound because experiment output is a
+// pure function of the configuration, workers excluded), and exposed
+// with Prometheus-style telemetry.
+//
+// Usage:
+//
+//	vdserved [flags]
+//
+// Endpoints:
+//
+//	POST   /v1/jobs             {"experiment":"e3","quick":true,...}
+//	GET    /v1/jobs/{id}        status + queue position
+//	GET    /v1/jobs/{id}/result ?format=text|csv|markdown|json, optional ?wait=30s
+//	DELETE /v1/jobs/{id}        cancel a queued job
+//	GET    /v1/experiments      catalogue
+//	GET    /healthz             liveness
+//	GET    /metrics             telemetry snapshot
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: in-flight HTTP requests
+// and running campaigns drain; queued jobs are canceled.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/dsn2015/vdbench"
+	"github.com/dsn2015/vdbench/internal/service"
+)
+
+func main() {
+	if err := run(context.Background(), os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "vdserved:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("vdserved", flag.ContinueOnError)
+	var (
+		addr     = fs.String("addr", "127.0.0.1:8344", "listen address")
+		workers  = fs.Int("workers", 2, "job worker-pool size (concurrent campaigns)")
+		queueCap = fs.Int("queue", 64, "maximum queued jobs")
+		cacheMB  = fs.Int64("cache-mb", 256, "result-cache byte budget in MiB (0 disables)")
+		quick    = fs.Bool("quick", false, "use the reduced smoke-run configuration as the base config")
+		drain    = fs.Duration("drain", 30*time.Second, "graceful-shutdown budget for in-flight HTTP requests")
+	)
+	fs.SetOutput(out)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("unexpected arguments %v", fs.Args())
+	}
+	if *workers <= 0 {
+		return fmt.Errorf("-workers must be positive, got %d", *workers)
+	}
+	base := vdbench.DefaultExperimentConfig()
+	if *quick {
+		base = vdbench.QuickExperimentConfig()
+	}
+	cacheBytes := *cacheMB << 20
+	if *cacheMB == 0 {
+		cacheBytes = -1 // Options treats 0 as "default"; negative disables
+	}
+	svc := service.New(service.Options{
+		Workers:    *workers,
+		QueueCap:   *queueCap,
+		CacheBytes: cacheBytes,
+		BaseConfig: base,
+	})
+
+	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		svc.Close()
+		return err
+	}
+	srv := &http.Server{
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       60 * time.Second,
+	}
+	fmt.Fprintf(out, "vdserved listening on http://%s\n", ln.Addr())
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		svc.Close()
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(out, "vdserved: shutting down (draining running campaigns)")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	shutdownErr := srv.Shutdown(shutdownCtx)
+	svc.Close() // cancels queued jobs, waits for running campaigns
+	if shutdownErr != nil && !errors.Is(shutdownErr, http.ErrServerClosed) {
+		return shutdownErr
+	}
+	return nil
+}

@@ -1,0 +1,122 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncWriter makes the daemon's log output safe to read while run() is
+// still writing from its own goroutine.
+type syncWriter struct {
+	mu sync.Mutex
+	sb strings.Builder
+}
+
+func (w *syncWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.sb.Write(p)
+}
+
+func (w *syncWriter) String() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.sb.String()
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	cases := [][]string{
+		{"-workers", "0"},
+		{"-workers", "-2"},
+		{"positional"},
+		{"-addr", "not a real:address:at:all"},
+	}
+	for _, args := range cases {
+		var out syncWriter
+		if err := run(context.Background(), args, &out); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+// TestRunServeAndGracefulShutdown boots the daemon on an ephemeral port,
+// drives a job through the live API, then cancels the context (the
+// signal path) and asserts a clean drain.
+func TestRunServeAndGracefulShutdown(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var out syncWriter
+	done := make(chan error, 1)
+	go func() { done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-quick", "-workers", "1"}, &out) }()
+
+	// Wait for the listener line to learn the bound address.
+	var base string
+	deadline := time.Now().Add(30 * time.Second)
+	for base == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never announced its address; output:\n%s", out.String())
+		}
+		for _, line := range strings.Split(out.String(), "\n") {
+			if rest, ok := strings.CutPrefix(line, "vdserved listening on "); ok {
+				base = strings.TrimSpace(rest)
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || string(body) != "ok\n" {
+		t.Fatalf("healthz = %d %q", resp.StatusCode, body)
+	}
+
+	resp, err = http.Post(base+"/v1/jobs", "application/json",
+		strings.NewReader(`{"experiment":"e1"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit = %d: %s", resp.StatusCode, body)
+	}
+	var st struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(body, &st); err != nil || st.ID == "" {
+		t.Fatalf("submit body: %v %s", err, body)
+	}
+	resp, err = http.Get(base + "/v1/jobs/" + st.ID + "/result?wait=60s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || len(body) == 0 {
+		t.Fatalf("result = %d (%d bytes)", resp.StatusCode, len(body))
+	}
+
+	// The signal path: cancel the context and expect a clean drain.
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v; output:\n%s", err, out.String())
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatalf("daemon did not shut down; output:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "shutting down (draining running campaigns)") {
+		t.Fatalf("no graceful-shutdown notice:\n%s", out.String())
+	}
+}

@@ -1,11 +1,13 @@
 // Package report renders experiment outputs as aligned ASCII tables, CSV,
-// and simple text "figures" (series dumps suitable for plotting). Every
-// table and figure the benchmark reproduces flows through this package, so
-// all experiment output is uniform and diffable.
+// JSON, and simple text "figures" (series dumps suitable for plotting).
+// Every table and figure the benchmark reproduces flows through this
+// package, so all experiment output is uniform and diffable.
 package report
 
 import (
+	"encoding/json"
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 )
@@ -47,6 +49,32 @@ func (t *Table) AddRowValues(cells ...any) {
 
 // NumRows returns the number of data rows.
 func (t *Table) NumRows() int { return len(t.rows) }
+
+// Rows returns a copy of the data rows, each padded to the header width
+// (longer rows are returned verbatim, matching the text renderer).
+func (t *Table) Rows() [][]string {
+	out := make([][]string, len(t.rows))
+	for i, r := range t.rows {
+		row := make([]string, max(len(r), len(t.Headers)))
+		copy(row, r)
+		out[i] = row
+	}
+	return out
+}
+
+// MarshalJSON encodes the table with its rows padded like Rows, so the
+// JSON form and the text form describe the same rectangle.
+func (t *Table) MarshalJSON() ([]byte, error) {
+	headers := t.Headers
+	if headers == nil {
+		headers = []string{}
+	}
+	return json.Marshal(struct {
+		Title   string     `json:"title"`
+		Headers []string   `json:"headers"`
+		Rows    [][]string `json:"rows"`
+	}{t.Title, headers, t.Rows()})
+}
 
 // FormatFloat renders a float compactly: four significant decimals,
 // trailing zeros trimmed, integers without a decimal point.
@@ -163,18 +191,49 @@ func (t *Table) Markdown() string {
 
 // Series is a named sequence of (x, y) points: the text form of a figure.
 type Series struct {
-	Name string
-	X    []float64
-	Y    []float64
+	Name string    `json:"name"`
+	X    []float64 `json:"x"`
+	Y    []float64 `json:"y"`
+}
+
+// jsonFloat encodes non-finite values as null: encoding/json rejects NaN
+// and ±Inf outright, but figures may legitimately carry undefined points
+// (metrics outside their domain).
+type jsonFloat float64
+
+// MarshalJSON implements json.Marshaler.
+func (f jsonFloat) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return []byte("null"), nil
+	}
+	return json.Marshal(v)
+}
+
+func jsonFloats(vs []float64) []jsonFloat {
+	out := make([]jsonFloat, len(vs))
+	for i, v := range vs {
+		out[i] = jsonFloat(v)
+	}
+	return out
+}
+
+// MarshalJSON encodes the series with non-finite points as null.
+func (s Series) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		Name string      `json:"name"`
+		X    []jsonFloat `json:"x"`
+		Y    []jsonFloat `json:"y"`
+	}{s.Name, jsonFloats(s.X), jsonFloats(s.Y)})
 }
 
 // Figure is a set of series sharing axes: the text equivalent of one paper
 // figure.
 type Figure struct {
-	Title  string
-	XLabel string
-	YLabel string
-	Series []Series
+	Title  string   `json:"title"`
+	XLabel string   `json:"xlabel"`
+	YLabel string   `json:"ylabel"`
+	Series []Series `json:"series"`
 }
 
 // AddSeries appends a series; x and y must have equal length.

@@ -1,0 +1,76 @@
+package report
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+func TestTableRowsPadding(t *testing.T) {
+	tbl := NewTable("T", "a", "b", "c")
+	tbl.AddRow("1")
+	tbl.AddRow("1", "2", "3", "4")
+	rows := tbl.Rows()
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+	if len(rows[0]) != 3 || rows[0][1] != "" || rows[0][2] != "" {
+		t.Fatalf("short row not padded to header width: %q", rows[0])
+	}
+	if len(rows[1]) != 4 {
+		t.Fatalf("long row truncated: %q", rows[1])
+	}
+	// Rows returns a copy: mutating it must not touch the table.
+	rows[0][0] = "mutated"
+	if tbl.Rows()[0][0] != "1" {
+		t.Fatal("Rows aliases the table's internal storage")
+	}
+}
+
+func TestTableMarshalJSON(t *testing.T) {
+	tbl := NewTable("T", "a", "b")
+	tbl.AddRow("1")
+	data, err := json.Marshal(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Title   string     `json:"title"`
+		Headers []string   `json:"headers"`
+		Rows    [][]string `json:"rows"`
+	}
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Title != "T" || len(decoded.Headers) != 2 {
+		t.Fatalf("decoded = %+v", decoded)
+	}
+	if len(decoded.Rows) != 1 || len(decoded.Rows[0]) != 2 {
+		t.Fatalf("rows not padded in JSON: %+v", decoded.Rows)
+	}
+}
+
+func TestSeriesMarshalJSONNonFinite(t *testing.T) {
+	s := Series{Name: "s", X: []float64{1, 2, 3}, Y: []float64{0.5, math.NaN(), math.Inf(1)}}
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatalf("non-finite values must encode as null, got error: %v", err)
+	}
+	var decoded struct {
+		Name string     `json:"name"`
+		X    []*float64 `json:"x"`
+		Y    []*float64 `json:"y"`
+	}
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Name != "s" || len(decoded.X) != 3 || len(decoded.Y) != 3 {
+		t.Fatalf("decoded = %+v", decoded)
+	}
+	if decoded.Y[0] == nil || *decoded.Y[0] != 0.5 {
+		t.Fatalf("finite value mangled: %v", decoded.Y)
+	}
+	if decoded.Y[1] != nil || decoded.Y[2] != nil {
+		t.Fatalf("NaN/Inf not encoded as null: %s", data)
+	}
+}

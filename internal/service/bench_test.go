@@ -1,0 +1,67 @@
+package service
+
+import (
+	"context"
+	"testing"
+
+	"github.com/dsn2015/vdbench"
+)
+
+// BenchmarkServiceColdVsWarm quantifies what the content-addressed cache
+// buys: the cold path runs the full (quick) E3 campaign per iteration,
+// the warm path serves the memoized result. The ratio between the two
+// is the speedup the service delivers for repeated identical requests.
+func BenchmarkServiceColdVsWarm(b *testing.B) {
+	cfg := vdbench.QuickExperimentConfig()
+
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			// A fresh service per iteration guarantees an empty cache.
+			svc := New(Options{Workers: 1})
+			job, err := svc.Submit("e3", cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := job.Wait(context.Background()); err != nil {
+				b.Fatal(err)
+			}
+			res, err := job.Result()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := res.Render("text"); err != nil {
+				b.Fatal(err)
+			}
+			svc.Close()
+		}
+	})
+
+	b.Run("warm", func(b *testing.B) {
+		svc := New(Options{Workers: 1})
+		defer svc.Close()
+		// Prime the cache outside the timer.
+		job, err := svc.Submit("e3", cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := job.Wait(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			job, err := svc.Submit("e3", cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := job.Result()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := res.Render("text"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,92 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+
+	"github.com/dsn2015/vdbench"
+)
+
+// resultCache is a byte-budgeted LRU over experiment results, keyed by
+// the content address from vdbench.ExperimentCacheKey. Because every
+// experiment is a pure function of its key (Workers excluded — output is
+// workers-invariant), a hit is provably equivalent to re-running the
+// campaign, so the cache trades memory for campaign latency with no
+// correctness risk.
+type resultCache struct {
+	mu     sync.Mutex
+	budget int64
+	bytes  int64
+	ll     *list.List               // front = most recently used
+	items  map[string]*list.Element // key -> element holding *cacheEntry
+}
+
+type cacheEntry struct {
+	key    string
+	result vdbench.ExperimentResult
+	bytes  int64
+}
+
+// newResultCache builds a cache with the given byte budget. A budget
+// <= 0 disables caching (every get misses, every put is dropped).
+func newResultCache(budget int64) *resultCache {
+	return &resultCache{
+		budget: budget,
+		ll:     list.New(),
+		items:  map[string]*list.Element{},
+	}
+}
+
+// get returns the cached result for key, refreshing its recency.
+func (c *resultCache) get(key string) (vdbench.ExperimentResult, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return vdbench.ExperimentResult{}, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).result, true
+}
+
+// put stores a result under key, charging size bytes against the budget
+// and evicting least-recently-used entries until the cache fits. Entries
+// larger than the whole budget are not stored. It returns the number of
+// evicted entries.
+func (c *resultCache) put(key string, res vdbench.ExperimentResult, size int64) (evicted int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if size > c.budget {
+		return 0
+	}
+	if el, ok := c.items[key]; ok {
+		// Same key means same content; just refresh recency and the
+		// accounted size (renders are deterministic, so sizes agree —
+		// this is belt and braces).
+		c.bytes += size - el.Value.(*cacheEntry).bytes
+		el.Value.(*cacheEntry).bytes = size
+		c.ll.MoveToFront(el)
+		return 0
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, result: res, bytes: size})
+	c.bytes += size
+	for c.bytes > c.budget {
+		oldest := c.ll.Back()
+		if oldest == nil {
+			break
+		}
+		e := oldest.Value.(*cacheEntry)
+		c.ll.Remove(oldest)
+		delete(c.items, e.key)
+		c.bytes -= e.bytes
+		evicted++
+	}
+	return evicted
+}
+
+// stats returns the entry count and accounted bytes.
+func (c *resultCache) stats() (entries int, bytes int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.items), c.bytes
+}

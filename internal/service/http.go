@@ -1,0 +1,232 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"github.com/dsn2015/vdbench"
+)
+
+// maxBodyBytes bounds job-submission bodies; experiment requests are a
+// handful of scalar overrides.
+const maxBodyBytes = 1 << 20
+
+// maxResultWait bounds how long a result request may long-poll for a job
+// to finish, independent of the client's patience.
+const maxResultWait = 10 * time.Minute
+
+// SubmitRequest is the POST /v1/jobs body: an experiment ID plus
+// optional overrides of the service's base configuration (mirroring the
+// cmd/vdbench flags). Workers tunes campaign parallelism only — it is
+// excluded from the cache key because the output is workers-invariant.
+type SubmitRequest struct {
+	Experiment string  `json:"experiment"`
+	Quick      bool    `json:"quick,omitempty"`
+	Seed       uint64  `json:"seed,omitempty"`
+	Services   int     `json:"services,omitempty"`
+	Prevalence float64 `json:"prevalence,omitempty"`
+	Workers    int     `json:"workers,omitempty"`
+}
+
+// config resolves the request against the service's defaults.
+func (r SubmitRequest) config(base vdbench.ExperimentConfig) vdbench.ExperimentConfig {
+	cfg := base
+	if r.Quick {
+		cfg = vdbench.QuickExperimentConfig()
+	}
+	if r.Seed != 0 {
+		cfg.Seed = r.Seed
+	}
+	if r.Services != 0 {
+		cfg.Services = r.Services
+	}
+	if r.Prevalence != 0 {
+		cfg.Prevalence = r.Prevalence
+	}
+	if r.Workers != 0 {
+		cfg.Workers = r.Workers
+	}
+	return cfg
+}
+
+// Handler returns the service's HTTP API:
+//
+//	POST   /v1/jobs             submit an experiment job
+//	GET    /v1/jobs/{id}        job status and queue position
+//	GET    /v1/jobs/{id}/result rendered result (?format=text|csv|markdown|json, optional ?wait=30s)
+//	DELETE /v1/jobs/{id}        cancel a queued job
+//	GET    /v1/experiments      experiment catalogue
+//	GET    /healthz             liveness
+//	GET    /metrics             telemetry snapshot
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+
+	requests := s.reg.Counter("vd_http_requests_total", "HTTP requests served")
+	inflight := s.reg.Gauge("vd_http_inflight_requests", "HTTP requests currently being served")
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		requests.Inc()
+		inflight.Add(1)
+		defer inflight.Add(-1)
+		mux.ServeHTTP(w, r)
+	})
+}
+
+// writeJSON writes v as a JSON response.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // the status line is out; nothing useful to do on error
+}
+
+// errorBody is the uniform error response shape.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	var req SubmitRequest
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "malformed job request: %v", err)
+		return
+	}
+	if dec.More() {
+		writeError(w, http.StatusBadRequest, "malformed job request: trailing data after JSON object")
+		return
+	}
+	job, err := s.Submit(req.Experiment, req.config(s.opts.BaseConfig))
+	switch {
+	case err == nil:
+	case errors.Is(err, ErrUnknownExperiment):
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	default:
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	st, _ := s.Status(job.ID())
+	w.Header().Set("Location", "/v1/jobs/"+job.ID())
+	writeJSON(w, http.StatusAccepted, st)
+}
+
+func (s *Service) handleStatus(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.Status(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Service) handleResult(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	job, ok := s.Job(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", id)
+		return
+	}
+	format := r.URL.Query().Get("format")
+	if format == "" {
+		format = "text"
+	}
+	contentType, ok := formatContentTypes()[format]
+	if !ok {
+		writeError(w, http.StatusBadRequest, "unknown format %q (want text, csv, markdown or json)", format)
+		return
+	}
+	if waitSpec := r.URL.Query().Get("wait"); waitSpec != "" {
+		d, err := time.ParseDuration(waitSpec)
+		if err != nil || d < 0 {
+			writeError(w, http.StatusBadRequest, "bad wait duration %q", waitSpec)
+			return
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), min(d, maxResultWait))
+		defer cancel()
+		_ = job.Wait(ctx) // on timeout we fall through to the not-done reply
+	}
+	res, err := job.Result()
+	switch {
+	case errors.Is(err, ErrNotDone):
+		st, _ := s.Status(id)
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusAccepted, st)
+		return
+	case errors.Is(err, context.Canceled):
+		writeError(w, http.StatusGone, "job %s was canceled", id)
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, "job %s failed: %v", id, err)
+		return
+	}
+	body, err := res.Render(format)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "render: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", contentType)
+	w.WriteHeader(http.StatusOK)
+	_, _ = io.WriteString(w, body)
+}
+
+func (s *Service) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, ok := s.Job(id); !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", id)
+		return
+	}
+	if !s.Cancel(id) {
+		writeError(w, http.StatusConflict, "job %s is not queued (running and finished jobs cannot be canceled)", id)
+		return
+	}
+	st, _ := s.Status(id)
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Service) handleExperiments(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Experiments []vdbench.ExperimentInfo `json:"experiments"`
+		Formats     []string                 `json:"formats"`
+	}{vdbench.Experiments(), vdbench.ResultFormats()})
+}
+
+func (s *Service) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_, _ = io.WriteString(w, "ok\n")
+}
+
+func (s *Service) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = io.WriteString(w, s.reg.Snapshot())
+}
+
+// formatContentTypes maps render formats to response content types.
+func formatContentTypes() map[string]string {
+	return map[string]string{
+		"text":     "text/plain; charset=utf-8",
+		"csv":      "text/csv; charset=utf-8",
+		"markdown": "text/markdown; charset=utf-8",
+		"json":     "application/json",
+	}
+}

@@ -1,0 +1,278 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/dsn2015/vdbench"
+)
+
+// newTestAPI starts a service (optionally with a gated runner) behind an
+// httptest server.
+func newTestAPI(t *testing.T, opts Options, run runner) (*Service, *httptest.Server) {
+	t.Helper()
+	var svc *Service
+	if run == nil {
+		svc = New(opts)
+	} else {
+		svc = newService(opts, run)
+	}
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(func() { ts.Close(); svc.Close() })
+	return svc, ts
+}
+
+func httpDo(t *testing.T, method, url, body string) (int, http.Header, string) {
+	t.Helper()
+	req, err := http.NewRequest(method, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header, string(data)
+}
+
+func submitJob(t *testing.T, base, body string) JobStatus {
+	t.Helper()
+	code, _, resp := httpDo(t, http.MethodPost, base+"/v1/jobs", body)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit returned %d: %s", code, resp)
+	}
+	var st JobStatus
+	if err := json.Unmarshal([]byte(resp), &st); err != nil {
+		t.Fatalf("submit response not a JobStatus: %v\n%s", err, resp)
+	}
+	return st
+}
+
+// TestAPISubmitPollFetch drives the full submit → poll → fetch loop over
+// the API for three representative experiments.
+func TestAPISubmitPollFetch(t *testing.T) {
+	_, ts := newTestAPI(t, Options{Workers: 2}, nil)
+	for _, id := range []string{"e1", "e3", "e6"} {
+		t.Run(id, func(t *testing.T) {
+			st := submitJob(t, ts.URL, fmt.Sprintf(`{"experiment":%q,"quick":true}`, id))
+			if st.Experiment != id || st.Key == "" {
+				t.Fatalf("submit status = %+v", st)
+			}
+			deadline := time.Now().Add(waitDeadline)
+			for st.Status != StatusDone {
+				if time.Now().After(deadline) {
+					t.Fatalf("job %s stuck in %s", st.ID, st.Status)
+				}
+				time.Sleep(20 * time.Millisecond)
+				code, _, resp := httpDo(t, http.MethodGet, ts.URL+"/v1/jobs/"+st.ID, "")
+				if code != http.StatusOK {
+					t.Fatalf("status poll returned %d: %s", code, resp)
+				}
+				if err := json.Unmarshal([]byte(resp), &st); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for format, wantType := range formatContentTypes() {
+				code, hdr, body := httpDo(t, http.MethodGet,
+					fmt.Sprintf("%s/v1/jobs/%s/result?format=%s", ts.URL, st.ID, format), "")
+				if code != http.StatusOK {
+					t.Fatalf("result %s returned %d: %s", format, code, body)
+				}
+				if got := hdr.Get("Content-Type"); got != wantType {
+					t.Fatalf("format %s content type = %q, want %q", format, got, wantType)
+				}
+				if len(body) == 0 {
+					t.Fatalf("format %s: empty body", format)
+				}
+				if format == "json" {
+					var decoded struct {
+						ID string `json:"id"`
+					}
+					if err := json.Unmarshal([]byte(body), &decoded); err != nil || decoded.ID != id {
+						t.Fatalf("json result id = %q err = %v", decoded.ID, err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestAPIWarmCacheByteIdentical is the acceptance criterion end to end:
+// the second fetch of a previously computed experiment is served from
+// the cache (hit counter increments, no new campaign) and its body is
+// byte-identical to the cold run — which itself is byte-identical to
+// what the CLI code path (Result.Render) produces.
+func TestAPIWarmCacheByteIdentical(t *testing.T) {
+	svc, ts := newTestAPI(t, Options{Workers: 1}, nil)
+
+	st := submitJob(t, ts.URL, `{"experiment":"e3","quick":true}`)
+	code, _, cold := httpDo(t, http.MethodGet, ts.URL+"/v1/jobs/"+st.ID+"/result?format=text&wait=120s", "")
+	if code != http.StatusOK {
+		t.Fatalf("cold fetch returned %d: %s", code, cold)
+	}
+	campaigns := svc.Metrics().Histogram("vd_campaign_seconds", "").Count()
+
+	st2 := submitJob(t, ts.URL, `{"experiment":"e3","quick":true}`)
+	if st2.Status != StatusDone || !st2.Cached {
+		t.Fatalf("warm submit status = %+v, want done+cached", st2)
+	}
+	code, _, warm := httpDo(t, http.MethodGet, ts.URL+"/v1/jobs/"+st2.ID+"/result?format=text", "")
+	if code != http.StatusOK {
+		t.Fatalf("warm fetch returned %d", code)
+	}
+	if warm != cold {
+		t.Fatal("warm response is not byte-identical to the cold run")
+	}
+	if got := svc.Metrics().Histogram("vd_campaign_seconds", "").Count(); got != campaigns {
+		t.Fatalf("warm submission ran a campaign (%d -> %d)", campaigns, got)
+	}
+	_, _, metrics := httpDo(t, http.MethodGet, ts.URL+"/metrics", "")
+	if !strings.Contains(metrics, "vd_cache_hits_total 1") {
+		t.Fatalf("/metrics missing the cache hit:\n%s", metrics)
+	}
+
+	// The API body is the same byte sequence the CLI renders.
+	direct, err := vdbench.RunExperiment("e3", vdbench.QuickExperimentConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := direct.Render("text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold != want {
+		t.Fatal("API text body diverges from Result.Render — CLI and API are not one code path")
+	}
+}
+
+func TestAPIErrors(t *testing.T) {
+	_, ts := newTestAPI(t, Options{Workers: 1}, nil)
+	cases := []struct {
+		name, method, path, body string
+		wantCode                 int
+	}{
+		{"malformed body", http.MethodPost, "/v1/jobs", `{"experiment":`, http.StatusBadRequest},
+		{"unknown field", http.MethodPost, "/v1/jobs", `{"experiment":"e1","bogus":1}`, http.StatusBadRequest},
+		{"unknown experiment", http.MethodPost, "/v1/jobs", `{"experiment":"e99","quick":true}`, http.StatusNotFound},
+		{"invalid override", http.MethodPost, "/v1/jobs", `{"experiment":"e1","quick":true,"services":-4}`, http.StatusBadRequest},
+		{"unknown job status", http.MethodGet, "/v1/jobs/j-nope", "", http.StatusNotFound},
+		{"unknown job result", http.MethodGet, "/v1/jobs/j-nope/result", "", http.StatusNotFound},
+		{"unknown job cancel", http.MethodDelete, "/v1/jobs/j-nope", "", http.StatusNotFound},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			code, _, body := httpDo(t, c.method, ts.URL+c.path, c.body)
+			if code != c.wantCode {
+				t.Fatalf("%s %s = %d, want %d (%s)", c.method, c.path, code, c.wantCode, body)
+			}
+			var eb errorBody
+			if err := json.Unmarshal([]byte(body), &eb); err != nil || eb.Error == "" {
+				t.Fatalf("error response not {error: ...}: %s", body)
+			}
+		})
+	}
+}
+
+func TestAPIBadFormatAndWait(t *testing.T) {
+	_, ts := newTestAPI(t, Options{Workers: 1}, nil)
+	st := submitJob(t, ts.URL, `{"experiment":"e1","quick":true}`)
+	if code, _, body := httpDo(t, http.MethodGet, ts.URL+"/v1/jobs/"+st.ID+"/result?format=xml", ""); code != http.StatusBadRequest {
+		t.Fatalf("format=xml returned %d: %s", code, body)
+	}
+	if code, _, body := httpDo(t, http.MethodGet, ts.URL+"/v1/jobs/"+st.ID+"/result?wait=banana", ""); code != http.StatusBadRequest {
+		t.Fatalf("wait=banana returned %d: %s", code, body)
+	}
+}
+
+// TestAPIRunningAndCanceledJobs exercises the not-done and canceled
+// result paths with a gated runner.
+func TestAPIRunningAndCanceledJobs(t *testing.T) {
+	g := newGate()
+	_, ts := newTestAPI(t, Options{Workers: 1}, g.run)
+	defer g.open()
+
+	st1 := submitJob(t, ts.URL, `{"experiment":"e1","quick":true}`)
+	g.waitStarted(t)
+	st2 := submitJob(t, ts.URL, `{"experiment":"e1","quick":true,"seed":2}`)
+
+	// Result of a running job: 202 with a status body and Retry-After.
+	code, hdr, body := httpDo(t, http.MethodGet, ts.URL+"/v1/jobs/"+st1.ID+"/result", "")
+	if code != http.StatusAccepted || hdr.Get("Retry-After") == "" {
+		t.Fatalf("running result = %d (Retry-After %q): %s", code, hdr.Get("Retry-After"), body)
+	}
+	// A bounded wait that expires behaves the same.
+	code, _, _ = httpDo(t, http.MethodGet, ts.URL+"/v1/jobs/"+st1.ID+"/result?wait=50ms", "")
+	if code != http.StatusAccepted {
+		t.Fatalf("expired wait = %d", code)
+	}
+
+	// Cancel the queued job; its result is then Gone.
+	code, _, body = httpDo(t, http.MethodDelete, ts.URL+"/v1/jobs/"+st2.ID, "")
+	if code != http.StatusOK {
+		t.Fatalf("cancel = %d: %s", code, body)
+	}
+	code, _, _ = httpDo(t, http.MethodGet, ts.URL+"/v1/jobs/"+st2.ID+"/result", "")
+	if code != http.StatusGone {
+		t.Fatalf("canceled result = %d, want 410", code)
+	}
+	// The running job is not cancelable.
+	code, _, _ = httpDo(t, http.MethodDelete, ts.URL+"/v1/jobs/"+st1.ID, "")
+	if code != http.StatusConflict {
+		t.Fatalf("cancel running = %d, want 409", code)
+	}
+}
+
+func TestAPIExperimentsCatalog(t *testing.T) {
+	_, ts := newTestAPI(t, Options{Workers: 1}, nil)
+	code, _, body := httpDo(t, http.MethodGet, ts.URL+"/v1/experiments", "")
+	if code != http.StatusOK {
+		t.Fatalf("experiments = %d", code)
+	}
+	var decoded struct {
+		Experiments []vdbench.ExperimentInfo `json:"experiments"`
+		Formats     []string                 `json:"formats"`
+	}
+	if err := json.Unmarshal([]byte(body), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	ids := map[string]bool{}
+	for _, info := range decoded.Experiments {
+		ids[info.ID] = true
+		if info.Title == "" {
+			t.Fatalf("experiment %s has no title", info.ID)
+		}
+	}
+	for _, want := range vdbench.ExperimentIDs() {
+		if !ids[want] {
+			t.Fatalf("catalogue missing %s", want)
+		}
+	}
+	if len(decoded.Formats) != 4 {
+		t.Fatalf("formats = %v", decoded.Formats)
+	}
+}
+
+func TestAPIHealthzAndMetrics(t *testing.T) {
+	_, ts := newTestAPI(t, Options{Workers: 1}, nil)
+	code, _, body := httpDo(t, http.MethodGet, ts.URL+"/healthz", "")
+	if code != http.StatusOK || body != "ok\n" {
+		t.Fatalf("healthz = %d %q", code, body)
+	}
+	_, _, metrics := httpDo(t, http.MethodGet, ts.URL+"/metrics", "")
+	for _, want := range []string{"vd_http_requests_total", "vd_queue_depth", "vd_campaign_seconds_bucket"} {
+		if !strings.Contains(metrics, want) {
+			t.Fatalf("/metrics missing %s:\n%s", want, metrics)
+		}
+	}
+}

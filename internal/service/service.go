@@ -1,0 +1,514 @@
+// Package service is the benchmark-as-a-service layer: a job scheduler
+// over the deterministic experiment pipeline (vdbench.RunExperiment)
+// with a bounded worker pool, a content-addressed result cache, and
+// singleflight collapsing of identical in-flight requests.
+//
+// The design leans entirely on the repo's determinism guarantee: an
+// experiment result is a pure function of (experiment ID, config minus
+// Workers), byte-identical across runs and worker counts. That makes the
+// cache key sound (vdbench.ExperimentCacheKey) and means a cache hit or
+// a collapsed duplicate request is indistinguishable from a fresh
+// campaign — determinism exploited for performance, not merely
+// preserved.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/dsn2015/vdbench"
+	"github.com/dsn2015/vdbench/internal/telemetry"
+)
+
+// Sentinel errors the HTTP layer maps onto status codes.
+var (
+	// ErrClosed is returned by Submit after Close.
+	ErrClosed = errors.New("service: closed")
+	// ErrQueueFull is returned by Submit when the job queue is at capacity.
+	ErrQueueFull = errors.New("service: job queue full")
+	// ErrUnknownExperiment is returned by Submit for an ID outside the
+	// experiment catalogue.
+	ErrUnknownExperiment = errors.New("service: unknown experiment")
+	// ErrNotDone is returned by Job.Result while the job has not finished.
+	ErrNotDone = errors.New("service: job not done")
+)
+
+// Status is a job lifecycle state.
+type Status string
+
+// Job lifecycle states.
+const (
+	StatusQueued   Status = "queued"
+	StatusRunning  Status = "running"
+	StatusDone     Status = "done"
+	StatusFailed   Status = "failed"
+	StatusCanceled Status = "canceled"
+)
+
+// terminal reports whether a status is final.
+func (s Status) terminal() bool {
+	return s == StatusDone || s == StatusFailed || s == StatusCanceled
+}
+
+// Job is one submitted experiment run. Jobs are created by Submit and
+// complete asynchronously; Done unblocks when the job reaches a terminal
+// state. Identical in-flight submissions share one Job (singleflight).
+type Job struct {
+	id         string
+	key        string
+	experiment string
+	cfg        vdbench.ExperimentConfig
+	seq        uint64 // submission order among queued jobs; 0 when never queued
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	done   chan struct{}
+
+	mu     sync.Mutex
+	status Status
+	result vdbench.ExperimentResult
+	err    error
+	cached bool
+}
+
+// ID returns the job identifier.
+func (j *Job) ID() string { return j.id }
+
+// Key returns the content address of the job's (experiment, config).
+func (j *Job) Key() string { return j.key }
+
+// Experiment returns the experiment ID.
+func (j *Job) Experiment() string { return j.experiment }
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Wait blocks until the job is terminal or ctx is done.
+func (j *Job) Wait(ctx context.Context) error {
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-j.done:
+		return nil
+	}
+}
+
+// Result returns the experiment result of a done job, the failure of a
+// failed job, and ErrNotDone otherwise.
+func (j *Job) Result() (vdbench.ExperimentResult, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch j.status {
+	case StatusDone:
+		return j.result, nil
+	case StatusFailed:
+		return vdbench.ExperimentResult{}, j.err
+	case StatusCanceled:
+		return vdbench.ExperimentResult{}, context.Canceled
+	default:
+		return vdbench.ExperimentResult{}, ErrNotDone
+	}
+}
+
+// casStatus moves the job from exactly `from` to `to`, reporting whether
+// the transition happened. All lifecycle moves go through this compare-
+// and-swap, so a Cancel racing a worker resolves to exactly one winner
+// and done is closed exactly once.
+func (j *Job) casStatus(from, to Status, res vdbench.ExperimentResult, err error) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.status != from {
+		return false
+	}
+	j.status = to
+	j.result = res
+	j.err = err
+	if to.terminal() {
+		close(j.done)
+	}
+	return true
+}
+
+// JobStatus is the externally visible snapshot of a job, shaped for the
+// JSON API.
+type JobStatus struct {
+	ID         string `json:"id"`
+	Experiment string `json:"experiment"`
+	Key        string `json:"key"`
+	Status     Status `json:"status"`
+	// Position is the 1-based queue position while queued (1 = next to
+	// run), 0 otherwise. It counts jobs ahead in submission order,
+	// including queued jobs that were canceled but not yet reaped, so it
+	// is an upper bound.
+	Position int `json:"position,omitempty"`
+	// Cached is true when the result came from the content-addressed
+	// cache rather than a fresh campaign.
+	Cached bool   `json:"cached"`
+	Error  string `json:"error,omitempty"`
+}
+
+// Options configures a Service.
+type Options struct {
+	// Workers is the job worker-pool size (concurrent campaigns).
+	// Defaults to 2.
+	Workers int
+	// QueueCap bounds the number of queued (not yet running) jobs.
+	// Defaults to 64.
+	QueueCap int
+	// CacheBytes is the result-cache byte budget (accounted as the size
+	// of each result's canonical JSON encoding). Defaults to 256 MiB;
+	// negative disables caching.
+	CacheBytes int64
+	// BaseConfig is the configuration applied to submissions that do not
+	// override it. The zero value selects vdbench.DefaultExperimentConfig.
+	BaseConfig vdbench.ExperimentConfig
+	// JobHistory bounds how many terminal jobs stay queryable; the
+	// oldest are forgotten first. Defaults to 1024.
+	JobHistory int
+}
+
+// withDefaults fills unset options.
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = 2
+	}
+	if o.QueueCap <= 0 {
+		o.QueueCap = 64
+	}
+	if o.CacheBytes == 0 {
+		o.CacheBytes = 256 << 20
+	}
+	if o.BaseConfig == (vdbench.ExperimentConfig{}) {
+		o.BaseConfig = vdbench.DefaultExperimentConfig()
+	}
+	if o.JobHistory <= 0 {
+		o.JobHistory = 1024
+	}
+	return o
+}
+
+// runner executes one experiment; injected so tests can observe and gate
+// executions.
+type runner func(id string, cfg vdbench.ExperimentConfig) (vdbench.ExperimentResult, error)
+
+// Service schedules experiment jobs over a bounded worker pool with a
+// content-addressed result cache and singleflight request collapsing.
+type Service struct {
+	opts  Options
+	run   runner
+	reg   *telemetry.Registry
+	cache *resultCache
+	known map[string]bool // experiment catalogue
+
+	queue chan *Job
+	wg    sync.WaitGroup
+
+	rootCtx    context.Context
+	rootCancel context.CancelFunc
+
+	mu       sync.Mutex
+	closed   bool
+	jobs     map[string]*Job
+	history  []string        // terminal job IDs in completion order
+	inflight map[string]*Job // cache key -> queued or running job
+	nextID   uint64
+	seq      uint64 // jobs handed to the queue
+	started  uint64 // jobs taken off the queue
+
+	mSubmitted, mCompleted, mFailed, mCanceled *telemetry.Counter
+	mCacheHit, mCacheMiss, mEvicted            *telemetry.Counter
+	mCollapsed                                 *telemetry.Counter
+	gQueueDepth, gCacheEntries, gCacheBytes    *telemetry.Gauge
+	hCampaign                                  *telemetry.Histogram
+}
+
+// New builds and starts a service backed by vdbench.RunExperiment.
+// Callers must Close it to release the worker pool.
+func New(opts Options) *Service {
+	return newService(opts, func(id string, cfg vdbench.ExperimentConfig) (vdbench.ExperimentResult, error) {
+		return vdbench.RunExperiment(id, cfg)
+	})
+}
+
+// newService is New with an injectable runner (test seam).
+func newService(opts Options, run runner) *Service {
+	opts = opts.withDefaults()
+	reg := telemetry.NewRegistry()
+	s := &Service{
+		opts:     opts,
+		run:      run,
+		reg:      reg,
+		cache:    newResultCache(opts.CacheBytes),
+		known:    map[string]bool{},
+		queue:    make(chan *Job, opts.QueueCap),
+		jobs:     map[string]*Job{},
+		inflight: map[string]*Job{},
+
+		mSubmitted: reg.Counter("vd_jobs_submitted_total", "jobs accepted by Submit"),
+		mCompleted: reg.Counter("vd_jobs_completed_total", "jobs finished successfully"),
+		mFailed:    reg.Counter("vd_jobs_failed_total", "jobs finished with an error"),
+		mCanceled:  reg.Counter("vd_jobs_canceled_total", "jobs canceled before running"),
+		mCacheHit:  reg.Counter("vd_cache_hits_total", "submissions answered from the result cache"),
+		mCacheMiss: reg.Counter("vd_cache_misses_total", "submissions that missed the result cache"),
+		mEvicted:   reg.Counter("vd_cache_evictions_total", "cache entries evicted by the byte budget"),
+		mCollapsed: reg.Counter("vd_singleflight_collapsed_total", "submissions collapsed onto an identical in-flight job"),
+
+		gQueueDepth:   reg.Gauge("vd_queue_depth", "jobs queued and not yet running"),
+		gCacheEntries: reg.Gauge("vd_cache_entries", "entries in the result cache"),
+		gCacheBytes:   reg.Gauge("vd_cache_bytes", "bytes accounted to the result cache"),
+
+		hCampaign: reg.Histogram("vd_campaign_seconds", "latency of executed campaigns in seconds",
+			0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120),
+	}
+	for _, id := range vdbench.ExperimentIDs() {
+		s.known[id] = true
+	}
+	s.rootCtx, s.rootCancel = context.WithCancel(context.Background())
+	s.wg.Add(opts.Workers)
+	for i := 0; i < opts.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Metrics returns the service's telemetry registry (the /metrics body is
+// its Snapshot).
+func (s *Service) Metrics() *telemetry.Registry { return s.reg }
+
+// BaseConfig returns the configuration applied to submissions without
+// overrides.
+func (s *Service) BaseConfig() vdbench.ExperimentConfig { return s.opts.BaseConfig }
+
+// Submit schedules the experiment under the given configuration and
+// returns its job. Three fast paths avoid redundant campaigns: a cache
+// hit returns an already-done job; an identical in-flight request
+// returns the existing job (singleflight); otherwise the job is queued,
+// or ErrQueueFull when the bounded queue is at capacity.
+func (s *Service) Submit(experiment string, cfg vdbench.ExperimentConfig) (*Job, error) {
+	experiment = strings.ToLower(strings.TrimSpace(experiment))
+	if !s.known[experiment] {
+		return nil, fmt.Errorf("%w %q", ErrUnknownExperiment, experiment)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	key := vdbench.ExperimentCacheKey(experiment, cfg)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	s.mSubmitted.Inc()
+
+	if res, ok := s.cache.get(key); ok {
+		s.mCacheHit.Inc()
+		job := s.newJobLocked(experiment, cfg, key)
+		job.cached = true
+		job.status = StatusDone
+		job.result = res
+		close(job.done)
+		s.rememberLocked(job)
+		return job, nil
+	}
+	s.mCacheMiss.Inc()
+
+	if j := s.inflight[key]; j != nil {
+		s.mCollapsed.Inc()
+		return j, nil
+	}
+
+	job := s.newJobLocked(experiment, cfg, key)
+	s.seq++
+	job.seq = s.seq
+	s.jobs[job.id] = job
+	s.inflight[key] = job
+	s.gQueueDepth.Add(1)
+	select {
+	case s.queue <- job:
+	default:
+		s.seq--
+		delete(s.jobs, job.id)
+		delete(s.inflight, key)
+		s.gQueueDepth.Add(-1)
+		return nil, ErrQueueFull
+	}
+	return job, nil
+}
+
+// newJobLocked allocates a job; callers hold s.mu.
+func (s *Service) newJobLocked(experiment string, cfg vdbench.ExperimentConfig, key string) *Job {
+	s.nextID++
+	ctx, cancel := context.WithCancel(s.rootCtx)
+	return &Job{
+		id:         fmt.Sprintf("j-%06d", s.nextID),
+		key:        key,
+		experiment: experiment,
+		cfg:        cfg,
+		ctx:        ctx,
+		cancel:     cancel,
+		done:       make(chan struct{}),
+		status:     StatusQueued,
+	}
+}
+
+// rememberLocked records a terminal job in the bounded history; callers
+// hold s.mu.
+func (s *Service) rememberLocked(job *Job) {
+	s.jobs[job.id] = job
+	s.history = append(s.history, job.id)
+	for len(s.history) > s.opts.JobHistory {
+		delete(s.jobs, s.history[0])
+		s.history = s.history[1:]
+	}
+}
+
+// Job returns a job by ID.
+func (s *Service) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Status returns the externally visible snapshot of a job.
+func (s *Service) Status(id string) (JobStatus, bool) {
+	s.mu.Lock()
+	job, ok := s.jobs[id]
+	started := s.started
+	s.mu.Unlock()
+	if !ok {
+		return JobStatus{}, false
+	}
+	job.mu.Lock()
+	defer job.mu.Unlock()
+	st := JobStatus{
+		ID:         job.id,
+		Experiment: job.experiment,
+		Key:        job.key,
+		Status:     job.status,
+		Cached:     job.cached,
+	}
+	if job.err != nil {
+		st.Error = job.err.Error()
+	}
+	if job.status == StatusQueued && job.seq > started {
+		st.Position = int(job.seq - started)
+	}
+	return st, true
+}
+
+// Cancel cancels a queued job. It reports whether the job moved to
+// canceled; running or terminal jobs are not cancelable (a running
+// campaign is drained, never interrupted). The canceled job leaves the
+// singleflight table, so a later identical submission runs fresh.
+func (s *Service) Cancel(id string) bool {
+	s.mu.Lock()
+	job, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return false
+	}
+	if !job.casStatus(StatusQueued, StatusCanceled, vdbench.ExperimentResult{}, context.Canceled) {
+		return false
+	}
+	job.cancel()
+	s.mCanceled.Inc()
+	s.mu.Lock()
+	if s.inflight[job.key] == job {
+		delete(s.inflight, job.key)
+	}
+	s.rememberLocked(job)
+	s.mu.Unlock()
+	return true
+}
+
+// worker drains the job queue until Close.
+func (s *Service) worker() {
+	defer s.wg.Done()
+	for job := range s.queue {
+		s.execute(job)
+	}
+}
+
+// execute runs one dequeued job: canceled jobs (per-job Cancel or
+// service shutdown) are reaped without running; everything else runs the
+// experiment, populates the cache and publishes the terminal state.
+func (s *Service) execute(job *Job) {
+	s.mu.Lock()
+	s.started++
+	s.mu.Unlock()
+	s.gQueueDepth.Add(-1)
+
+	if job.ctx.Err() != nil {
+		// Shutdown canceled the root context while the job was queued:
+		// reap it (unless a per-job Cancel won the race and already did).
+		if job.casStatus(StatusQueued, StatusCanceled, vdbench.ExperimentResult{}, context.Canceled) {
+			s.mCanceled.Inc()
+			s.mu.Lock()
+			if s.inflight[job.key] == job {
+				delete(s.inflight, job.key)
+			}
+			s.rememberLocked(job)
+			s.mu.Unlock()
+		}
+		return
+	}
+	if !job.casStatus(StatusQueued, StatusRunning, vdbench.ExperimentResult{}, nil) {
+		return // Cancel beat us to the job and already reaped it
+	}
+
+	start := time.Now()
+	res, err := s.run(job.experiment, job.cfg)
+	s.hCampaign.Observe(time.Since(start).Seconds())
+
+	if err != nil {
+		job.casStatus(StatusRunning, StatusFailed, vdbench.ExperimentResult{}, err)
+		s.mFailed.Inc()
+	} else {
+		evicted := s.cache.put(job.key, res, resultSize(res))
+		s.mEvicted.Add(uint64(evicted))
+		entries, bytes := s.cache.stats()
+		s.gCacheEntries.Set(int64(entries))
+		s.gCacheBytes.Set(bytes)
+		job.casStatus(StatusRunning, StatusDone, res, nil)
+		s.mCompleted.Inc()
+	}
+	job.cancel() // release the job context
+	s.mu.Lock()
+	if s.inflight[job.key] == job {
+		delete(s.inflight, job.key)
+	}
+	s.rememberLocked(job)
+	s.mu.Unlock()
+}
+
+// resultSize is the cache accounting size of a result: the length of its
+// canonical JSON encoding (the densest artefact a client can fetch).
+func resultSize(res vdbench.ExperimentResult) int64 {
+	b, err := res.JSON()
+	if err != nil {
+		return int64(len(res.String()))
+	}
+	return int64(len(b))
+}
+
+// Close shuts the service down gracefully: no new submissions are
+// accepted, queued jobs are canceled (their contexts fire), and running
+// campaigns drain to completion before Close returns.
+func (s *Service) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.rootCancel()
+	close(s.queue)
+	s.wg.Wait()
+}

@@ -9,7 +9,7 @@ import (
 // All returns the module's analyzer suite in the order cmd/vdlint runs
 // it.
 func All() []*Analyzer {
-	return []*Analyzer{ToolWired, RandImport}
+	return []*Analyzer{ToolWired, RandImport, NoDefaultMux}
 }
 
 // ToolWired checks that every exported New* constructor in
@@ -152,6 +152,104 @@ func runRandImport(prog *Program) []Finding {
 		}
 	}
 	return out
+}
+
+// NoDefaultMux checks that no non-test code routes through the global
+// http.DefaultServeMux: no http.Handle/http.HandleFunc, no direct
+// DefaultServeMux references, and no http.ListenAndServe(TLS) with a nil
+// handler. The serving layer must build explicit *http.ServeMux values
+// (as internal/service does) so handlers stay testable and no package
+// can mutate another's routing via global state.
+var NoDefaultMux = &Analyzer{
+	Name: "nodefaultmux",
+	Doc:  "non-test code must not use http.DefaultServeMux (http.Handle/HandleFunc, nil-handler ListenAndServe)",
+	Run:  runNoDefaultMux,
+}
+
+func runNoDefaultMux(prog *Program) []Finding {
+	var out []Finding
+	for _, pkg := range prog.Packages {
+		for _, file := range pkg.Files {
+			if isTestFile(prog, file) {
+				continue
+			}
+			httpName := importName(file, "net/http")
+			if httpName == "" {
+				continue
+			}
+			ast.Inspect(file, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.CallExpr:
+					sel, ok := n.Fun.(*ast.SelectorExpr)
+					if !ok || !isPkgIdent(sel.X, httpName) {
+						return true
+					}
+					name := sel.Sel.Name
+					if (name == "ListenAndServe" && len(n.Args) == 2 && isNil(n.Args[1])) ||
+						(name == "ListenAndServeTLS" && len(n.Args) == 4 && isNil(n.Args[3])) {
+						out = append(out, Finding{
+							Pos:     n.Pos(),
+							Message: fmt.Sprintf("http.%s with a nil handler serves http.DefaultServeMux; pass an explicit *http.ServeMux", name),
+						})
+					}
+				case *ast.SelectorExpr:
+					if !isPkgIdent(n.X, httpName) {
+						return true
+					}
+					switch n.Sel.Name {
+					case "DefaultServeMux":
+						out = append(out, Finding{
+							Pos:     n.Pos(),
+							Message: "use of http.DefaultServeMux; construct a mux with http.NewServeMux",
+						})
+					case "Handle", "HandleFunc":
+						out = append(out, Finding{
+							Pos:     n.Pos(),
+							Message: fmt.Sprintf("http.%s registers on http.DefaultServeMux; register on an explicit *http.ServeMux", n.Sel.Name),
+						})
+					}
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// importName returns the local name the file binds the given import path
+// to ("" when the path is not imported; dot imports are ignored — this
+// mini-framework has no type information to resolve them).
+func importName(file *ast.File, path string) string {
+	for _, imp := range file.Imports {
+		if strings.Trim(imp.Path.Value, `"`) != path {
+			continue
+		}
+		if imp.Name != nil {
+			if imp.Name.Name == "." || imp.Name.Name == "_" {
+				return ""
+			}
+			return imp.Name.Name
+		}
+		base := path
+		if i := strings.LastIndex(base, "/"); i >= 0 {
+			base = base[i+1:]
+		}
+		return base
+	}
+	return ""
+}
+
+// isPkgIdent reports whether e is a bare identifier with the given name
+// (the receiver shape of a package-qualified selector).
+func isPkgIdent(e ast.Expr, name string) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == name
+}
+
+// isNil reports whether e is the predeclared nil identifier.
+func isNil(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
 }
 
 // isTestFile reports whether the file's name ends in _test.go.

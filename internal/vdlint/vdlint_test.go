@@ -146,3 +146,63 @@ func TestRepoSelfCheck(t *testing.T) {
 		t.Errorf("%s", d)
 	}
 }
+
+// TestNoDefaultMux exercises the DefaultServeMux analyzer: every way of
+// reaching the global mux is flagged in non-test files, renamed imports
+// are followed, and explicit-mux code plus test files stay clean.
+func TestNoDefaultMux(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod": fixtureGomod,
+		"bad/bad.go": `package bad
+import "net/http"
+func f() {
+	http.HandleFunc("/x", nil)
+	http.Handle("/y", nil)
+	_ = http.DefaultServeMux
+	_ = http.ListenAndServe(":0", nil)
+	_ = http.ListenAndServeTLS(":0", "c", "k", nil)
+}
+`,
+		"renamed/renamed.go": `package renamed
+import web "net/http"
+func f() { web.HandleFunc("/x", nil) }
+`,
+		"clean/clean.go": `package clean
+import "net/http"
+func f() {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/x", func(http.ResponseWriter, *http.Request) {})
+	_ = http.ListenAndServe(":0", mux)
+}
+`,
+		"exempt/exempt_test.go": `package exempt
+import "net/http"
+func f() { http.HandleFunc("/x", nil) }
+`,
+	})
+	prog, err := Load(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run(prog, []*Analyzer{NoDefaultMux})
+	var bad, renamed int
+	for _, d := range diags {
+		if d.Analyzer != "nodefaultmux" {
+			t.Fatalf("unexpected analyzer %q: %s", d.Analyzer, d)
+		}
+		switch {
+		case strings.Contains(d.Pos.Filename, "bad/bad.go"):
+			bad++
+		case strings.Contains(d.Pos.Filename, "renamed/renamed.go"):
+			renamed++
+		default:
+			t.Errorf("false positive: %s", d)
+		}
+	}
+	if bad != 5 {
+		t.Errorf("bad.go produced %d findings, want 5:\n%v", bad, diags)
+	}
+	if renamed != 1 {
+		t.Errorf("renamed import not followed (%d findings)", renamed)
+	}
+}

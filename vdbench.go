@@ -93,7 +93,10 @@ type (
 	// ExperimentConfig parameterises the paper experiments E1-E17.
 	ExperimentConfig = experiments.Config
 	// ExperimentResult is one experiment's rendered tables and figures.
+	// It renders to text, CSV, Markdown or canonical JSON via Render.
 	ExperimentResult = experiments.Result
+	// ExperimentInfo identifies one reproducible experiment (ID + title).
+	ExperimentInfo = experiments.Info
 )
 
 // Metrics returns the full candidate metric catalogue in presentation
@@ -210,6 +213,27 @@ func QuickExperimentConfig() ExperimentConfig { return experiments.QuickConfig()
 // ExperimentIDs lists the reproducible experiments (e1..e10) in
 // presentation order.
 func ExperimentIDs() []string { return experiments.IDs() }
+
+// Experiments returns the experiment catalogue (ID and title) in
+// presentation order; the serving API exposes it at /v1/experiments.
+func Experiments() []ExperimentInfo { return experiments.Catalog() }
+
+// ResultFormats lists the render formats ExperimentResult.Render
+// supports ("text", "csv", "markdown", "json"). cmd/vdbench -format and
+// the serving API's ?format= parameter accept exactly this set, backed
+// by one encoder per format.
+func ResultFormats() []string { return experiments.Formats() }
+
+// ExperimentCacheKey returns the content address of an experiment run: a
+// SHA-256 over the experiment ID and every result-affecting field of the
+// configuration. Workers is excluded because experiment output is
+// byte-identical for every worker count (see RunCampaignParallel), which
+// is precisely the invariance that makes memoising results sound — the
+// serving layer (internal/service, cmd/vdserved) keys its result cache
+// and singleflight table on this.
+func ExperimentCacheKey(id string, cfg ExperimentConfig) string {
+	return experiments.CacheKey(id, cfg)
+}
 
 // RunExperiment reproduces one of the paper's tables or figures by ID.
 func RunExperiment(id string, cfg ExperimentConfig) (ExperimentResult, error) {

@@ -217,3 +217,39 @@ func TestFacadeStatsHelpers(t *testing.T) {
 		t.Fatal("nil result accepted")
 	}
 }
+
+// TestFacadeServiceSurface covers the facade additions the service layer
+// is built on: the experiment catalogue, the render-format list, and the
+// workers-invariant cache key.
+func TestFacadeServiceSurface(t *testing.T) {
+	infos := Experiments()
+	ids := ExperimentIDs()
+	if len(infos) != len(ids) {
+		t.Fatalf("Experiments() has %d entries, ExperimentIDs() %d", len(infos), len(ids))
+	}
+	for i, info := range infos {
+		if info.ID != ids[i] || info.Title == "" {
+			t.Fatalf("Experiments()[%d] = %+v, want ID %s with a title", i, info, ids[i])
+		}
+	}
+	formats := ResultFormats()
+	if len(formats) != 4 {
+		t.Fatalf("ResultFormats() = %v", formats)
+	}
+
+	cfg := DefaultExperimentConfig()
+	key := ExperimentCacheKey("e3", cfg)
+	if len(key) != 64 {
+		t.Fatalf("cache key %q is not a SHA-256 hex digest", key)
+	}
+	other := cfg
+	other.Workers = cfg.Workers + 7
+	if ExperimentCacheKey("e3", other) != key {
+		t.Fatal("cache key depends on Workers; memoisation across worker counts broken")
+	}
+	other = cfg
+	other.Seed++
+	if ExperimentCacheKey("e3", other) == key {
+		t.Fatal("cache key ignores the seed")
+	}
+}
