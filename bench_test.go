@@ -313,6 +313,61 @@ func BenchmarkE3CampaignWorkers(b *testing.B) {
 	}
 }
 
+// BenchmarkAllExperiments runs the entire `vdbench all` pipeline — every
+// driver, shared campaign and profiles included — at several worker
+// budgets. This is the tentpole sweep recorded in BENCH_pr4.json: the
+// output is byte-identical across sub-benchmarks (see
+// TestAllIdenticalAcrossWorkers in internal/experiments); only the wall
+// clock moves with the budget.
+func BenchmarkAllExperiments(b *testing.B) {
+	for _, workers := range campaignWorkerCounts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			cfg := experiments.QuickConfig()
+			cfg.Workers = workers
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				runner, err := experiments.NewRunner(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				results, err := runner.All()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(results) != len(experiments.IDs()) {
+					b.Fatalf("got %d results", len(results))
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkBootstrapWorkers sweeps the resampling loop's worker budget on
+// a bootstrap large enough for per-block fan-out to matter. Intervals are
+// byte-identical across sub-benchmarks (TestBootstrapIdenticalAcrossWorkers).
+func BenchmarkBootstrapWorkers(b *testing.B) {
+	seedRNG := stats.NewRNG(5)
+	xs := make([]float64, 2000)
+	for i := range xs {
+		xs[i] = seedRNG.NormFloat64()
+	}
+	for _, workers := range campaignWorkerCounts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			cfg := stats.BootstrapConfig{Resamples: 2000, Confidence: 0.95, Workers: workers}
+			rng := stats.NewRNG(6)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := stats.Bootstrap(rng, xs, cfg, func(s []float64) float64 {
+					m, _ := stats.Mean(s)
+					return m
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkE14Combination(b *testing.B) { benchExperiment(b, "e14") }
 
 func BenchmarkE15DecisionImpact(b *testing.B) { benchExperiment(b, "e15") }

@@ -49,12 +49,13 @@ func main() {
 func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("vdserved", flag.ContinueOnError)
 	var (
-		addr     = fs.String("addr", "127.0.0.1:8344", "listen address")
-		workers  = fs.Int("workers", 2, "job worker-pool size (concurrent campaigns)")
-		queueCap = fs.Int("queue", 64, "maximum queued jobs")
-		cacheMB  = fs.Int64("cache-mb", 256, "result-cache byte budget in MiB (0 disables)")
-		quick    = fs.Bool("quick", false, "use the reduced smoke-run configuration as the base config")
-		drain    = fs.Duration("drain", 30*time.Second, "graceful-shutdown budget for in-flight HTTP requests")
+		addr            = fs.String("addr", "127.0.0.1:8344", "listen address")
+		workers         = fs.Int("workers", 2, "job worker-pool size (concurrent campaigns)")
+		campaignWorkers = fs.Int("campaign-workers", 0, "per-campaign worker budget (0 = all cores; results are identical for every value)")
+		queueCap        = fs.Int("queue", 64, "maximum queued jobs")
+		cacheMB         = fs.Int64("cache-mb", 256, "result-cache byte budget in MiB (0 disables)")
+		quick           = fs.Bool("quick", false, "use the reduced smoke-run configuration as the base config")
+		drain           = fs.Duration("drain", 30*time.Second, "graceful-shutdown budget for in-flight HTTP requests")
 	)
 	fs.SetOutput(out)
 	if err := fs.Parse(args); err != nil {
@@ -66,10 +67,14 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if *workers <= 0 {
 		return fmt.Errorf("-workers must be positive, got %d", *workers)
 	}
+	if *campaignWorkers < 0 {
+		return fmt.Errorf("-campaign-workers must be non-negative, got %d (results are identical for every value)", *campaignWorkers)
+	}
 	base := vdbench.DefaultExperimentConfig()
 	if *quick {
 		base = vdbench.QuickExperimentConfig()
 	}
+	base.Workers = *campaignWorkers
 	cacheBytes := *cacheMB << 20
 	if *cacheMB == 0 {
 		cacheBytes = -1 // Options treats 0 as "default"; negative disables

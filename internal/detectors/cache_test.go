@@ -1,0 +1,93 @@
+package detectors
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/dsn2015/vdbench/internal/stats"
+	"github.com/dsn2015/vdbench/internal/svclang"
+	"github.com/dsn2015/vdbench/internal/svclang/cfg"
+)
+
+// TestCachedDataflowMatchesUncached pins the compile-cache invariant: a
+// cache-bound dataflow tool produces byte-identical reports to its unbound
+// original on every template case, and the original is not mutated.
+func TestCachedDataflowMatchesUncached(t *testing.T) {
+	cases := templateCases(t)
+	for _, tool := range []Tool{dfPrecise(), dfStateless()} {
+		cc := cfg.NewCache()
+		cached := tool.(CompileCacheable).WithCompileCache(cc)
+		if cached == tool {
+			t.Fatalf("%s: WithCompileCache returned the receiver", tool.Name())
+		}
+		// Two passes: the first misses on every distinct service, the
+		// second must serve each graph from memory with identical reports.
+		for pass := 0; pass < 2; pass++ {
+			for _, cs := range cases {
+				want := analyze(t, tool, cs)
+				got := analyze(t, cached, cs)
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("%s on %s: cached reports differ", tool.Name(), cs.Service.Name)
+				}
+			}
+		}
+		hits, misses := cc.Stats()
+		if misses != uint64(len(cases)) {
+			t.Fatalf("%s: misses = %d, want one per case (%d)", tool.Name(), misses, len(cases))
+		}
+		if hits != uint64(len(cases)) {
+			t.Fatalf("%s: hits = %d, want one per case (%d)", tool.Name(), hits, len(cases))
+		}
+	}
+}
+
+// TestCacheSharedAcrossToolsWithEqualOptions checks the cross-tool payoff:
+// df-precise and df-stateless lower with the same cfg.Options, so after
+// one tool has analysed a case the other's build is a hit.
+func TestCacheSharedAcrossToolsWithEqualOptions(t *testing.T) {
+	cs := buildCase(t, "direct-splice", svclang.SinkSQL, true)
+	cc := cfg.NewCache()
+	a := dfPrecise().(CompileCacheable).WithCompileCache(cc)
+	b := dfStateless().(CompileCacheable).WithCompileCache(cc)
+	if _, err := a.Analyze(cs, stats.NewRNG(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Analyze(cs, stats.NewRNG(1)); err != nil {
+		t.Fatal(err)
+	}
+	hits, misses := cc.Stats()
+	if misses != 1 {
+		t.Fatalf("misses = %d, want 1 (both tools share one option set)", misses)
+	}
+	if hits == 0 {
+		t.Fatal("second tool did not hit the shared cache")
+	}
+}
+
+// TestCombinedAndRestrictedForwardCache checks that the wrappers rebind
+// their members: analysing through the wrapped tool must populate the
+// cache, and the reports must match the unbound wrapper's.
+func TestCombinedAndRestrictedForwardCache(t *testing.T) {
+	cs := buildCase(t, "direct-splice", svclang.SinkSQL, true)
+
+	union, err := NewCombined("df-union", Union, []Tool{dfPrecise(), dfStateless()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sqlOnly, err := RestrictKinds(dfPrecise(), svclang.SinkSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tool := range []Tool{union, sqlOnly} {
+		cc := cfg.NewCache()
+		cached := tool.(CompileCacheable).WithCompileCache(cc)
+		want := analyze(t, tool, cs)
+		got := analyze(t, cached, cs)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s: cached reports differ", tool.Name())
+		}
+		if _, misses := cc.Stats(); misses == 0 {
+			t.Fatalf("%s: wrapper did not forward the cache to its members", tool.Name())
+		}
+	}
+}

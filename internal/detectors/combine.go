@@ -7,6 +7,7 @@ import (
 
 	"github.com/dsn2015/vdbench/internal/stats"
 	"github.com/dsn2015/vdbench/internal/svclang"
+	"github.com/dsn2015/vdbench/internal/svclang/cfg"
 	"github.com/dsn2015/vdbench/internal/workload"
 )
 
@@ -49,6 +50,22 @@ type combined struct {
 }
 
 var _ Tool = (*combined)(nil)
+var _ CompileCacheable = (*combined)(nil)
+
+// WithCompileCache implements CompileCacheable by rebinding every member
+// that supports a compile cache; other members are kept as-is.
+func (c *combined) WithCompileCache(cc *cfg.Cache) Tool {
+	clone := *c
+	clone.members = make([]Tool, len(c.members))
+	for i, m := range c.members {
+		if ccm, ok := m.(CompileCacheable); ok {
+			clone.members[i] = ccm.WithCompileCache(cc)
+		} else {
+			clone.members[i] = m
+		}
+	}
+	return &clone
+}
 
 // NewCombined builds a tool that merges the findings of members under the
 // given mode.
@@ -143,6 +160,17 @@ type restricted struct {
 }
 
 var _ Tool = (*restricted)(nil)
+var _ CompileCacheable = (*restricted)(nil)
+
+// WithCompileCache implements CompileCacheable by rebinding the inner tool
+// when it supports a compile cache.
+func (r *restricted) WithCompileCache(cc *cfg.Cache) Tool {
+	clone := *r
+	if cci, ok := r.inner.(CompileCacheable); ok {
+		clone.inner = cci.WithCompileCache(cc)
+	}
+	return &clone
+}
 
 // RestrictKinds wraps a tool so that it only reports the given sink
 // kinds.

@@ -34,14 +34,37 @@ type DataflowSASTConfig struct {
 // around loops, instead of the walker's fixed three-pass widening.
 type dataflowSAST struct {
 	cfg DataflowSASTConfig
+	// cache, when non-nil, memoises the lowered CFG per (service,
+	// options) across every cache-bound tool in a campaign. nil builds
+	// directly; reports are identical either way.
+	cache *cfg.Cache
 }
 
 var _ Tool = (*dataflowSAST)(nil)
+var _ CompileCacheable = (*dataflowSAST)(nil)
 
 // NewDataflowSAST builds a CFG-based static taint analyser with the given
 // configuration.
 func NewDataflowSAST(config DataflowSASTConfig) Tool {
 	return &dataflowSAST{cfg: config}
+}
+
+// CompileCacheable is implemented by tools that lower services through
+// internal/svclang/cfg and can share one per-campaign compile cache. The
+// harness rebinds such tools before a campaign so the parse/lowering work
+// for a case happens once, not once per tool.
+type CompileCacheable interface {
+	// WithCompileCache returns a copy of the tool bound to cc. The
+	// receiver is not mutated and the copy's reports are identical; only
+	// redundant CFG construction is shared.
+	WithCompileCache(cc *cfg.Cache) Tool
+}
+
+// WithCompileCache implements CompileCacheable.
+func (d *dataflowSAST) WithCompileCache(cc *cfg.Cache) Tool {
+	clone := *d
+	clone.cache = cc
+	return &clone
 }
 
 func (d *dataflowSAST) Name() string { return d.cfg.Name }
@@ -105,7 +128,7 @@ func (d *dataflowSAST) Analyze(cs workload.Case, _ *stats.RNG) ([]Report, error)
 	if svc == nil {
 		return nil, fmt.Errorf("detectors: %s: nil service", d.cfg.Name)
 	}
-	g := cfg.Build(svc, cfg.Options{
+	g := d.cache.Build(svc, cfg.Options{
 		PruneConstantBranches: d.cfg.PruneDeadBranches,
 		SkipLoops:             !d.cfg.TrackLoops,
 	})

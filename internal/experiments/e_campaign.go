@@ -100,10 +100,52 @@ func (r *Runner) E4MetricValues() (Result, error) {
 		}
 		ci.AddRow(row...)
 	}
+	// Second companion: percentile-bootstrap intervals for the two
+	// composite headline metrics. F1 and MCC are not binomial proportions,
+	// so Wilson does not apply; resampling the sink outcomes is the
+	// appropriate error bar. The resampling loops parallelise on the
+	// shared worker budget, with intervals byte-identical at every count.
+	boot := report.NewTable(
+		fmt.Sprintf("E4c: %d-resample percentile bootstrap 95%% CIs (F1, MCC)", r.cfg.BootstrapResamples),
+		"tool", "f1", "f1 95% CI", "mcc", "mcc 95% CI")
+	bootCfg := stats.BootstrapConfig{
+		Resamples:  r.cfg.BootstrapResamples,
+		Confidence: 0.95,
+		Workers:    r.cfg.Workers,
+	}
+	rng := stats.NewRNG(r.cfg.Seed + 4)
+	for i := range camp.Results {
+		res := &camp.Results[i]
+		row := []string{res.Tool}
+		for _, id := range []string{metrics.IDF1, metrics.IDMCC} {
+			m := metrics.MustByID(id)
+			iv, err := stats.BootstrapIndexed(rng.Split(), len(res.Outcomes), bootCfg, func(idx []int) float64 {
+				var c metrics.Confusion
+				for _, j := range idx {
+					c = c.Add(res.Outcomes[j].Confusion())
+				}
+				v, err := m.ValueOr(c, worstFallback(m))
+				if err != nil {
+					return worstFallback(m)
+				}
+				return v
+			})
+			if err != nil {
+				return Result{}, err
+			}
+			point, err := m.ValueOr(res.Overall, worstFallback(m))
+			if err != nil {
+				return Result{}, err
+			}
+			row = append(row, report.FormatFloat(point),
+				fmt.Sprintf("[%s, %s]", report.FormatFloat(iv.Lo), report.FormatFloat(iv.Hi)))
+		}
+		boot.AddRow(row...)
+	}
 	return Result{
 		ID:     "e4",
 		Title:  "Metric values per tool",
-		Tables: []*report.Table{tbl, ci},
+		Tables: []*report.Table{tbl, ci, boot},
 	}, nil
 }
 
@@ -196,24 +238,48 @@ func (r *Runner) E7Discrimination() (Result, error) {
 		fmt.Sprintf("E7: sign stability of metric deltas under %d workload resamples", r.cfg.BootstrapResamples),
 		headers...,
 	)
+	// Each (pair, metric) cell resamples independently, so the cells fan
+	// out across the shared worker budget. The per-cell RNG streams are
+	// pre-split in exactly the serial loop's order — pair-major, metric-
+	// minor — which keeps every draw, and hence every published fraction,
+	// byte-identical at any worker count.
+	nPairs := len(order) - 1
+	if nPairs < 0 {
+		nPairs = 0
+	}
 	rng := stats.NewRNG(r.cfg.Seed + 7)
-	for i := 0; i+1 < len(order); i++ {
+	cellRNGs := make([]*stats.RNG, nPairs*len(ids))
+	for i := range cellRNGs {
+		cellRNGs[i] = rng.Split()
+	}
+	fracs := make([]float64, nPairs*len(ids))
+	err = r.budget.ForEach(len(fracs), func(_, cell int) error {
+		pair, mi := cell/len(ids), cell%len(ids)
+		a := &camp.Results[order[pair]]
+		b := &camp.Results[order[pair+1]]
+		m := metrics.MustByID(ids[mi])
+		frac, err := stats.SignStability(cellRNGs[cell], len(a.Outcomes), r.cfg.BootstrapResamples, func(idx []int) float64 {
+			d, err := deltaOrZero(a, b, m, idx)
+			if err != nil {
+				return 0
+			}
+			return d
+		})
+		if err != nil {
+			return err
+		}
+		fracs[cell] = frac
+		return nil
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	for i := 0; i < nPairs; i++ {
 		a := &camp.Results[order[i]]
 		b := &camp.Results[order[i+1]]
 		row := []string{fmt.Sprintf("%s vs %s", a.Tool, b.Tool)}
-		for _, id := range ids {
-			m := metrics.MustByID(id)
-			frac, err := stats.SignStability(rng.Split(), len(a.Outcomes), r.cfg.BootstrapResamples, func(idx []int) float64 {
-				d, err := deltaOrZero(a, b, m, idx)
-				if err != nil {
-					return 0
-				}
-				return d
-			})
-			if err != nil {
-				return Result{}, err
-			}
-			row = append(row, report.FormatFloat(frac))
+		for j := range ids {
+			row = append(row, report.FormatFloat(fracs[i*len(ids)+j]))
 		}
 		tbl.AddRow(row...)
 	}

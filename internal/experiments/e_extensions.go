@@ -145,7 +145,7 @@ func (r *Runner) E13MicroMacro() (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	camp, err := harness.Run(corpus, tools, r.cfg.Seed+13)
+	camp, err := harness.RunParallel(corpus, tools, r.cfg.Seed+13, r.cfg.Workers)
 	if err != nil {
 		return Result{}, err
 	}
@@ -222,7 +222,7 @@ func (r *Runner) E14Combination() (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	camp, err := harness.Run(corpus, []detectors.Tool{sast, dast, grep, union, inter, maj}, r.cfg.Seed)
+	camp, err := harness.RunParallel(corpus, []detectors.Tool{sast, dast, grep, union, inter, maj}, r.cfg.Seed, r.cfg.Workers)
 	if err != nil {
 		return Result{}, err
 	}

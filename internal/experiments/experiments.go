@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"github.com/dsn2015/vdbench/internal/detectors"
 	"github.com/dsn2015/vdbench/internal/harness"
@@ -17,6 +18,7 @@ import (
 	"github.com/dsn2015/vdbench/internal/report"
 	"github.com/dsn2015/vdbench/internal/stats"
 	"github.com/dsn2015/vdbench/internal/workload"
+	"github.com/dsn2015/vdbench/internal/workpool"
 )
 
 // Config parameterises a full experiment run.
@@ -37,9 +39,12 @@ type Config struct {
 	// StabilityTrials is the per-sigma trial count of the MCDA
 	// sensitivity analysis (E10).
 	StabilityTrials int
-	// Workers sets the campaign worker-pool size: 0 selects
-	// runtime.GOMAXPROCS(0), 1 forces serial execution. The campaign
-	// output is byte-identical for every value (see harness.RunParallel).
+	// Workers is the shared worker budget for everything a run
+	// parallelises: the campaign harness, the metric property catalogue,
+	// the bootstrap resampling loops and the experiment drivers
+	// themselves. 0 selects runtime.GOMAXPROCS(0), 1 forces serial
+	// execution. Every output is byte-identical for every value (see
+	// harness.RunParallel, stats.Bootstrap, metricprop.AnalyzeCatalog).
 	Workers int
 }
 
@@ -96,6 +101,12 @@ func (c Config) Validate() error {
 	if c.Workers < 0 {
 		return fmt.Errorf("experiments: negative worker count %d", c.Workers)
 	}
+	// The run has one worker budget. Prop.Workers == 0 inherits it (see
+	// propConfig); any other value must agree with it, otherwise the two
+	// pools would oversubscribe each other behind the caller's back.
+	if c.Prop.Workers != 0 && c.Prop.Workers != c.Workers {
+		return fmt.Errorf("experiments: inconsistent worker budgets: Prop.Workers=%d vs Workers=%d (set Prop.Workers to 0 to inherit the shared budget)", c.Prop.Workers, c.Workers)
+	}
 	return c.Prop.Validate()
 }
 
@@ -127,10 +138,22 @@ func (r Result) String() string {
 
 // Runner executes experiments, caching the expensive shared inputs (the
 // metric property profiles and the benchmark campaign) across drivers.
+// A Runner is safe for concurrent use: All runs independent drivers on
+// the shared worker budget, and the lazy inputs are computed exactly once
+// behind sync.Once gates (results and errors are memoised — every input
+// is a deterministic function of the configuration, so a retry would fail
+// identically).
 type Runner struct {
-	cfg      Config
-	profiles []metricprop.Profile
-	campaign *harness.Campaign
+	cfg    Config
+	budget *workpool.Budget
+
+	profilesOnce sync.Once
+	profiles     []metricprop.Profile
+	profilesErr  error
+
+	campaignOnce sync.Once
+	campaign     *harness.Campaign
+	campaignErr  error
 }
 
 // NewRunner builds a runner. It fails fast on invalid configuration.
@@ -138,48 +161,63 @@ func NewRunner(cfg Config) (*Runner, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Runner{cfg: cfg}, nil
+	return &Runner{cfg: cfg, budget: workpool.New(cfg.Workers)}, nil
 }
 
 // Config returns the runner's configuration.
 func (r *Runner) Config() Config { return r.cfg }
 
+// propConfig resolves the property-analysis configuration against the
+// shared worker budget: Prop.Workers == 0 inherits cfg.Workers (Validate
+// rejects any other mismatch).
+func (r *Runner) propConfig() metricprop.Config {
+	p := r.cfg.Prop
+	if p.Workers == 0 {
+		p.Workers = r.cfg.Workers
+	}
+	return p
+}
+
 // Profiles returns the property profiles of the full metric catalogue,
 // computing them on first use.
 func (r *Runner) Profiles() ([]metricprop.Profile, error) {
-	if r.profiles == nil {
-		profiles, err := metricprop.AnalyzeCatalog(r.cfg.Prop, stats.NewRNG(r.cfg.Seed))
+	r.profilesOnce.Do(func() {
+		profiles, err := metricprop.AnalyzeCatalog(r.propConfig(), stats.NewRNG(r.cfg.Seed))
 		if err != nil {
-			return nil, fmt.Errorf("experiments: profile catalogue: %w", err)
+			r.profilesErr = fmt.Errorf("experiments: profile catalogue: %w", err)
+			return
 		}
 		r.profiles = profiles
-	}
-	return r.profiles, nil
+	})
+	return r.profiles, r.profilesErr
 }
 
 // Campaign returns the benchmark campaign (standard tool suite over the
 // generated corpus), running it on first use.
 func (r *Runner) Campaign() (*harness.Campaign, error) {
-	if r.campaign == nil {
+	r.campaignOnce.Do(func() {
 		corpus, err := workload.Generate(workload.Config{
 			Services:         r.cfg.Services,
 			TargetPrevalence: r.cfg.Prevalence,
 			Seed:             r.cfg.Seed,
 		})
 		if err != nil {
-			return nil, fmt.Errorf("experiments: corpus: %w", err)
+			r.campaignErr = fmt.Errorf("experiments: corpus: %w", err)
+			return
 		}
 		tools, err := detectors.StandardSuite()
 		if err != nil {
-			return nil, fmt.Errorf("experiments: tool suite: %w", err)
+			r.campaignErr = fmt.Errorf("experiments: tool suite: %w", err)
+			return
 		}
 		campaign, err := harness.RunParallel(corpus, tools, r.cfg.Seed, r.cfg.Workers)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: campaign: %w", err)
+			r.campaignErr = fmt.Errorf("experiments: campaign: %w", err)
+			return
 		}
 		r.campaign = campaign
-	}
-	return r.campaign, nil
+	})
+	return r.campaign, r.campaignErr
 }
 
 // driver is one experiment entry point.
@@ -233,16 +271,25 @@ func (r *Runner) Run(id string) (Result, error) {
 	return Result{}, fmt.Errorf("experiments: unknown experiment %q (known: %s)", id, strings.Join(IDs(), ", "))
 }
 
-// All executes every experiment in presentation order.
+// All executes every experiment and returns the results in presentation
+// order. Independent drivers run concurrently on the shared worker budget
+// (Config.Workers); results land in per-driver slots, so the output is
+// byte-identical to a serial run at every worker count. On failure the
+// error of the earliest driver (in presentation order) that failed is
+// returned, matching what serial execution would report.
 func (r *Runner) All() ([]Result, error) {
 	ds := drivers()
-	out := make([]Result, 0, len(ds))
-	for _, d := range ds {
-		res, err := d.run(r)
+	out := make([]Result, len(ds))
+	err := r.budget.ForEach(len(ds), func(_, i int) error {
+		res, err := ds[i].run(r)
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", d.id, err)
+			return fmt.Errorf("%s: %w", ds[i].id, err)
 		}
-		out = append(out, res)
+		out[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

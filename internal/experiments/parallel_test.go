@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/dsn2015/vdbench/internal/metricprop"
+)
+
+// tinyConfig is a heavily reduced configuration for the cross-worker
+// equality matrix: the full pipeline runs end to end (every driver, every
+// table) but with sample counts an order of magnitude below QuickConfig,
+// because the matrix reruns it 4 worker counts × 3 seeds.
+func tinyConfig(seed uint64, workers int) Config {
+	return Config{
+		Seed:       seed,
+		Services:   30,
+		Prevalence: 0.35,
+		Prop: metricprop.Config{
+			MonotonicitySamples:  60,
+			WorkloadSize:         150,
+			StabilityTrials:      15,
+			DiscriminationTrials: 20,
+			Tolerance:            1e-9,
+		},
+		BootstrapResamples: 100,
+		PanelSize:          5,
+		PanelSigma:         0.1,
+		StabilityTrials:    20,
+		Workers:            workers,
+	}
+}
+
+// renderAll runs every experiment and renders the concatenated text
+// output, the same artefact `vdbench all` prints.
+func renderAll(t *testing.T, cfg Config) string {
+	t.Helper()
+	r, err := NewRunner(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := r.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	for _, res := range results {
+		sb.WriteString(res.String())
+	}
+	return sb.String()
+}
+
+// TestAllIdenticalAcrossWorkers is the end-to-end determinism pin of the
+// parallel layer: the full rendered output of every experiment must be
+// byte-identical across worker counts, for several seeds. This is the
+// acceptance criterion of the parallelisation work — worker count is a
+// scheduling knob, never a results knob.
+func TestAllIdenticalAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cross-worker matrix is slow")
+	}
+	for _, seed := range []uint64{1, 7, 42} {
+		want := renderAll(t, tinyConfig(seed, 1))
+		for _, workers := range []int{2, 4, 13} {
+			got := renderAll(t, tinyConfig(seed, workers))
+			if got != want {
+				t.Fatalf("seed %d: output at %d workers differs from serial output", seed, workers)
+			}
+		}
+	}
+}
+
+// TestValidateRejectsInconsistentBudgets pins the single-budget rule: an
+// explicit Prop.Workers that disagrees with the shared Workers budget is
+// a configuration error, not a silent oversubscription.
+func TestValidateRejectsInconsistentBudgets(t *testing.T) {
+	cfg := tinyConfig(1, 4)
+	cfg.Prop.Workers = 2
+	err := cfg.Validate()
+	if err == nil {
+		t.Fatal("inconsistent worker budgets accepted")
+	}
+	if !strings.Contains(err.Error(), "inconsistent worker budgets") {
+		t.Fatalf("unhelpful error: %v", err)
+	}
+
+	// Agreement and inheritance are both fine.
+	cfg.Prop.Workers = 4
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("matching budgets rejected: %v", err)
+	}
+	cfg.Prop.Workers = 0
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("inherited budget rejected: %v", err)
+	}
+}
+
+// TestPropConfigInheritsWorkers checks the plumbing from the shared
+// budget into the property analysis.
+func TestPropConfigInheritsWorkers(t *testing.T) {
+	r, err := NewRunner(tinyConfig(1, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.propConfig().Workers; got != 3 {
+		t.Fatalf("propConfig().Workers = %d, want inherited 3", got)
+	}
+
+	cfg := tinyConfig(1, 3)
+	cfg.Prop.Workers = 3
+	r2, err := NewRunner(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r2.propConfig().Workers; got != 3 {
+		t.Fatalf("explicit Prop.Workers not preserved: %d", got)
+	}
+}

@@ -95,12 +95,13 @@ func (r Result) JSON() ([]byte, error) {
 
 // CacheKey returns the content address of an experiment run: a SHA-256
 // over the experiment ID and a canonical field-by-field encoding of the
-// configuration. Workers is deliberately excluded — the campaign output
-// is byte-identical for every worker count (see harness.RunParallel) —
-// so runs that differ only in Workers share one key; that invariance is
-// what makes memoising experiment results sound. Every other Config
-// field must be folded in here (TestCacheKeyCoversEveryConfigField
-// enforces this by reflection).
+// configuration. Workers and Prop.Workers are deliberately excluded —
+// every output is byte-identical for every worker count (see
+// harness.RunParallel, stats.Bootstrap, metricprop.AnalyzeCatalog) — so
+// runs that differ only in their worker budget share one key; that
+// invariance is what makes memoising experiment results sound. Every
+// other Config field must be folded in here
+// (TestCacheKeyCoversEveryConfigField enforces this by reflection).
 func CacheKey(id string, cfg Config) string {
 	h := sha256.New()
 	fmt.Fprintf(h, "vdbench-experiment-v1\nid=%s\n", strings.ToLower(strings.TrimSpace(id)))

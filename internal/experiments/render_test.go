@@ -12,10 +12,10 @@ import (
 
 // TestCacheKeyCoversEveryConfigField walks Config by reflection,
 // perturbs each numeric leaf in isolation, and demands that the cache
-// key changes — except for Workers, the one field the campaign output
-// is provably invariant to. Adding a Config field without folding it
-// into CacheKey fails this test instead of silently serving stale
-// cached results.
+// key changes — except for the worker-budget fields (Workers and
+// Prop.Workers), which the outputs are provably invariant to. Adding a
+// Config field without folding it into CacheKey fails this test instead
+// of silently serving stale cached results.
 func TestCacheKeyCoversEveryConfigField(t *testing.T) {
 	cfg := DefaultConfig()
 	baseKey := CacheKey("e1", cfg)
@@ -42,9 +42,9 @@ func TestCacheKeyCoversEveryConfigField(t *testing.T) {
 				t.Fatalf("Config field %s has unhandled kind %s; extend this test and CacheKey", name, fv.Kind())
 			}
 			key := CacheKey("e1", cfg)
-			if name == "Workers" {
+			if name == "Workers" || strings.HasSuffix(name, ".Workers") {
 				if key != baseKey {
-					t.Errorf("perturbing %s changed the key; Workers must be excluded (output is workers-invariant)", name)
+					t.Errorf("perturbing %s changed the key; worker budgets must be excluded (output is workers-invariant)", name)
 				}
 			} else if key == baseKey {
 				t.Errorf("perturbing %s did NOT change the key; CacheKey is missing this field", name)

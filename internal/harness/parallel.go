@@ -7,6 +7,7 @@ import (
 
 	"github.com/dsn2015/vdbench/internal/detectors"
 	"github.com/dsn2015/vdbench/internal/stats"
+	"github.com/dsn2015/vdbench/internal/svclang/cfg"
 	"github.com/dsn2015/vdbench/internal/workload"
 )
 
@@ -39,6 +40,7 @@ func RunParallel(corpus *workload.Corpus, tools []detectors.Tool, seed uint64, w
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	tools = bindCompileCache(tools)
 
 	rngs := preSplitRNGs(len(tools), len(corpus.Cases), seed)
 	valid := validSinkSets(corpus)
@@ -109,6 +111,35 @@ func RunParallel(corpus *workload.Corpus, tools []detectors.Tool, seed uint64, w
 		}
 	}
 	return mergeCampaign(corpus, tools, outs), nil
+}
+
+// bindCompileCache rebinds every cache-aware tool to one shared compile
+// cache scoped to this campaign, so a case's CFG is lowered once per
+// distinct option set instead of once per tool per pass. The rebinding is
+// a copy (callers' tools are untouched) and reports are identical with or
+// without the cache. Tools that do not implement detectors.CompileCacheable
+// pass through unchanged.
+func bindCompileCache(tools []detectors.Tool) []detectors.Tool {
+	anyCacheable := false
+	for _, t := range tools {
+		if _, ok := t.(detectors.CompileCacheable); ok {
+			anyCacheable = true
+			break
+		}
+	}
+	if !anyCacheable {
+		return tools
+	}
+	cc := cfg.NewCache()
+	bound := make([]detectors.Tool, len(tools))
+	for i, t := range tools {
+		if cct, ok := t.(detectors.CompileCacheable); ok {
+			bound[i] = cct.WithCompileCache(cc)
+		} else {
+			bound[i] = t
+		}
+	}
+	return bound
 }
 
 // preSplitRNGs derives the per-(tool, case) RNG streams by replaying the

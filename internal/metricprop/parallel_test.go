@@ -1,0 +1,49 @@
+package metricprop
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/dsn2015/vdbench/internal/stats"
+)
+
+// testConfig is a reduced-effort configuration for the cross-worker
+// equality matrix (same code paths, far fewer samples).
+func testConfig(workers int) Config {
+	return Config{
+		MonotonicitySamples:  60,
+		WorkloadSize:         150,
+		StabilityTrials:      15,
+		DiscriminationTrials: 20,
+		Tolerance:            1e-9,
+		Workers:              workers,
+	}
+}
+
+// TestAnalyzeCatalogIdenticalAcrossWorkers pins the parallel catalogue
+// analysis to the serial one, profile for profile, across seeds and
+// worker counts.
+func TestAnalyzeCatalogIdenticalAcrossWorkers(t *testing.T) {
+	for _, seed := range []uint64{1, 7, 42} {
+		want, err := AnalyzeCatalog(testConfig(1), stats.NewRNG(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 4, 13} {
+			got, err := AnalyzeCatalog(testConfig(workers), stats.NewRNG(seed))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("seed %d workers %d: profiles differ from serial run", seed, workers)
+			}
+		}
+	}
+}
+
+func TestConfigRejectsNegativeWorkers(t *testing.T) {
+	cfg := testConfig(-1)
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("negative Workers accepted")
+	}
+}

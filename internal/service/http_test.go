@@ -276,3 +276,36 @@ func TestAPIHealthzAndMetrics(t *testing.T) {
 		}
 	}
 }
+
+// TestAPIPerExperimentAndCompileCacheMetrics runs a real campaign
+// experiment and checks the two telemetry additions of the parallel
+// layer: a lazily registered per-experiment latency histogram, and the
+// compile-cache counters fed by the campaign's shared CFG cache (e3 runs
+// the standard suite, whose two dataflow tools share every lowered
+// graph, so the hit counter must advance too).
+func TestAPIPerExperimentAndCompileCacheMetrics(t *testing.T) {
+	svc, ts := newTestAPI(t, Options{Workers: 1}, nil)
+	st := submitJob(t, ts.URL, `{"experiment":"e3","quick":true}`)
+	if code, _, body := httpDo(t, http.MethodGet, ts.URL+"/v1/jobs/"+st.ID+"/result?format=text&wait=120s", ""); code != http.StatusOK {
+		t.Fatalf("e3 did not complete: %d %s", code, body)
+	}
+	_, _, metrics := httpDo(t, http.MethodGet, ts.URL+"/metrics", "")
+	for _, want := range []string{
+		"vd_experiment_e3_seconds_bucket",
+		"vd_compile_cache_hits_total",
+		"vd_compile_cache_misses_total",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Fatalf("/metrics missing %s:\n%s", want, metrics)
+		}
+	}
+	if got := svc.Metrics().Histogram("vd_experiment_e3_seconds", "").Count(); got != 1 {
+		t.Fatalf("e3 histogram count = %d, want 1", got)
+	}
+	if hits := svc.Metrics().Counter("vd_compile_cache_hits_total", "").Value(); hits == 0 {
+		t.Fatal("compile-cache hits did not advance (dataflow tools should share graphs)")
+	}
+	if misses := svc.Metrics().Counter("vd_compile_cache_misses_total", "").Value(); misses == 0 {
+		t.Fatal("compile-cache misses did not advance")
+	}
+}

@@ -222,8 +222,14 @@ type Service struct {
 	mSubmitted, mCompleted, mFailed, mCanceled *telemetry.Counter
 	mCacheHit, mCacheMiss, mEvicted            *telemetry.Counter
 	mCollapsed                                 *telemetry.Counter
+	mCompileHit, mCompileMiss                  *telemetry.Counter
 	gQueueDepth, gCacheEntries, gCacheBytes    *telemetry.Gauge
 	hCampaign                                  *telemetry.Histogram
+
+	// compileMu guards the delta tracking that maps the process-wide
+	// monotone compile-cache totals onto this service's counters.
+	compileMu                  sync.Mutex
+	lastCompHits, lastCompMiss uint64
 }
 
 // New builds and starts a service backed by vdbench.RunExperiment.
@@ -257,6 +263,9 @@ func newService(opts Options, run runner) *Service {
 		mEvicted:   reg.Counter("vd_cache_evictions_total", "cache entries evicted by the byte budget"),
 		mCollapsed: reg.Counter("vd_singleflight_collapsed_total", "submissions collapsed onto an identical in-flight job"),
 
+		mCompileHit:  reg.Counter("vd_compile_cache_hits_total", "campaign CFG builds served from the shared compile cache"),
+		mCompileMiss: reg.Counter("vd_compile_cache_misses_total", "campaign CFG builds that lowered a graph"),
+
 		gQueueDepth:   reg.Gauge("vd_queue_depth", "jobs queued and not yet running"),
 		gCacheEntries: reg.Gauge("vd_cache_entries", "entries in the result cache"),
 		gCacheBytes:   reg.Gauge("vd_cache_bytes", "bytes accounted to the result cache"),
@@ -264,6 +273,9 @@ func newService(opts Options, run runner) *Service {
 		hCampaign: reg.Histogram("vd_campaign_seconds", "latency of executed campaigns in seconds",
 			0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120),
 	}
+	// Baseline the compile-cache deltas at construction: only growth that
+	// happens while this service is running is attributed to it.
+	s.lastCompHits, s.lastCompMiss = vdbench.CompileCacheTotals()
 	for _, id := range vdbench.ExperimentIDs() {
 		s.known[id] = true
 	}
@@ -464,7 +476,14 @@ func (s *Service) execute(job *Job) {
 
 	start := time.Now()
 	res, err := s.run(job.experiment, job.cfg)
-	s.hCampaign.Observe(time.Since(start).Seconds())
+	elapsed := time.Since(start).Seconds()
+	s.hCampaign.Observe(elapsed)
+	// Per-experiment latency: registration is idempotent by name, so the
+	// histogram materialises lazily the first time an experiment runs.
+	s.reg.Histogram("vd_experiment_"+job.experiment+"_seconds",
+		"latency of experiment "+job.experiment+" in seconds",
+		0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120).Observe(elapsed)
+	s.observeCompileCache()
 
 	if err != nil {
 		job.casStatus(StatusRunning, StatusFailed, vdbench.ExperimentResult{}, err)
@@ -485,6 +504,20 @@ func (s *Service) execute(job *Job) {
 	}
 	s.rememberLocked(job)
 	s.mu.Unlock()
+}
+
+// observeCompileCache folds the growth of the process-wide compile-cache
+// totals since the last observation into this service's counters. The
+// totals are monotone, so each delta is attributed exactly once even with
+// several workers finishing concurrently.
+func (s *Service) observeCompileCache() {
+	hits, misses := vdbench.CompileCacheTotals()
+	s.compileMu.Lock()
+	dh, dm := hits-s.lastCompHits, misses-s.lastCompMiss
+	s.lastCompHits, s.lastCompMiss = hits, misses
+	s.compileMu.Unlock()
+	s.mCompileHit.Add(dh)
+	s.mCompileMiss.Add(dm)
 }
 
 // resultSize is the cache accounting size of a result: the length of its

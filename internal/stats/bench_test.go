@@ -1,0 +1,77 @@
+package stats
+
+import (
+	"sort"
+	"testing"
+)
+
+// benchEstimates builds a deterministic unsorted estimate vector of the
+// size the default experiments use (BootstrapResamples = 2000).
+func benchEstimates(n int) []float64 {
+	rng := NewRNG(11)
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	return xs
+}
+
+// BenchmarkPercentileBounds isolates the interval-extraction step of
+// every bootstrap: quickselect replaces the former sort.Float64s, turning
+// O(B log B) comparison sorting into O(B) selection with zero
+// allocations.
+func BenchmarkPercentileBounds(b *testing.B) {
+	src := benchEstimates(2000)
+	buf := make([]float64, len(src))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(buf, src)
+		lo, hi := percentileBounds(buf, 0.95)
+		if lo > hi {
+			b.Fatal("inverted bounds")
+		}
+	}
+}
+
+// BenchmarkPercentileBoundsSort is the pre-quickselect reference
+// implementation (sort, then interpolate both quantiles), kept as a
+// benchmark-only baseline so the win stays measurable in place.
+func BenchmarkPercentileBoundsSort(b *testing.B) {
+	src := benchEstimates(2000)
+	buf := make([]float64, len(src))
+	sortedQuantile := func(sorted []float64, q float64) float64 {
+		rank := q * float64(len(sorted)-1)
+		loIdx := int(rank)
+		if loIdx >= len(sorted)-1 {
+			return sorted[len(sorted)-1]
+		}
+		frac := rank - float64(loIdx)
+		return sorted[loIdx]*(1-frac) + sorted[loIdx+1]*frac
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(buf, src)
+		sort.Float64s(buf)
+		alpha := (1 - 0.95) / 2
+		lo, hi := sortedQuantile(buf, alpha), sortedQuantile(buf, 1-alpha)
+		if lo > hi {
+			b.Fatal("inverted bounds")
+		}
+	}
+}
+
+// BenchmarkSignStability measures the E7 inner loop: the index buffer now
+// doubles as the identity permutation, so the whole call allocates once.
+func BenchmarkSignStability(b *testing.B) {
+	rng := NewRNG(12)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := SignStability(rng, 500, 200, func(idx []int) float64 {
+			return float64(idx[0] - idx[len(idx)-1])
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -3,8 +3,18 @@ package stats
 import (
 	"errors"
 	"fmt"
-	"sort"
+
+	"github.com/dsn2015/vdbench/internal/workpool"
 )
+
+// bootstrapBlock is the number of resamples drawn from one derived RNG
+// stream. The block — not the worker — is the unit of determinism: block
+// k's stream is the k-th child split off the caller's generator, and
+// resamples within a block are drawn sequentially from it. Any worker may
+// execute any block in any order without changing a single draw, so the
+// interval bounds are byte-identical for every Workers value. The size
+// only trades scheduling granularity against split overhead.
+const bootstrapBlock = 64
 
 // BootstrapConfig controls non-parametric bootstrap estimation.
 type BootstrapConfig struct {
@@ -13,6 +23,12 @@ type BootstrapConfig struct {
 	Resamples int
 	// Confidence is the two-sided confidence level in (0,1), e.g. 0.95.
 	Confidence float64
+	// Workers bounds the resampling concurrency: 0 and 1 run serially on
+	// the calling goroutine, n > 1 uses up to n goroutines. The interval
+	// is byte-identical for every value (see bootstrapBlock). The
+	// statistic fn must then be safe for concurrent calls on distinct
+	// scratch buffers.
+	Workers int
 }
 
 // Validate reports whether the configuration is usable.
@@ -22,6 +38,9 @@ func (c BootstrapConfig) Validate() error {
 	}
 	if c.Confidence <= 0 || c.Confidence >= 1 {
 		return fmt.Errorf("stats: bootstrap confidence must be in (0,1), got %g", c.Confidence)
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("stats: bootstrap workers must be non-negative, got %d", c.Workers)
 	}
 	return nil
 }
@@ -53,13 +72,39 @@ func Bootstrap(rng *RNG, xs []float64, cfg BootstrapConfig, fn func([]float64) f
 		return Interval{}, errors.New("stats: nil RNG")
 	}
 	point := fn(xs)
-	resample := make([]float64, len(xs))
+	n := len(xs)
 	estimates := make([]float64, cfg.Resamples)
-	for b := range estimates {
-		for i := range resample {
-			resample[i] = xs[rng.Intn(len(xs))]
+	if cfg.Workers <= 1 {
+		buf := make([]float64, n)
+		var blk RNG
+		for start := 0; start < len(estimates); start += bootstrapBlock {
+			rng.splitInto(&blk)
+			for b := start; b < min(start+bootstrapBlock, len(estimates)); b++ {
+				for i := range buf {
+					buf[i] = xs[blk.Intn(n)]
+				}
+				estimates[b] = fn(buf)
+			}
 		}
-		estimates[b] = fn(resample)
+	} else {
+		streams := splitBlockStreams(rng, cfg.Resamples)
+		bufs := make([][]float64, cfg.Workers)
+		_ = workpool.New(cfg.Workers).ForEach(len(streams), func(lane, k int) error {
+			buf := bufs[lane]
+			if buf == nil {
+				buf = make([]float64, n)
+				bufs[lane] = buf
+			}
+			blk := &streams[k]
+			start := k * bootstrapBlock
+			for b := start; b < min(start+bootstrapBlock, len(estimates)); b++ {
+				for i := range buf {
+					buf[i] = xs[blk.Intn(n)]
+				}
+				estimates[b] = fn(buf)
+			}
+			return nil
+		})
 	}
 	lo, hi := percentileBounds(estimates, cfg.Confidence)
 	return Interval{Point: point, Lo: lo, Hi: hi}, nil
@@ -68,7 +113,9 @@ func Bootstrap(rng *RNG, xs []float64, cfg BootstrapConfig, fn func([]float64) f
 // BootstrapIndexed estimates a percentile confidence interval for a
 // statistic computed from resampled *indices* of a dataset of size n. This
 // supports statistics over structured records (e.g. per-test-case detection
-// outcomes) without copying the records into float slices.
+// outcomes) without copying the records into float slices. It draws the
+// same index streams as Bootstrap, so composing fn with an element lookup
+// reproduces Bootstrap exactly.
 func BootstrapIndexed(rng *RNG, n int, cfg BootstrapConfig, fn func(idx []int) float64) (Interval, error) {
 	if err := cfg.Validate(); err != nil {
 		return Interval{}, err
@@ -84,16 +131,56 @@ func BootstrapIndexed(rng *RNG, n int, cfg BootstrapConfig, fn func(idx []int) f
 		identity[i] = i
 	}
 	point := fn(identity)
-	idx := make([]int, n)
 	estimates := make([]float64, cfg.Resamples)
-	for b := range estimates {
-		for i := range idx {
-			idx[i] = rng.Intn(n)
+	if cfg.Workers <= 1 {
+		// The identity buffer has served its purpose; reuse it as the
+		// resample buffer instead of allocating a second index slice.
+		idx := identity
+		var blk RNG
+		for start := 0; start < len(estimates); start += bootstrapBlock {
+			rng.splitInto(&blk)
+			for b := start; b < min(start+bootstrapBlock, len(estimates)); b++ {
+				for i := range idx {
+					idx[i] = blk.Intn(n)
+				}
+				estimates[b] = fn(idx)
+			}
 		}
-		estimates[b] = fn(idx)
+	} else {
+		streams := splitBlockStreams(rng, cfg.Resamples)
+		bufs := make([][]int, cfg.Workers)
+		bufs[0] = identity // lane 0 reuses the identity buffer
+		_ = workpool.New(cfg.Workers).ForEach(len(streams), func(lane, k int) error {
+			idx := bufs[lane]
+			if idx == nil {
+				idx = make([]int, n)
+				bufs[lane] = idx
+			}
+			blk := &streams[k]
+			start := k * bootstrapBlock
+			for b := start; b < min(start+bootstrapBlock, len(estimates)); b++ {
+				for i := range idx {
+					idx[i] = blk.Intn(n)
+				}
+				estimates[b] = fn(idx)
+			}
+			return nil
+		})
 	}
 	lo, hi := percentileBounds(estimates, cfg.Confidence)
 	return Interval{Point: point, Lo: lo, Hi: hi}, nil
+}
+
+// splitBlockStreams derives one child stream per bootstrap block, in block
+// order, as values in a single allocation. The serial paths derive the
+// same streams lazily with splitInto, so serial and parallel runs see
+// identical generator states for every resample.
+func splitBlockStreams(rng *RNG, resamples int) []RNG {
+	streams := make([]RNG, (resamples+bootstrapBlock-1)/bootstrapBlock)
+	for k := range streams {
+		rng.splitInto(&streams[k])
+	}
+	return streams
 }
 
 // SignStability returns the fraction of bootstrap resamples in which the
@@ -101,6 +188,11 @@ func BootstrapIndexed(rng *RNG, n int, cfg BootstrapConfig, fn func(idx []int) f
 // the discriminative-power measure used by experiment E7: a metric
 // discriminates two tools well when the sign of their metric delta is
 // stable under resampling of the workload.
+//
+// SignStability draws one sequential stream (no per-block splitting): its
+// callers parallelise across (pair, metric) cells with one pre-split RNG
+// per call, which keeps this function's historical draw sequence — and
+// therefore E7's published numbers — unchanged.
 func SignStability(rng *RNG, n int, resamples int, fn func(idx []int) float64) (float64, error) {
 	if n <= 0 {
 		return 0, ErrEmpty
@@ -111,12 +203,11 @@ func SignStability(rng *RNG, n int, resamples int, fn func(idx []int) float64) (
 	if rng == nil {
 		return 0, errors.New("stats: nil RNG")
 	}
-	identity := make([]int, n)
-	for i := range identity {
-		identity[i] = i
-	}
-	point := fn(identity)
 	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	point := fn(idx) // identity pass; idx doubles as the resample buffer
 	same := 0
 	for b := 0; b < resamples; b++ {
 		for i := range idx {
@@ -131,26 +222,11 @@ func SignStability(rng *RNG, n int, resamples int, fn func(idx []int) float64) (
 }
 
 // percentileBounds returns the symmetric percentile interval bounds for the
-// given two-sided confidence level. estimates is consumed (sorted in place).
+// given two-sided confidence level. estimates is consumed (partially
+// reordered in place by quickselect).
 func percentileBounds(estimates []float64, confidence float64) (lo, hi float64) {
-	sort.Float64s(estimates)
 	alpha := (1 - confidence) / 2
-	lo = sortedPercentile(estimates, alpha)
-	hi = sortedPercentile(estimates, 1-alpha)
+	lo = selectQuantile(estimates, alpha)
+	hi = selectQuantile(estimates, 1-alpha)
 	return lo, hi
-}
-
-// sortedPercentile interpolates the q-quantile (q in [0,1]) of an already
-// sorted slice.
-func sortedPercentile(sorted []float64, q float64) float64 {
-	if len(sorted) == 1 {
-		return sorted[0]
-	}
-	rank := q * float64(len(sorted)-1)
-	loIdx := int(rank)
-	if loIdx >= len(sorted)-1 {
-		return sorted[len(sorted)-1]
-	}
-	frac := rank - float64(loIdx)
-	return sorted[loIdx]*(1-frac) + sorted[loIdx+1]*frac
 }

@@ -176,18 +176,18 @@ func TestIntervalHelpers(t *testing.T) {
 	}
 }
 
-func TestSortedPercentileEndpoints(t *testing.T) {
-	s := []float64{1, 2, 3, 4}
-	if got := sortedPercentile(s, 0); got != 1 {
+func TestSelectQuantileEndpoints(t *testing.T) {
+	s := []float64{4, 1, 3, 2} // selectQuantile must not require sorted input
+	if got := selectQuantile(append([]float64(nil), s...), 0); got != 1 {
 		t.Fatalf("q=0 -> %g", got)
 	}
-	if got := sortedPercentile(s, 1); got != 4 {
+	if got := selectQuantile(append([]float64(nil), s...), 1); got != 4 {
 		t.Fatalf("q=1 -> %g", got)
 	}
-	if got := sortedPercentile([]float64{7}, 0.3); got != 7 {
+	if got := selectQuantile([]float64{7}, 0.3); got != 7 {
 		t.Fatalf("single-element -> %g", got)
 	}
-	if got := sortedPercentile(s, 0.5); math.Abs(got-2.5) > 1e-12 {
+	if got := selectQuantile(append([]float64(nil), s...), 0.5); math.Abs(got-2.5) > 1e-12 {
 		t.Fatalf("q=0.5 -> %g", got)
 	}
 }

@@ -23,8 +23,14 @@ type RNG struct {
 // built from the same seed produce identical streams.
 func NewRNG(seed uint64) *RNG {
 	r := &RNG{}
-	// splitmix64 expansion of the seed into the xoshiro state, per the
-	// reference implementation recommendation.
+	r.seed(seed)
+	return r
+}
+
+// seed (re)initialises the state in place: a splitmix64 expansion of the
+// seed into the xoshiro state, per the reference implementation
+// recommendation.
+func (r *RNG) seed(seed uint64) {
 	sm := seed
 	for i := range r.s {
 		sm += 0x9e3779b97f4a7c15
@@ -33,14 +39,23 @@ func NewRNG(seed uint64) *RNG {
 		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
 		r.s[i] = z ^ (z >> 31)
 	}
-	return r
 }
 
 // Split derives an independent generator from the current one. The derived
 // stream is deterministic given the parent's state, and advancing the child
 // does not advance the parent.
 func (r *RNG) Split() *RNG {
-	return NewRNG(r.Uint64() ^ 0xd1342543de82ef95)
+	child := &RNG{}
+	r.splitInto(child)
+	return child
+}
+
+// splitInto is Split without the allocation: it reseeds child in place
+// from the parent's next draw. The bootstrap's per-block streams use this
+// to pre-split hundreds of value-typed generators with zero per-stream
+// allocations; the derived streams are identical to Split's.
+func (r *RNG) splitInto(child *RNG) {
+	child.seed(r.Uint64() ^ 0xd1342543de82ef95)
 }
 
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }

@@ -1,0 +1,82 @@
+package stats
+
+// Deterministic in-place selection of order statistics. The bootstrap's
+// percentile bounds need only four order statistics per interval, so a
+// quickselect beats the previous full sort of the estimate vector — and it
+// must not randomise its pivot (this package is under the norawrand
+// analyzer: all randomness flows through RNG streams the caller controls,
+// and pivoting is not allowed to consume any).
+
+// selectKth partially reorders xs so that xs[k] holds the k-th smallest
+// value (0-based), every element before index k is <= it and every element
+// after is >= it, and returns xs[k]. Pivoting is deterministic
+// median-of-three, with Hoare partitioning where equal elements stop both
+// scans (no quadratic blow-up on constant inputs). NaN elements make the
+// ordering unspecified, as they did for the sort-based implementation.
+func selectKth(xs []float64, k int) float64 {
+	lo, hi := 0, len(xs)-1
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		if xs[mid] < xs[lo] {
+			xs[mid], xs[lo] = xs[lo], xs[mid]
+		}
+		if xs[hi] < xs[lo] {
+			xs[hi], xs[lo] = xs[lo], xs[hi]
+		}
+		if xs[hi] < xs[mid] {
+			xs[hi], xs[mid] = xs[mid], xs[hi]
+		}
+		pivot := xs[mid]
+		i, j := lo-1, hi+1
+		for {
+			for {
+				i++
+				if !(xs[i] < pivot) {
+					break
+				}
+			}
+			for {
+				j--
+				if !(xs[j] > pivot) {
+					break
+				}
+			}
+			if i >= j {
+				break
+			}
+			xs[i], xs[j] = xs[j], xs[i]
+		}
+		if k <= j {
+			hi = j
+		} else {
+			lo = j + 1
+		}
+	}
+	return xs[k]
+}
+
+// selectQuantile computes the interpolated q-quantile (q in [0,1]) of xs,
+// reordering xs in place. It returns the same value sorting xs and
+// interpolating between the two straddling order statistics would.
+func selectQuantile(xs []float64, q float64) float64 {
+	if len(xs) == 1 {
+		return xs[0]
+	}
+	rank := q * float64(len(xs)-1)
+	loIdx := int(rank)
+	if loIdx >= len(xs)-1 {
+		return selectKth(xs, len(xs)-1)
+	}
+	a := selectKth(xs, loIdx)
+	// After selection the suffix holds every larger-ranked element, so the
+	// (loIdx+1)-th order statistic is its minimum — one scan instead of a
+	// second selection pass.
+	b := xs[loIdx+1]
+	for _, v := range xs[loIdx+2:] {
+		if v < b {
+			b = v
+		}
+	}
+	frac := rank - float64(loIdx)
+	return a*(1-frac) + b*frac
+}

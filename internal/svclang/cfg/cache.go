@@ -1,0 +1,91 @@
+package cfg
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"github.com/dsn2015/vdbench/internal/svclang"
+)
+
+// Cache memoises lowered control-flow graphs per (service, options) pair
+// so a campaign builds each case's CFG once and shares it across every
+// CFG-based tool instead of re-lowering per tool. Sharing is sound
+// because Build is a pure function of its inputs and the resulting Graph
+// is never mutated by analyses (the dataflow solver keeps all mutable
+// state in its own fact maps), so one graph can serve concurrent readers.
+//
+// A nil *Cache is valid and simply falls through to Build, which lets
+// tools carry an optional cache without nil checks at every build site.
+type Cache struct {
+	mu sync.Mutex
+	m  map[cacheKey]*cacheEntry
+
+	hits, misses atomic.Uint64
+}
+
+type cacheKey struct {
+	svc  *svclang.Service
+	opts Options
+}
+
+type cacheEntry struct {
+	once  sync.Once
+	graph *Graph
+}
+
+// NewCache returns an empty compile cache.
+func NewCache() *Cache {
+	return &Cache{m: map[cacheKey]*cacheEntry{}}
+}
+
+// Build returns the memoised graph for (svc, opts), lowering it on first
+// use. Concurrent callers for the same key are collapsed onto a single
+// Build (the losers block until the winner finishes), so the hit/miss
+// counts are deterministic: misses is always the number of distinct keys
+// seen, independent of scheduling.
+func (c *Cache) Build(svc *svclang.Service, opts Options) *Graph {
+	if c == nil {
+		return Build(svc, opts)
+	}
+	key := cacheKey{svc: svc, opts: opts}
+	c.mu.Lock()
+	e, ok := c.m[key]
+	if !ok {
+		e = &cacheEntry{}
+		c.m[key] = e
+	}
+	c.mu.Unlock()
+	built := false
+	e.once.Do(func() {
+		e.graph = Build(svc, opts)
+		built = true
+	})
+	if built {
+		c.misses.Add(1)
+		totalMisses.Add(1)
+	} else {
+		c.hits.Add(1)
+		totalHits.Add(1)
+	}
+	return e.graph
+}
+
+// Stats returns this cache's lookup counts: hits served from memory and
+// misses that lowered a graph.
+func (c *Cache) Stats() (hits, misses uint64) {
+	if c == nil {
+		return 0, 0
+	}
+	return c.hits.Load(), c.misses.Load()
+}
+
+// Process-wide totals across every Cache instance, for telemetry
+// (vdserved surfaces them as counters on /metrics).
+var totalHits, totalMisses atomic.Uint64
+
+// CacheTotals returns the process-wide compile-cache hit/miss totals
+// accumulated by every Cache since process start. Both values are
+// monotonically non-decreasing.
+func CacheTotals() (hits, misses uint64) {
+	return totalHits.Load(), totalMisses.Load()
+}

@@ -9,7 +9,7 @@ import (
 // All returns the module's analyzer suite in the order cmd/vdlint runs
 // it.
 func All() []*Analyzer {
-	return []*Analyzer{ToolWired, RandImport, NoDefaultMux}
+	return []*Analyzer{ToolWired, RandImport, NoDefaultMux, NoRawRand}
 }
 
 // ToolWired checks that every exported New* constructor in
@@ -209,6 +209,84 @@ func runNoDefaultMux(prog *Program) []Finding {
 						})
 					}
 				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// NoRawRand checks that the deterministic packages — the ones whose
+// outputs must be byte-identical across runs and worker counts — use
+// neither math/rand (global, unseedable from a campaign seed) nor the
+// wall clock. A time.Now in a resampling loop or a stray rand call is a
+// nondeterminism leak that the cross-worker equality tests can only catch
+// after the fact; this analyzer catches it at lint time. Timing belongs
+// in the serving layer (internal/service), which is free to use the
+// clock.
+var NoRawRand = &Analyzer{
+	Name: "norawrand",
+	Doc:  "deterministic packages (stats, metricprop, experiments, harness, workpool) must not use math/rand or the wall clock",
+	Run:  runNoRawRand,
+}
+
+// deterministicPackages lists the module-relative package paths whose
+// non-test code must be a pure function of explicit seeds and inputs.
+var deterministicPackages = []string{
+	"internal/stats",
+	"internal/metricprop",
+	"internal/experiments",
+	"internal/harness",
+	"internal/workpool",
+}
+
+// wallClockFuncs are the time-package functions that read or wait on the
+// wall clock. Pure value constructors (time.Duration arithmetic,
+// time.Unix) are fine.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true,
+	"Sleep": true, "Tick": true, "After": true, "AfterFunc": true,
+	"NewTimer": true, "NewTicker": true,
+}
+
+func runNoRawRand(prog *Program) []Finding {
+	deterministic := map[string]bool{}
+	for _, rel := range deterministicPackages {
+		deterministic[prog.ModulePath+"/"+rel] = true
+	}
+	var out []Finding
+	for _, pkg := range prog.Packages {
+		if !deterministic[pkg.Path] {
+			continue
+		}
+		for _, file := range pkg.Files {
+			if isTestFile(prog, file) {
+				continue
+			}
+			for _, imp := range file.Imports {
+				path := strings.Trim(imp.Path.Value, `"`)
+				if path == "math/rand" || path == "math/rand/v2" {
+					out = append(out, Finding{
+						Pos: imp.Path.Pos(),
+						Message: fmt.Sprintf(
+							"deterministic package %s imports %s; use the seedable stats.RNG", pkg.Path, path),
+					})
+				}
+			}
+			timeName := importName(file, "time")
+			if timeName == "" {
+				continue
+			}
+			ast.Inspect(file, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok || !isPkgIdent(sel.X, timeName) || !wallClockFuncs[sel.Sel.Name] {
+					return true
+				}
+				out = append(out, Finding{
+					Pos: sel.Pos(),
+					Message: fmt.Sprintf(
+						"deterministic package %s reads the wall clock (time.%s); keep timing in the serving layer", pkg.Path, sel.Sel.Name),
+				})
 				return true
 			})
 		}

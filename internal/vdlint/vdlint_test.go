@@ -206,3 +206,69 @@ func f() { http.HandleFunc("/x", nil) }
 		t.Errorf("renamed import not followed (%d findings)", renamed)
 	}
 }
+
+func TestNoRawRandFlagsDeterministicPackages(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod": fixtureGomod,
+		"internal/stats/bad_rand.go": `package stats
+import "math/rand"
+var x = rand.Int()
+`,
+		"internal/experiments/bad_clock.go": `package experiments
+import "time"
+func stamp() int64 { return time.Now().Unix() }
+func wait() { time.Sleep(time.Second) }
+`,
+		// Duration arithmetic and time.Unix are pure — must not be flagged.
+		"internal/harness/ok_time.go": `package harness
+import "time"
+const budget = 5 * time.Second
+var epoch = time.Unix(0, 0)
+`,
+		// The wall clock is fine outside the deterministic packages.
+		"internal/service/ok_clock.go": `package service
+import "time"
+func now() time.Time { return time.Now() }
+`,
+		// And fine in tests of deterministic packages.
+		"internal/stats/clock_test.go": `package stats
+import "time"
+var testStart = time.Now()
+`,
+	})
+	prog, err := Load(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run(prog, []*Analyzer{NoRawRand})
+	if len(diags) != 3 {
+		t.Fatalf("diagnostics = %v, want rand import + Now + Sleep", diags)
+	}
+	joined := ""
+	for _, d := range diags {
+		joined += d.Message + "\n"
+	}
+	for _, want := range []string{"math/rand", "time.Now", "time.Sleep"} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("missing %s finding in:\n%s", want, joined)
+		}
+	}
+}
+
+func TestNoRawRandRespectsImportRenames(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod": fixtureGomod,
+		"internal/workpool/renamed.go": `package workpool
+import clock "time"
+func tick() { clock.Tick(clock.Second) }
+`,
+	})
+	prog, err := Load(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run(prog, []*Analyzer{NoRawRand})
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "time.Tick") {
+		t.Fatalf("diagnostics = %v, want the renamed time.Tick", diags)
+	}
+}

@@ -1,0 +1,115 @@
+// Package workpool provides the bounded worker budget shared by the
+// deterministic parallel layers (stats bootstrap blocks, metricprop
+// catalogue analysis, experiment fan-out). It deliberately contains no
+// scheduling cleverness that could affect results: callers decide the
+// task decomposition and where every task's output lands; the pool only
+// decides *when* each task runs.
+//
+// The design is caller-runs with try-acquire: the goroutine that calls
+// ForEach always executes tasks itself, and helper goroutines are added
+// only when a budget token is free at that moment. Nested ForEach calls
+// therefore never deadlock — a task that itself fans out simply runs its
+// sub-tasks inline when the budget is exhausted — and the number of live
+// worker goroutines per Budget never exceeds the configured size.
+package workpool
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Budget is a counting worker budget. The zero value is not usable; use
+// New. A Budget may be shared across concurrent and nested ForEach calls.
+type Budget struct {
+	// tokens holds workers-1 helper slots; the caller of ForEach is the
+	// implicit extra worker, so total concurrency is bounded by workers.
+	tokens  chan struct{}
+	workers int
+}
+
+// New returns a budget of the given size. workers <= 0 selects
+// runtime.GOMAXPROCS(0); workers == 1 yields a budget that never spawns
+// a goroutine (ForEach runs inline, in index order).
+func New(workers int) *Budget {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	b := &Budget{workers: workers, tokens: make(chan struct{}, workers-1)}
+	for i := 0; i < workers-1; i++ {
+		b.tokens <- struct{}{}
+	}
+	return b
+}
+
+// Workers returns the budget size.
+func (b *Budget) Workers() int { return b.workers }
+
+// ForEach runs fn for every index in [0, n), distributing indices over
+// the calling goroutine and up to Workers()-1 helpers. fn receives the
+// index and a lane number in [0, Workers()): each lane processes its
+// indices sequentially, so per-lane scratch state (indexed by lane)
+// needs no locking. Lane 0 is always the caller.
+//
+// After the first fn error, remaining unclaimed indices are skipped and
+// the recorded error with the lowest index is returned. Callers that
+// need deterministic outputs must write each index's result into a
+// dedicated slot; ForEach guarantees nothing about completion order.
+func (b *Budget) ForEach(n int, fn func(lane, i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	var next atomic.Int64
+	var failed atomic.Bool
+	errs := make([]error, n)
+	runLane := func(lane int) {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			if failed.Load() {
+				continue // drain remaining indices without running them
+			}
+			if err := fn(lane, i); err != nil {
+				errs[i] = err
+				failed.Store(true)
+			}
+		}
+	}
+
+	// Spawn helpers only for tokens that are free right now; never block
+	// waiting for one (a nested ForEach would otherwise deadlock against
+	// its own ancestors holding the tokens).
+	var wg sync.WaitGroup
+	maxHelpers := n - 1
+	if maxHelpers > b.workers-1 {
+		maxHelpers = b.workers - 1
+	}
+	helpers := 0
+	for helpers < maxHelpers {
+		select {
+		case <-b.tokens:
+			helpers++
+			wg.Add(1)
+			go func(lane int) {
+				defer wg.Done()
+				defer func() { b.tokens <- struct{}{} }()
+				runLane(lane)
+			}(helpers)
+		default:
+			maxHelpers = helpers // budget exhausted; stop trying
+		}
+	}
+	runLane(0)
+	wg.Wait()
+
+	if failed.Load() {
+		for _, err := range errs {
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

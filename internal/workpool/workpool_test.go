@@ -1,0 +1,168 @@
+package workpool
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 13} {
+		for _, n := range []int{0, 1, 7, 100} {
+			b := New(workers)
+			counts := make([]atomic.Int32, max(n, 1))
+			err := b.ForEach(n, func(_, i int) error {
+				counts[i].Add(1)
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("workers=%d n=%d: %v", workers, n, err)
+			}
+			for i := 0; i < n; i++ {
+				if got := counts[i].Load(); got != 1 {
+					t.Fatalf("workers=%d n=%d: index %d ran %d times", workers, n, i, got)
+				}
+			}
+		}
+	}
+}
+
+func TestForEachSerialBudgetRunsInline(t *testing.T) {
+	b := New(1)
+	var order []int
+	err := b.ForEach(50, func(lane, i int) error {
+		if lane != 0 {
+			t.Fatalf("serial budget used lane %d", lane)
+		}
+		order = append(order, i) // no locking: must be single-goroutine
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial execution out of order at %d: %v", i, order)
+		}
+	}
+}
+
+func TestForEachLanesAreExclusive(t *testing.T) {
+	// Two tasks in the same lane must never run concurrently: per-lane
+	// scratch buffers rely on it.
+	const workers = 4
+	b := New(workers)
+	busy := make([]atomic.Bool, workers)
+	err := b.ForEach(200, func(lane, i int) error {
+		if !busy[lane].CompareAndSwap(false, true) {
+			return fmt.Errorf("lane %d reentered", lane)
+		}
+		defer busy[lane].Store(false)
+		if lane < 0 || lane >= workers {
+			return fmt.Errorf("lane %d out of range", lane)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForEachReturnsLowestIndexError(t *testing.T) {
+	b := New(1) // serial: both failures are recorded deterministically
+	errA := errors.New("a")
+	errB := errors.New("b")
+	err := b.ForEach(10, func(_, i int) error {
+		switch i {
+		case 3:
+			return errA
+		case 7:
+			return errB
+		}
+		return nil
+	})
+	if !errors.Is(err, errA) {
+		t.Fatalf("err = %v, want the index-3 error", err)
+	}
+}
+
+func TestForEachErrorStopsRemainingWork(t *testing.T) {
+	b := New(2)
+	var ran atomic.Int32
+	boom := errors.New("boom")
+	err := b.ForEach(1000, func(_, i int) error {
+		ran.Add(1)
+		if i == 0 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if got := ran.Load(); got == 1000 {
+		t.Fatal("failure did not skip any remaining work")
+	}
+}
+
+func TestNestedForEachDoesNotDeadlock(t *testing.T) {
+	b := New(4)
+	var total atomic.Int32
+	err := b.ForEach(8, func(_, i int) error {
+		// Each outer task fans out again on the same budget. With
+		// caller-runs + try-acquire this runs inline when tokens are
+		// gone, so it must always terminate.
+		return b.ForEach(8, func(_, j int) error {
+			total.Add(1)
+			return nil
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total.Load() != 64 {
+		t.Fatalf("ran %d inner tasks, want 64", total.Load())
+	}
+}
+
+func TestConcurrentForEachSharesBudget(t *testing.T) {
+	const workers = 3
+	b := New(workers)
+	var live, peak atomic.Int32
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = b.ForEach(100, func(_, i int) error {
+				n := live.Add(1)
+				for {
+					p := peak.Load()
+					if n <= p || peak.CompareAndSwap(p, n) {
+						break
+					}
+				}
+				live.Add(-1)
+				return nil
+			})
+		}()
+	}
+	wg.Wait()
+	// Each concurrent ForEach caller is a worker of its own; helpers are
+	// bounded by the shared token pool.
+	maxLive := int32(4 + (workers - 1))
+	if peak.Load() > maxLive {
+		t.Fatalf("peak concurrency %d exceeds callers+tokens bound %d", peak.Load(), maxLive)
+	}
+}
+
+func TestNewDefaultsAndWorkers(t *testing.T) {
+	if New(0).Workers() < 1 {
+		t.Fatal("New(0) produced an unusable budget")
+	}
+	if got := New(7).Workers(); got != 7 {
+		t.Fatalf("Workers() = %d, want 7", got)
+	}
+}

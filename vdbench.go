@@ -52,6 +52,7 @@ import (
 	"github.com/dsn2015/vdbench/internal/scenario"
 	"github.com/dsn2015/vdbench/internal/stats"
 	"github.com/dsn2015/vdbench/internal/svclang"
+	"github.com/dsn2015/vdbench/internal/svclang/cfg"
 	"github.com/dsn2015/vdbench/internal/workload"
 )
 
@@ -167,6 +168,16 @@ func RunCampaign(corpus *Corpus, tools []Tool, seed uint64) (*Campaign, error) {
 // does).
 func RunCampaignParallel(corpus *Corpus, tools []Tool, seed uint64, workers int) (*Campaign, error) {
 	return harness.RunParallel(corpus, tools, seed, workers)
+}
+
+// CompileCacheTotals returns the process-wide compile-cache counters:
+// hits served a memoised control-flow graph, misses lowered one. The
+// parallel campaign harness shares one cache per campaign across every
+// CFG-based tool, so misses grow with distinct (service, options) pairs
+// and hits with the redundant builds the cache absorbed. Both values are
+// monotonically non-decreasing; cmd/vdserved exposes them on /metrics.
+func CompileCacheTotals() (hits, misses uint64) {
+	return cfg.CacheTotals()
 }
 
 // DefaultPropConfig returns the property-analysis configuration used by
