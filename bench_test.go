@@ -7,8 +7,10 @@ package vdbench
 // configuration via cmd/vdbench.
 
 import (
+	"context"
 	"fmt"
 	"testing"
+	"time"
 
 	"github.com/dsn2015/vdbench/internal/detectors"
 	"github.com/dsn2015/vdbench/internal/experiments"
@@ -375,3 +377,54 @@ func BenchmarkE15DecisionImpact(b *testing.B) { benchExperiment(b, "e15") }
 func BenchmarkE16FailureMap(b *testing.B) { benchExperiment(b, "e16") }
 
 func BenchmarkE17Redundancy(b *testing.B) { benchExperiment(b, "e17") }
+
+func BenchmarkE18Degradation(b *testing.B) { benchExperiment(b, "e18") }
+
+// BenchmarkCampaignEngineOverhead prices the fault-tolerant execution
+// layer on a fault-free campaign: the same 200-service standard-suite
+// run with no guards versus with every guard armed (per-tool deadline,
+// retry budget, skip policy). With a well-behaved suite no deadline
+// fires and no retry happens, so the gap is pure bookkeeping — context
+// plumbing, panic-isolation frames and ledger accounting. BENCH_pr5.json
+// records the sweep against the PR 4 baseline (<5% required).
+func BenchmarkCampaignEngineOverhead(b *testing.B) {
+	corpus, err := workload.Generate(workload.Config{
+		Services:         200,
+		TargetPrevalence: 0.35,
+		Seed:             1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tools, err := detectors.StandardSuite()
+	if err != nil {
+		b.Fatal(err)
+	}
+	variants := []struct {
+		name string
+		opts harness.Options
+	}{
+		{"plain", harness.Options{Seed: 1, Workers: 1}},
+		{"guarded", harness.Options{
+			Seed:           1,
+			Workers:        1,
+			PerToolTimeout: 30 * time.Second,
+			Retry:          harness.RetryPolicy{MaxRetries: 2, Backoff: time.Millisecond},
+			Degraded:       harness.DegradedSkip,
+		}},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				camp, err := harness.RunCtx(context.Background(), corpus, tools, v.opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(camp.Results) == 0 {
+					b.Fatal("empty campaign")
+				}
+			}
+		})
+	}
+}

@@ -12,37 +12,48 @@
 //	vdbench -format csv e5  # CSV output for downstream plotting
 //	vdbench -seed 7 -services 1000 e3
 //	vdbench -workers 8 e3   # campaign worker pool; output is identical
+//	vdbench -tool-timeout 2s -retries 1 -degraded skip e18
+//
+// SIGINT/SIGTERM abort the running campaign at its next (tool, case)
+// cell via the context-first execution engine.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"strings"
+	"syscall"
 
 	"github.com/dsn2015/vdbench"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	if err := run(context.Background(), os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "vdbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("vdbench", flag.ContinueOnError)
 	var (
-		quick    = fs.Bool("quick", false, "use the reduced smoke-run configuration")
-		seed     = fs.Uint64("seed", 0, "override the experiment seed (0 = keep default)")
-		services = fs.Int("services", 0, "override the campaign corpus size (0 = keep default)")
-		workers  = fs.Int("workers", runtime.GOMAXPROCS(0), "campaign worker-pool size (output is identical for every value)")
-		format   = fs.String("format", "text", "output format: text, csv, markdown or json (tables only for csv/markdown)")
-		outDir   = fs.String("out", "", "also write per-experiment artefacts (.txt, .csv, .svg) into this directory")
-		list     = fs.Bool("list", false, "list the available experiments and exit")
+		quick        = fs.Bool("quick", false, "use the reduced smoke-run configuration")
+		seed         = fs.Uint64("seed", 0, "override the experiment seed (0 = keep default)")
+		services     = fs.Int("services", 0, "override the campaign corpus size (0 = keep default)")
+		workers      = fs.Int("workers", runtime.GOMAXPROCS(0), "campaign worker-pool size (output is identical for every value)")
+		toolTimeout  = fs.Duration("tool-timeout", 0, "per-tool deadline for each campaign case (0 = none, otherwise >= 1s)")
+		retries      = fs.Int("retries", 0, "extra attempts for tool errors marked retryable")
+		retryBackoff = fs.Duration("retry-backoff", 0, "wait before the first retry (doubles per retry)")
+		degraded     = fs.String("degraded", "abort", "policy for cases a tool failed on: abort, skip or count-miss")
+		format       = fs.String("format", "text", "output format: text, csv, markdown or json (tables only for csv/markdown)")
+		outDir       = fs.String("out", "", "also write per-experiment artefacts (.txt, .csv, .svg) into this directory")
+		list         = fs.Bool("list", false, "list the available experiments and exit")
 	)
 	fs.SetOutput(out)
 	fs.Usage = func() {
@@ -66,6 +77,10 @@ func run(args []string, out io.Writer) error {
 	if *workers <= 0 {
 		return fmt.Errorf("-workers must be positive, got %d (campaign output is identical for every positive value)", *workers)
 	}
+	policy, err := vdbench.ParseDegradedPolicy(*degraded)
+	if err != nil {
+		return err
+	}
 	cfg := vdbench.DefaultExperimentConfig()
 	if *quick {
 		cfg = vdbench.QuickExperimentConfig()
@@ -77,17 +92,25 @@ func run(args []string, out io.Writer) error {
 		cfg.Services = *services
 	}
 	cfg.Workers = *workers
+	cfg.PerToolTimeout = *toolTimeout
+	cfg.Retry = vdbench.RetryPolicy{MaxRetries: *retries, Backoff: *retryBackoff}
+	cfg.Degraded = policy
 	target := strings.ToLower(fs.Arg(0))
+
+	// Ctrl-C aborts the campaign at its next (tool, case) cell rather
+	// than killing the process mid-write.
+	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	var results []vdbench.ExperimentResult
 	if target == "all" {
-		all, err := vdbench.RunAllExperiments(cfg)
+		all, err := vdbench.RunAllExperimentsCtx(ctx, cfg)
 		if err != nil {
 			return err
 		}
 		results = all
 	} else {
-		res, err := vdbench.RunExperiment(target, cfg)
+		res, err := vdbench.RunExperimentCtx(ctx, target, cfg)
 		if err != nil {
 			return err
 		}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"os"
 	"path/filepath"
@@ -10,7 +11,7 @@ import (
 
 func TestRunListsExperiments(t *testing.T) {
 	var out strings.Builder
-	if err := run([]string{"-list"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-list"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	for _, id := range []string{"e1", "e10"} {
@@ -22,7 +23,7 @@ func TestRunListsExperiments(t *testing.T) {
 
 func TestRunSingleExperiment(t *testing.T) {
 	var out strings.Builder
-	if err := run([]string{"-quick", "e1"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-quick", "e1"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "Metric catalogue") {
@@ -32,7 +33,7 @@ func TestRunSingleExperiment(t *testing.T) {
 
 func TestRunCSVFormat(t *testing.T) {
 	var out strings.Builder
-	if err := run([]string{"-quick", "-format", "csv", "e1"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-quick", "-format", "csv", "e1"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.HasPrefix(out.String(), "id,name,") {
@@ -42,7 +43,7 @@ func TestRunCSVFormat(t *testing.T) {
 
 func TestRunMarkdownFormat(t *testing.T) {
 	var out strings.Builder
-	if err := run([]string{"-quick", "-format", "markdown", "e1"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-quick", "-format", "markdown", "e1"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "| id | name |") {
@@ -52,7 +53,7 @@ func TestRunMarkdownFormat(t *testing.T) {
 
 func TestRunJSONFormat(t *testing.T) {
 	var out strings.Builder
-	if err := run([]string{"-quick", "-format", "json", "e1"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-quick", "-format", "json", "e1"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	var decoded struct {
@@ -70,17 +71,21 @@ func TestRunJSONFormat(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	cases := [][]string{
-		{},                                  // no experiment
-		{"e1", "e2"},                        // too many
-		{"-quick", "e99"},                   // unknown experiment
-		{"-quick", "-format", "xml", "e1"},  // unknown format
-		{"-quick", "-services", "-5", "e3"}, // invalid override
-		{"-quick", "-workers", "0", "e1"},   // workers must be positive
-		{"-quick", "-workers", "-3", "e1"},  // workers must be positive
+		{},                                        // no experiment
+		{"e1", "e2"},                              // too many
+		{"-quick", "e99"},                         // unknown experiment
+		{"-quick", "-format", "xml", "e1"},        // unknown format
+		{"-quick", "-services", "-5", "e3"},       // invalid override
+		{"-quick", "-workers", "0", "e1"},         // workers must be positive
+		{"-quick", "-workers", "-3", "e1"},        // workers must be positive
+		{"-quick", "-degraded", "bogus", "e1"},    // unknown degraded policy
+		{"-quick", "-tool-timeout", "10ms", "e1"}, // below the 1s floor
+		{"-quick", "-retries", "-1", "e1"},        // negative retry budget
+		{"-quick", "-retry-backoff", "-1s", "e1"}, // negative backoff
 	}
 	for _, args := range cases {
 		var out strings.Builder
-		if err := run(args, &out); err == nil {
+		if err := run(context.Background(), args, &out); err == nil {
 			t.Errorf("args %v accepted", args)
 		}
 	}
@@ -88,17 +93,17 @@ func TestRunErrors(t *testing.T) {
 
 func TestRunSeedOverrideChangesCampaign(t *testing.T) {
 	var a, b strings.Builder
-	if err := run([]string{"-quick", "-seed", "1", "e3"}, &a); err != nil {
+	if err := run(context.Background(), []string{"-quick", "-seed", "1", "e3"}, &a); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"-quick", "-seed", "2", "e3"}, &b); err != nil {
+	if err := run(context.Background(), []string{"-quick", "-seed", "2", "e3"}, &b); err != nil {
 		t.Fatal(err)
 	}
 	if a.String() == b.String() {
 		t.Fatal("different seeds produced identical campaigns")
 	}
 	var a2 strings.Builder
-	if err := run([]string{"-quick", "-seed", "1", "e3"}, &a2); err != nil {
+	if err := run(context.Background(), []string{"-quick", "-seed", "1", "e3"}, &a2); err != nil {
 		t.Fatal(err)
 	}
 	if a.String() != a2.String() {
@@ -108,25 +113,43 @@ func TestRunSeedOverrideChangesCampaign(t *testing.T) {
 
 func TestRunWorkersFlagPreservesOutput(t *testing.T) {
 	var serial, parallel strings.Builder
-	if err := run([]string{"-quick", "-workers", "1", "e3"}, &serial); err != nil {
+	if err := run(context.Background(), []string{"-quick", "-workers", "1", "e3"}, &serial); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"-quick", "-workers", "4", "e3"}, &parallel); err != nil {
+	if err := run(context.Background(), []string{"-quick", "-workers", "4", "e3"}, &parallel); err != nil {
 		t.Fatal(err)
 	}
 	if serial.String() != parallel.String() {
 		t.Fatal("-workers changed the experiment output")
 	}
 	var out strings.Builder
-	if err := run([]string{"-quick", "-workers", "-3", "e3"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-quick", "-workers", "-3", "e3"}, &out); err == nil {
 		t.Fatal("negative -workers accepted")
+	}
+}
+
+// TestRunExecutionPolicyFlagsPreserveOutput: with the well-behaved
+// standard suite no cell ever fails, so the execution-policy flags must
+// not change any byte of the output (the cache-key exclusion relies on
+// exactly this invariance).
+func TestRunExecutionPolicyFlagsPreserveOutput(t *testing.T) {
+	var plain, guarded strings.Builder
+	if err := run(context.Background(), []string{"-quick", "e3"}, &plain); err != nil {
+		t.Fatal(err)
+	}
+	args := []string{"-quick", "-tool-timeout", "30s", "-retries", "2", "-retry-backoff", "1ms", "-degraded", "skip", "e3"}
+	if err := run(context.Background(), args, &guarded); err != nil {
+		t.Fatal(err)
+	}
+	if plain.String() != guarded.String() {
+		t.Fatal("execution-policy flags changed the output of a fault-free campaign")
 	}
 }
 
 func TestRunOutDirWritesArtefacts(t *testing.T) {
 	dir := t.TempDir()
 	var out strings.Builder
-	if err := run([]string{"-quick", "-out", dir, "e6"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-quick", "-out", dir, "e6"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	for _, name := range []string{"e6.txt", "e6_table1.csv", "e6_figure1.svg", "e6_figure2.svg"} {

@@ -13,13 +13,15 @@
 //	POST   /v1/jobs             {"experiment":"e3","quick":true,...}
 //	GET    /v1/jobs/{id}        status + queue position
 //	GET    /v1/jobs/{id}/result ?format=text|csv|markdown|json, optional ?wait=30s
-//	DELETE /v1/jobs/{id}        cancel a queued job
+//	DELETE /v1/jobs/{id}        cancel a queued or running job
 //	GET    /v1/experiments      catalogue
 //	GET    /healthz             liveness
 //	GET    /metrics             telemetry snapshot
 //
-// SIGINT/SIGTERM trigger a graceful shutdown: in-flight HTTP requests
-// and running campaigns drain; queued jobs are canceled.
+// SIGINT/SIGTERM trigger a graceful shutdown: queued jobs are canceled
+// and in-flight HTTP requests plus running campaigns get the -drain
+// budget to finish; campaigns still running when it expires are aborted
+// at their next (tool, case) cell.
 package main
 
 import (
@@ -55,7 +57,11 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		queueCap        = fs.Int("queue", 64, "maximum queued jobs")
 		cacheMB         = fs.Int64("cache-mb", 256, "result-cache byte budget in MiB (0 disables)")
 		quick           = fs.Bool("quick", false, "use the reduced smoke-run configuration as the base config")
-		drain           = fs.Duration("drain", 30*time.Second, "graceful-shutdown budget for in-flight HTTP requests")
+		toolTimeout     = fs.Duration("tool-timeout", 0, "per-tool deadline for each campaign case (0 = none, otherwise >= 1s)")
+		retries         = fs.Int("retries", 0, "extra attempts for tool errors marked retryable")
+		retryBackoff    = fs.Duration("retry-backoff", 0, "wait before the first retry (doubles per retry)")
+		degraded        = fs.String("degraded", "abort", "policy for cases a tool failed on: abort, skip or count-miss")
+		drain           = fs.Duration("drain", 30*time.Second, "graceful-shutdown budget for in-flight HTTP requests and running campaigns")
 	)
 	fs.SetOutput(out)
 	if err := fs.Parse(args); err != nil {
@@ -70,11 +76,21 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if *campaignWorkers < 0 {
 		return fmt.Errorf("-campaign-workers must be non-negative, got %d (results are identical for every value)", *campaignWorkers)
 	}
+	policy, err := vdbench.ParseDegradedPolicy(*degraded)
+	if err != nil {
+		return err
+	}
 	base := vdbench.DefaultExperimentConfig()
 	if *quick {
 		base = vdbench.QuickExperimentConfig()
 	}
 	base.Workers = *campaignWorkers
+	base.PerToolTimeout = *toolTimeout
+	base.Retry = vdbench.RetryPolicy{MaxRetries: *retries, Backoff: *retryBackoff}
+	base.Degraded = policy
+	if err := base.Validate(); err != nil {
+		return err
+	}
 	cacheBytes := *cacheMB << 20
 	if *cacheMB == 0 {
 		cacheBytes = -1 // Options treats 0 as "default"; negative disables
@@ -114,7 +130,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	shutdownErr := srv.Shutdown(shutdownCtx)
-	svc.Close() // cancels queued jobs, waits for running campaigns
+	// Cancels queued jobs immediately; running campaigns share the drain
+	// budget and are aborted at their next case boundary when it expires.
+	svc.Shutdown(shutdownCtx)
 	if shutdownErr != nil && !errors.Is(shutdownErr, http.ErrServerClosed) {
 		return shutdownErr
 	}

@@ -8,8 +8,10 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"github.com/dsn2015/vdbench"
 )
@@ -42,8 +44,18 @@ func run() error {
 		return fmt.Errorf("tool suite: %w", err)
 	}
 
-	// 3. Run the campaign and score every tool at sink granularity.
-	campaign, err := vdbench.RunCampaign(corpus, tools, 1)
+	// 3. Run the campaign and score every tool at sink granularity. The
+	//    context-first entry point adds fault tolerance: with this
+	//    well-behaved suite every guard is a no-op and the output is
+	//    byte-identical to the zero-value options, but a tool that
+	//    panicked or hung would cost only its own cells (recorded in
+	//    res.Exec) instead of the whole campaign.
+	campaign, err := vdbench.RunCampaignCtx(context.Background(), corpus, tools,
+		vdbench.CampaignOptions{
+			Seed:           1,
+			PerToolTimeout: 30 * time.Second,
+			Degraded:       vdbench.DegradedSkip,
+		})
 	if err != nil {
 		return fmt.Errorf("campaign: %w", err)
 	}

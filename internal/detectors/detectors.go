@@ -19,6 +19,9 @@
 package detectors
 
 import (
+	"context"
+	"errors"
+
 	"github.com/dsn2015/vdbench/internal/stats"
 	"github.com/dsn2015/vdbench/internal/svclang"
 	"github.com/dsn2015/vdbench/internal/workload"
@@ -71,4 +74,47 @@ type Tool interface {
 	// RNG is used only by stochastic (simulated) tools; deterministic
 	// tools ignore it. Implementations must not retain or mutate the case.
 	Analyze(cs workload.Case, rng *stats.RNG) ([]Report, error)
+}
+
+// ContextAnalyzer is an optional extension of Tool for implementations
+// that can observe cancellation mid-analysis. The harness's execution
+// engine prefers AnalyzeContext when a tool provides it and passes the
+// per-attempt context (carrying the per-tool deadline); tools that block
+// on external work should select on ctx.Done() so a deadline or a
+// cancelled campaign releases the worker instead of leaking a goroutine.
+// Tools without this interface are invoked through Analyze on a watchdog
+// goroutine that the engine abandons on timeout.
+type ContextAnalyzer interface {
+	Tool
+	// AnalyzeContext is Analyze with cancellation. Implementations must
+	// return promptly (with any error) once ctx is done.
+	AnalyzeContext(ctx context.Context, cs workload.Case, rng *stats.RNG) ([]Report, error)
+}
+
+// retryableError marks an error as transient: the execution engine may
+// re-run the attempt (with an identical RNG stream) up to its retry
+// budget. The zero value of every real failure is permanent; only errors
+// explicitly wrapped by MarkRetryable are retried.
+type retryableError struct{ err error }
+
+func (e *retryableError) Error() string { return e.err.Error() }
+func (e *retryableError) Unwrap() error { return e.err }
+
+// MarkRetryable wraps err so IsRetryable reports true for it. Tools wrap
+// transient faults (flaky I/O, resource contention) whose repetition is
+// expected to succeed; deterministic analysis failures must be returned
+// unwrapped so the engine records them once and moves on. MarkRetryable
+// of nil returns nil.
+func MarkRetryable(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &retryableError{err: err}
+}
+
+// IsRetryable reports whether err (or any error in its chain) was marked
+// retryable via MarkRetryable.
+func IsRetryable(err error) bool {
+	var re *retryableError
+	return errors.As(err, &re)
 }

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"fmt"
 
 	"github.com/dsn2015/vdbench/internal/harness"
@@ -18,8 +20,8 @@ func deltaOrZero(a, b *harness.ToolResult, m metrics.Metric, idx []int) (float64
 
 // E3Campaign renders the raw campaign results: per-tool confusion
 // matrices, plus the per-kind sink population of the corpus.
-func (r *Runner) E3Campaign() (Result, error) {
-	camp, err := r.Campaign()
+func (r *Runner) E3Campaign(ctx context.Context) (Result, error) {
+	camp, err := r.CampaignCtx(ctx)
 	if err != nil {
 		return Result{}, err
 	}
@@ -51,8 +53,8 @@ func (r *Runner) E3Campaign() (Result, error) {
 
 // E4MetricValues renders every campaign metric for every tool — the table
 // the rest of the metric study reads tool quality from.
-func (r *Runner) E4MetricValues() (Result, error) {
-	camp, err := r.Campaign()
+func (r *Runner) E4MetricValues(ctx context.Context) (Result, error) {
+	camp, err := r.CampaignCtx(ctx)
 	if err != nil {
 		return Result{}, err
 	}
@@ -152,8 +154,8 @@ func (r *Runner) E4MetricValues() (Result, error) {
 // E5Rankings renders the tool ranking induced by each metric and the
 // pairwise Kendall tau between metric-induced rankings: the quantitative
 // form of "metrics disagree about which tool is best".
-func (r *Runner) E5Rankings() (Result, error) {
-	camp, err := r.Campaign()
+func (r *Runner) E5Rankings(ctx context.Context) (Result, error) {
+	camp, err := r.CampaignCtx(ctx)
 	if err != nil {
 		return Result{}, err
 	}
@@ -221,8 +223,8 @@ func worstFallback(m metrics.Metric) float64 {
 // campaign's F1 ranking, the fraction of workload bootstrap resamples that
 // preserve the sign of the metric delta — the discriminative power of the
 // metric on real tool pairs.
-func (r *Runner) E7Discrimination() (Result, error) {
-	camp, err := r.Campaign()
+func (r *Runner) E7Discrimination(ctx context.Context) (Result, error) {
+	camp, err := r.CampaignCtx(ctx)
 	if err != nil {
 		return Result{}, err
 	}

@@ -6,6 +6,8 @@ package experiments
 // micro- vs macro-averaging gap across vulnerability classes (E13).
 
 import (
+	"context"
+
 	"fmt"
 	"strings"
 
@@ -25,7 +27,7 @@ import (
 // E11MethodAgreement checks that the per-scenario metric selection does
 // not depend on the MCDA method: weighted sum (the analytical selection),
 // AHP (eigenvector weights) and TOPSIS must produce concordant rankings.
-func (r *Runner) E11MethodAgreement() (Result, error) {
+func (r *Runner) E11MethodAgreement(ctx context.Context) (Result, error) {
 	profiles, err := r.Profiles()
 	if err != nil {
 		return Result{}, err
@@ -92,8 +94,8 @@ func (r *Runner) E11MethodAgreement() (Result, error) {
 // their confidence scores: ROC AUC and average precision. These metrics
 // sidestep the operating-point question entirely — another family of
 // "seldom used" benchmark metrics.
-func (r *Runner) E12ThresholdFree() (Result, error) {
-	camp, err := r.Campaign()
+func (r *Runner) E12ThresholdFree(ctx context.Context) (Result, error) {
+	camp, err := r.CampaignCtx(ctx)
 	if err != nil {
 		return Result{}, err
 	}
@@ -126,7 +128,7 @@ func (r *Runner) E12ThresholdFree() (Result, error) {
 // under micro than macro averaging, so the averaging mode is itself a
 // benchmark design decision. The main campaign's balanced corpus would
 // hide this, hence the dedicated skewed corpus.
-func (r *Runner) E13MicroMacro() (Result, error) {
+func (r *Runner) E13MicroMacro(ctx context.Context) (Result, error) {
 	skewed := make([]svclang.SinkKind, 0, 9)
 	for i := 0; i < 8; i++ {
 		skewed = append(skewed, svclang.SinkSQL)
@@ -194,7 +196,7 @@ func (r *Runner) E13MicroMacro() (Result, error) {
 // member's detections (recall >= each member) and false alarms
 // (precision <= each member); intersection keeps only common findings
 // (the reverse); majority voting sits between.
-func (r *Runner) E14Combination() (Result, error) {
+func (r *Runner) E14Combination(ctx context.Context) (Result, error) {
 	corpus, err := workload.Generate(workload.Config{
 		Services:         r.cfg.Services,
 		TargetPrevalence: r.cfg.Prevalence,
@@ -256,12 +258,12 @@ func (r *Runner) E14Combination() (Result, error) {
 // (b) by accuracy, the naive default. When the two rankings crown
 // different tools, metric selection is not an academic nicety — it changes
 // which tool gets bought, deployed or certified.
-func (r *Runner) E15DecisionImpact() (Result, error) {
+func (r *Runner) E15DecisionImpact(ctx context.Context) (Result, error) {
 	profiles, err := r.Profiles()
 	if err != nil {
 		return Result{}, err
 	}
-	camp, err := r.Campaign()
+	camp, err := r.CampaignCtx(ctx)
 	if err != nil {
 		return Result{}, err
 	}
@@ -307,8 +309,8 @@ func (r *Runner) E15DecisionImpact() (Result, error) {
 // embodies one cause of wrong results (wrong sanitizer, dead code, silent
 // sink, ...), so the map shows *why* each tool scores the way it does —
 // the mechanism-level account behind the aggregate numbers of E3/E4.
-func (r *Runner) E16FailureMap() (Result, error) {
-	camp, err := r.Campaign()
+func (r *Runner) E16FailureMap(ctx context.Context) (Result, error) {
+	camp, err := r.CampaignCtx(ctx)
 	if err != nil {
 		return Result{}, err
 	}
@@ -353,7 +355,7 @@ func (r *Runner) E16FailureMap() (Result, error) {
 // |Spearman rho| >= 0.999 are monotone equivalents (recall vs FNR,
 // accuracy vs error rate, informedness vs balanced accuracy); the looser
 // 0.95 threshold exposes the near-duplicates.
-func (r *Runner) E17Redundancy() (Result, error) {
+func (r *Runner) E17Redundancy(ctx context.Context) (Result, error) {
 	const population = 400
 	const prevalence = 0.35
 	const size = 20000

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"fmt"
 	"strings"
 
@@ -13,7 +15,7 @@ import (
 // E8ScenarioSelection renders the analytical per-scenario metric
 // selection: every scenario's criterion weights applied to the computed
 // metric profiles.
-func (r *Runner) E8ScenarioSelection() (Result, error) {
+func (r *Runner) E8ScenarioSelection(ctx context.Context) (Result, error) {
 	profiles, err := r.Profiles()
 	if err != nil {
 		return Result{}, err
@@ -62,7 +64,7 @@ func (r *Runner) E8ScenarioSelection() (Result, error) {
 // E9AHP renders the MCDA validation: per scenario, the aggregated expert
 // panel's criteria weights, consistency ratio, AHP top metrics, and the
 // agreement with the analytical selection of E8.
-func (r *Runner) E9AHP() (Result, error) {
+func (r *Runner) E9AHP(ctx context.Context) (Result, error) {
 	profiles, err := r.Profiles()
 	if err != nil {
 		return Result{}, err
@@ -102,7 +104,7 @@ var e10Sigmas = []float64{0.05, 0.1, 0.2, 0.3, 0.5}
 // E10Sensitivity renders the MCDA sensitivity analysis: how often the
 // winning metric survives expert-judgment perturbation of growing
 // magnitude, per scenario.
-func (r *Runner) E10Sensitivity() (Result, error) {
+func (r *Runner) E10Sensitivity(ctx context.Context) (Result, error) {
 	profiles, err := r.Profiles()
 	if err != nil {
 		return Result{}, err

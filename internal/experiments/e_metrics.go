@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"fmt"
 	"math"
 
@@ -11,7 +13,7 @@ import (
 // E1MetricCatalog renders the gathered metric set: identifier, full name,
 // defining formula, range, orientation and provenance — the study's
 // equivalent of the paper's metric-gathering table.
-func (r *Runner) E1MetricCatalog() (Result, error) {
+func (r *Runner) E1MetricCatalog(ctx context.Context) (Result, error) {
 	tbl := report.NewTable(
 		"E1: candidate metrics for benchmarking vulnerability detection tools",
 		"id", "name", "formula", "range", "orientation", "reference",
@@ -38,7 +40,7 @@ func rangeString(m metrics.Metric) string {
 // E2MetricProperties renders the computed property matrix: the paper's
 // "characteristics of a good metric" analysis with every cell backed by a
 // programmatic check rather than judgment.
-func (r *Runner) E2MetricProperties() (Result, error) {
+func (r *Runner) E2MetricProperties(ctx context.Context) (Result, error) {
 	profiles, err := r.Profiles()
 	if err != nil {
 		return Result{}, err

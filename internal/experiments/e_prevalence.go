@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"math"
 
 	"github.com/dsn2015/vdbench/internal/metrics"
@@ -38,7 +40,7 @@ func expectedConfusion(q e6Quality, size int, prevalence float64) metrics.Confus
 //     FPR=0.02) merely refuses to alarm. Accuracy declares B the better
 //     tool at low prevalence and A at high prevalence — the verdict flips
 //     with a workload property. Informedness never flips.
-func (r *Runner) E6Prevalence() (Result, error) {
+func (r *Runner) E6Prevalence(ctx context.Context) (Result, error) {
 	const size = 200000
 	sweepIDs := []string{
 		metrics.IDAccuracy, metrics.IDPrecision, metrics.IDRecall,

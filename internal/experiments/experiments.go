@@ -6,11 +6,13 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"github.com/dsn2015/vdbench/internal/detectors"
 	"github.com/dsn2015/vdbench/internal/harness"
@@ -46,6 +48,15 @@ type Config struct {
 	// execution. Every output is byte-identical for every value (see
 	// harness.RunParallel, stats.Bootstrap, metricprop.AnalyzeCatalog).
 	Workers int
+	// PerToolTimeout, Retry and Degraded are the campaign execution
+	// policy (see harness.Options). Like Workers, they are operational
+	// knobs excluded from experiment cache keys: with well-behaved tools
+	// they cannot change any output. PerToolTimeout must be zero (no
+	// deadline, the default) or at least one second — a tight deadline
+	// could make results hardware-dependent while sharing a cache key.
+	PerToolTimeout time.Duration
+	Retry          harness.RetryPolicy
+	Degraded       harness.DegradedPolicy
 }
 
 // DefaultConfig returns the configuration used for the published numbers
@@ -107,7 +118,25 @@ func (c Config) Validate() error {
 	if c.Prop.Workers != 0 && c.Prop.Workers != c.Workers {
 		return fmt.Errorf("experiments: inconsistent worker budgets: Prop.Workers=%d vs Workers=%d (set Prop.Workers to 0 to inherit the shared budget)", c.Prop.Workers, c.Workers)
 	}
+	if c.PerToolTimeout != 0 && c.PerToolTimeout < time.Second {
+		return fmt.Errorf("experiments: PerToolTimeout %v below the 1s operational floor (a tight deadline would make cached results hardware-dependent)", c.PerToolTimeout)
+	}
+	if err := (harness.Options{PerToolTimeout: c.PerToolTimeout, Retry: c.Retry, Degraded: c.Degraded}).Validate(); err != nil {
+		return fmt.Errorf("experiments: %w", err)
+	}
 	return c.Prop.Validate()
+}
+
+// execOptions assembles the harness execution options for this run's
+// campaigns.
+func (c Config) execOptions() harness.Options {
+	return harness.Options{
+		Seed:           c.Seed,
+		Workers:        c.Workers,
+		PerToolTimeout: c.PerToolTimeout,
+		Retry:          c.Retry,
+		Degraded:       c.Degraded,
+	}
 }
 
 // Result is one experiment's rendered output.
@@ -151,7 +180,8 @@ type Runner struct {
 	profiles     []metricprop.Profile
 	profilesErr  error
 
-	campaignOnce sync.Once
+	campaignMu   sync.Mutex
+	campaignDone bool
 	campaign     *harness.Campaign
 	campaignErr  error
 }
@@ -193,38 +223,57 @@ func (r *Runner) Profiles() ([]metricprop.Profile, error) {
 }
 
 // Campaign returns the benchmark campaign (standard tool suite over the
-// generated corpus), running it on first use.
+// generated corpus), running it on first use. It is CampaignCtx without
+// cancellation.
 func (r *Runner) Campaign() (*harness.Campaign, error) {
-	r.campaignOnce.Do(func() {
-		corpus, err := workload.Generate(workload.Config{
-			Services:         r.cfg.Services,
-			TargetPrevalence: r.cfg.Prevalence,
-			Seed:             r.cfg.Seed,
-		})
-		if err != nil {
-			r.campaignErr = fmt.Errorf("experiments: corpus: %w", err)
-			return
-		}
-		tools, err := detectors.StandardSuite()
-		if err != nil {
-			r.campaignErr = fmt.Errorf("experiments: tool suite: %w", err)
-			return
-		}
-		campaign, err := harness.RunParallel(corpus, tools, r.cfg.Seed, r.cfg.Workers)
-		if err != nil {
-			r.campaignErr = fmt.Errorf("experiments: campaign: %w", err)
-			return
-		}
-		r.campaign = campaign
-	})
+	return r.CampaignCtx(context.Background())
+}
+
+// CampaignCtx returns the shared benchmark campaign, running it under
+// ctx on first use. Deterministic results and failures are memoised —
+// every input is a pure function of the configuration, so a retry would
+// fail identically. A cancellation is NOT memoised: it reflects the
+// caller's context, not the configuration, so a later caller with a live
+// context computes the campaign normally.
+func (r *Runner) CampaignCtx(ctx context.Context) (*harness.Campaign, error) {
+	r.campaignMu.Lock()
+	defer r.campaignMu.Unlock()
+	if r.campaignDone {
+		return r.campaign, r.campaignErr
+	}
+	camp, err := r.runCampaign(ctx)
+	if err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+		return nil, err
+	}
+	r.campaign, r.campaignErr, r.campaignDone = camp, err, true
 	return r.campaign, r.campaignErr
+}
+
+func (r *Runner) runCampaign(ctx context.Context) (*harness.Campaign, error) {
+	corpus, err := workload.Generate(workload.Config{
+		Services:         r.cfg.Services,
+		TargetPrevalence: r.cfg.Prevalence,
+		Seed:             r.cfg.Seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: corpus: %w", err)
+	}
+	tools, err := detectors.StandardSuite()
+	if err != nil {
+		return nil, fmt.Errorf("experiments: tool suite: %w", err)
+	}
+	campaign, err := harness.RunCtx(ctx, corpus, tools, r.cfg.execOptions())
+	if err != nil {
+		return nil, fmt.Errorf("experiments: campaign: %w", err)
+	}
+	return campaign, nil
 }
 
 // driver is one experiment entry point.
 type driver struct {
 	id    string
 	title string
-	run   func(*Runner) (Result, error)
+	run   func(*Runner, context.Context) (Result, error)
 }
 
 // drivers returns the experiment registry in presentation order.
@@ -247,6 +296,7 @@ func drivers() []driver {
 		{"e15", "Decision impact of metric selection (extension)", (*Runner).E15DecisionImpact},
 		{"e16", "Failure-mechanism map (extension)", (*Runner).E16FailureMap},
 		{"e17", "Metric redundancy clusters (extension)", (*Runner).E17Redundancy},
+		{"e18", "Metric distortion under injected tool failure (extension)", (*Runner).E18Degradation},
 	}
 }
 
@@ -260,28 +310,55 @@ func IDs() []string {
 	return out
 }
 
-// Run executes one experiment by ID.
+// Run executes one experiment by ID. It is RunCtx without cancellation.
 func (r *Runner) Run(id string) (Result, error) {
+	return r.RunCtx(context.Background(), id)
+}
+
+// RunCtx executes one experiment by ID under ctx. Cancellation is
+// observed between experiment stages and, inside campaigns, between
+// cases; a cancelled run returns an error wrapping ctx.Err().
+func (r *Runner) RunCtx(ctx context.Context, id string) (Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	id = strings.ToLower(strings.TrimSpace(id))
 	for _, d := range drivers() {
 		if d.id == id {
-			return d.run(r)
+			if err := ctx.Err(); err != nil {
+				return Result{}, err
+			}
+			return d.run(r, ctx)
 		}
 	}
 	return Result{}, fmt.Errorf("experiments: unknown experiment %q (known: %s)", id, strings.Join(IDs(), ", "))
 }
 
 // All executes every experiment and returns the results in presentation
-// order. Independent drivers run concurrently on the shared worker budget
-// (Config.Workers); results land in per-driver slots, so the output is
-// byte-identical to a serial run at every worker count. On failure the
-// error of the earliest driver (in presentation order) that failed is
-// returned, matching what serial execution would report.
+// order. It is AllCtx without cancellation.
 func (r *Runner) All() ([]Result, error) {
+	return r.AllCtx(context.Background())
+}
+
+// AllCtx executes every experiment under ctx and returns the results in
+// presentation order. Independent drivers run concurrently on the shared
+// worker budget (Config.Workers); results land in per-driver slots, so
+// the output is byte-identical to a serial run at every worker count. On
+// failure the error of the earliest driver (in presentation order) that
+// failed is returned, matching what serial execution would report.
+// Cancelling ctx stops the run between drivers and between campaign
+// cases.
+func (r *Runner) AllCtx(ctx context.Context) ([]Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	ds := drivers()
 	out := make([]Result, len(ds))
 	err := r.budget.ForEach(len(ds), func(_, i int) error {
-		res, err := ds[i].run(r)
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("%s: %w", ds[i].id, err)
+		}
+		res, err := ds[i].run(r, ctx)
 		if err != nil {
 			return fmt.Errorf("%s: %w", ds[i].id, err)
 		}

@@ -61,7 +61,7 @@ func TestConfigValidate(t *testing.T) {
 
 func TestIDsAndUnknown(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 17 {
+	if len(ids) != 18 {
 		t.Fatalf("ids = %v", ids)
 	}
 	r := quickRunner(t)
@@ -79,7 +79,7 @@ func TestAllExperimentsProduceOutput(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(results) != 17 {
+	if len(results) != 18 {
 		t.Fatalf("got %d results", len(results))
 	}
 	for _, res := range results {

@@ -99,8 +99,12 @@ func (r Result) JSON() ([]byte, error) {
 // every output is byte-identical for every worker count (see
 // harness.RunParallel, stats.Bootstrap, metricprop.AnalyzeCatalog) — so
 // runs that differ only in their worker budget share one key; that
-// invariance is what makes memoising experiment results sound. Every
-// other Config field must be folded in here
+// invariance is what makes memoising experiment results sound. The
+// execution-policy fields (PerToolTimeout, Retry, Degraded) are excluded
+// for the same reason: with the well-behaved standard suite no cell ever
+// fails, so the policy cannot reach any output (Config.Validate pins
+// PerToolTimeout to zero or >= 1s so a deadline can never fire on a
+// healthy tool). Every other Config field must be folded in here
 // (TestCacheKeyCoversEveryConfigField enforces this by reflection).
 func CacheKey(id string, cfg Config) string {
 	h := sha256.New()

@@ -13,12 +13,24 @@ import (
 // TestCacheKeyCoversEveryConfigField walks Config by reflection,
 // perturbs each numeric leaf in isolation, and demands that the cache
 // key changes — except for the worker-budget fields (Workers and
-// Prop.Workers), which the outputs are provably invariant to. Adding a
-// Config field without folding it into CacheKey fails this test instead
-// of silently serving stale cached results.
+// Prop.Workers) and the campaign execution-policy fields (PerToolTimeout,
+// Retry.*, Degraded), which the outputs are provably invariant to: the
+// former because every layer is workers-deterministic, the latter because
+// no cell of the well-behaved standard suite ever fails, so the policy
+// for failed cells cannot reach any output. Adding a Config field without
+// folding it into CacheKey (or this exclusion list) fails this test
+// instead of silently serving stale cached results.
 func TestCacheKeyCoversEveryConfigField(t *testing.T) {
 	cfg := DefaultConfig()
 	baseKey := CacheKey("e1", cfg)
+
+	// excluded reports the fields whose perturbation must NOT move the
+	// key: worker budgets and campaign execution policy.
+	excluded := func(name string) bool {
+		return name == "Workers" || strings.HasSuffix(name, ".Workers") ||
+			name == "PerToolTimeout" || name == "Degraded" ||
+			strings.HasPrefix(name, "Retry.")
+	}
 
 	// The walk mutates cfg in place through the addressable value chain,
 	// one numeric leaf at a time, restoring it before moving on.
@@ -32,7 +44,7 @@ func TestCacheKeyCoversEveryConfigField(t *testing.T) {
 			case reflect.Struct:
 				walk(fv, name+".")
 				continue
-			case reflect.Int:
+			case reflect.Int, reflect.Int64:
 				fv.SetInt(fv.Int() + 1)
 			case reflect.Uint64:
 				fv.SetUint(fv.Uint() + 1)
@@ -42,9 +54,9 @@ func TestCacheKeyCoversEveryConfigField(t *testing.T) {
 				t.Fatalf("Config field %s has unhandled kind %s; extend this test and CacheKey", name, fv.Kind())
 			}
 			key := CacheKey("e1", cfg)
-			if name == "Workers" || strings.HasSuffix(name, ".Workers") {
+			if excluded(name) {
 				if key != baseKey {
-					t.Errorf("perturbing %s changed the key; worker budgets must be excluded (output is workers-invariant)", name)
+					t.Errorf("perturbing %s changed the key; worker budgets and execution policy must be excluded (output is invariant to them)", name)
 				}
 			} else if key == baseKey {
 				t.Errorf("perturbing %s did NOT change the key; CacheKey is missing this field", name)

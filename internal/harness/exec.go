@@ -1,0 +1,585 @@
+package harness
+
+// This file is the fault-tolerant execution engine. RunCtx is the one
+// entry point every campaign goes through (Run and RunParallel are thin
+// wrappers): it runs each (tool, case) attempt under panic isolation and
+// an optional per-tool deadline, retries errors the tool marked
+// retryable with deterministic backoff, and folds the per-case outcomes
+// into a Campaign whose ToolResults carry a full execution ledger.
+//
+// Determinism contract: with a fault-free tool set, RunCtx produces a
+// Campaign byte-identical to the pre-engine serial harness for any
+// worker count. Each attempt of a case sees a value copy of that case's
+// pre-split RNG stream, so a case that succeeds on attempt three draws
+// exactly what it would have drawn on attempt one — results are
+// invariant under the retry schedule. PerToolTimeout is the only
+// wall-clock-dependent knob; everything else is a pure function of the
+// inputs and the seed.
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/dsn2015/vdbench/internal/detectors"
+	"github.com/dsn2015/vdbench/internal/stats"
+	"github.com/dsn2015/vdbench/internal/workload"
+)
+
+// DegradedPolicy decides what the scoring layer does with a degraded
+// cell — a (tool, case) pair whose every attempt failed.
+type DegradedPolicy int
+
+const (
+	// DegradedAbort fails the whole campaign on the first degraded cell,
+	// returning the underlying error. This is the zero value and exactly
+	// the historical fail-fast behaviour of Run/RunParallel.
+	DegradedAbort DegradedPolicy = iota
+	// DegradedSkip omits the failed case from the tool's confusion
+	// matrices; the ledger records which cases are missing. Metrics are
+	// computed over the sinks the tool actually analysed.
+	DegradedSkip
+	// DegradedCountMiss scores every sink of a failed case as unflagged:
+	// vulnerable sinks become false negatives, clean sinks true
+	// negatives. The synthesized outcomes carry Degraded=true.
+	DegradedCountMiss
+)
+
+// ParseDegradedPolicy maps the textual policy names ("abort", "skip",
+// "count-miss") onto policy values; both daemons' CLI flags accept
+// exactly this set.
+func ParseDegradedPolicy(s string) (DegradedPolicy, error) {
+	switch s {
+	case "abort", "":
+		return DegradedAbort, nil
+	case "skip":
+		return DegradedSkip, nil
+	case "count-miss":
+		return DegradedCountMiss, nil
+	default:
+		return 0, fmt.Errorf("harness: unknown degraded policy %q (want abort, skip or count-miss)", s)
+	}
+}
+
+// String implements fmt.Stringer.
+func (p DegradedPolicy) String() string {
+	switch p {
+	case DegradedAbort:
+		return "abort"
+	case DegradedSkip:
+		return "skip"
+	case DegradedCountMiss:
+		return "count-miss"
+	default:
+		return "unknown"
+	}
+}
+
+// RetryPolicy bounds re-execution of attempts that failed with an error
+// the tool marked retryable (detectors.MarkRetryable). Panics and
+// deadline expiries are never retried: a panic is a tool bug and a hung
+// tool would just burn another full deadline.
+type RetryPolicy struct {
+	// MaxRetries is the number of extra attempts after the first
+	// (0 = never retry).
+	MaxRetries int
+	// Backoff is the wait before the first retry; retry i waits
+	// Backoff << (i-1). Zero retries immediately. The wait is
+	// interruptible by campaign cancellation.
+	Backoff time.Duration
+}
+
+// Options configures the execution engine.
+type Options struct {
+	// Seed drives the simulated tools, exactly as in Run/RunParallel.
+	Seed uint64
+	// Workers sets the pool size; <= 0 selects runtime.GOMAXPROCS(0)
+	// and 1 runs inline without goroutines. Results are identical for
+	// every worker count.
+	Workers int
+	// PerToolTimeout bounds each attempt of each (tool, case) pair;
+	// 0 means no deadline. Context-aware tools (detectors.ContextAnalyzer)
+	// are expected to return promptly once the deadline fires; plain
+	// tools run on a watchdog goroutine that is abandoned on expiry.
+	PerToolTimeout time.Duration
+	// Retry bounds re-execution of retryable failures.
+	Retry RetryPolicy
+	// Degraded is the scoring policy for cells whose attempts all
+	// failed. The zero value aborts, matching the historical behaviour.
+	Degraded DegradedPolicy
+}
+
+// Validate rejects unusable option combinations.
+func (o Options) Validate() error {
+	if o.PerToolTimeout < 0 {
+		return fmt.Errorf("harness: negative PerToolTimeout %v", o.PerToolTimeout)
+	}
+	if o.Retry.MaxRetries < 0 {
+		return fmt.Errorf("harness: negative MaxRetries %d", o.Retry.MaxRetries)
+	}
+	if o.Retry.Backoff < 0 {
+		return fmt.Errorf("harness: negative retry backoff %v", o.Retry.Backoff)
+	}
+	switch o.Degraded {
+	case DegradedAbort, DegradedSkip, DegradedCountMiss:
+	default:
+		return fmt.Errorf("harness: unknown degraded policy %d", int(o.Degraded))
+	}
+	return nil
+}
+
+// FailureKind classifies how a (tool, case) cell finally failed.
+type FailureKind int
+
+const (
+	// FailPanic is a panic recovered from the tool.
+	FailPanic FailureKind = iota + 1
+	// FailTimeout is an attempt that outlived PerToolTimeout.
+	FailTimeout
+	// FailError is an ordinary analysis error (after exhausting any
+	// retry budget, if the error was retryable).
+	FailError
+)
+
+// String implements fmt.Stringer.
+func (k FailureKind) String() string {
+	switch k {
+	case FailPanic:
+		return "panic"
+	case FailTimeout:
+		return "timeout"
+	case FailError:
+		return "error"
+	default:
+		return "unknown"
+	}
+}
+
+// ExecError records the final failure of one (tool, case) cell.
+type ExecError struct {
+	// Tool and Service name the cell; Case is the corpus index.
+	Tool    string
+	Service string
+	Case    int
+	// Attempt is the 1-based attempt the cell finally failed on.
+	Attempt int
+	// Kind classifies the failure; Msg is the underlying error text.
+	Kind FailureKind
+	Msg  string
+
+	// err keeps the original error for the abort policy and errors.Is.
+	err error
+}
+
+// Error implements the error interface.
+func (e *ExecError) Error() string {
+	return fmt.Sprintf("%s on %s (case %d, attempt %d): %s: %s",
+		e.Tool, e.Service, e.Case, e.Attempt, e.Kind, e.Msg)
+}
+
+// Unwrap exposes the underlying error to errors.Is/As.
+func (e *ExecError) Unwrap() error { return e.err }
+
+// ExecLedger is the per-tool execution accounting attached to every
+// ToolResult. Invariants (checked by Reconcile and the property tests):
+//
+//	Cases     == Succeeded + Failed
+//	Attempts  == Succeeded + Failed + Retries
+//	Failed    == RecoveredPanics + Timeouts + Errors
+//	Failed    == len(FailedCases) == len(Faults)
+type ExecLedger struct {
+	// Cases is the number of corpus cases the tool was scheduled on;
+	// Succeeded of them produced outcomes, Failed exhausted every
+	// attempt.
+	Cases     int
+	Succeeded int
+	Failed    int
+	// Attempts counts every tool invocation including retries; Retries
+	// counts re-invocations after a retryable error.
+	Attempts int
+	Retries  int
+	// RecoveredPanics, Timeouts and Errors split Failed by FailureKind.
+	RecoveredPanics int
+	Timeouts        int
+	Errors          int
+	// FailedCases lists the corpus indices of failed cases in ascending
+	// order; Faults carries the matching failure records.
+	FailedCases []int
+	Faults      []ExecError
+}
+
+// Reconcile checks the ledger's internal invariants, returning a
+// description of the first violation or nil.
+func (l ExecLedger) Reconcile() error {
+	if l.Cases != l.Succeeded+l.Failed {
+		return fmt.Errorf("harness: ledger cases %d != succeeded %d + failed %d", l.Cases, l.Succeeded, l.Failed)
+	}
+	if l.Attempts != l.Succeeded+l.Failed+l.Retries {
+		return fmt.Errorf("harness: ledger attempts %d != succeeded %d + failed %d + retries %d",
+			l.Attempts, l.Succeeded, l.Failed, l.Retries)
+	}
+	if l.Failed != l.RecoveredPanics+l.Timeouts+l.Errors {
+		return fmt.Errorf("harness: ledger failed %d != panics %d + timeouts %d + errors %d",
+			l.Failed, l.RecoveredPanics, l.Timeouts, l.Errors)
+	}
+	if l.Failed != len(l.FailedCases) || l.Failed != len(l.Faults) {
+		return fmt.Errorf("harness: ledger failed %d != %d failed cases / %d faults",
+			l.Failed, len(l.FailedCases), len(l.Faults))
+	}
+	for i := 1; i < len(l.FailedCases); i++ {
+		if l.FailedCases[i-1] >= l.FailedCases[i] {
+			return fmt.Errorf("harness: ledger failed cases not ascending at %d", i)
+		}
+	}
+	return nil
+}
+
+// ExecTotals is a process-wide snapshot of engine fault counters, the
+// source for the serving layer's /metrics export.
+type ExecTotals struct {
+	RecoveredPanics uint64
+	Timeouts        uint64
+	Errors          uint64
+	Retries         uint64
+}
+
+var (
+	execPanics   atomic.Uint64
+	execTimeouts atomic.Uint64
+	execErrors   atomic.Uint64
+	execRetries  atomic.Uint64
+)
+
+// ExecTotalsSnapshot returns the cumulative fault counters across every
+// campaign this process has run. Totals are monotone; consumers fold
+// deltas (see internal/service).
+func ExecTotalsSnapshot() ExecTotals {
+	return ExecTotals{
+		RecoveredPanics: execPanics.Load(),
+		Timeouts:        execTimeouts.Load(),
+		Errors:          execErrors.Load(),
+		Retries:         execRetries.Load(),
+	}
+}
+
+// caseExec is the execution engine's record of one (tool, case) cell.
+type caseExec struct {
+	outcomes []SinkOutcome
+	fault    *ExecError // nil on success
+	attempts int
+	retries  int
+}
+
+// engine carries the immutable campaign state shared by every worker.
+type engine struct {
+	opts   Options
+	corpus *workload.Corpus
+	tools  []detectors.Tool
+	rngs   [][]*stats.RNG
+	valid  []map[int]bool
+}
+
+// RunCtx executes the campaign under ctx with fault-tolerant semantics.
+// Every tool invocation runs under panic isolation and, when
+// opts.PerToolTimeout is set, a per-attempt deadline; errors the tool
+// marked retryable are retried up to opts.Retry.MaxRetries times with
+// deterministic backoff. What happens to cells that still fail is
+// decided by opts.Degraded: abort the campaign (zero value, historical
+// behaviour), skip them, or count them as misses. Under the skip and
+// count-miss policies the campaign always completes with partial
+// results and a populated ExecLedger per tool.
+//
+// Cancelling ctx aborts the campaign at the next case boundary; the
+// returned error wraps ctx.Err().
+func RunCtx(ctx context.Context, corpus *workload.Corpus, tools []detectors.Tool, opts Options) (*Campaign, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := validate(corpus, tools); err != nil {
+		return nil, err
+	}
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	tools = bindCompileCache(tools)
+
+	eng := &engine{
+		opts:   opts,
+		corpus: corpus,
+		tools:  tools,
+		rngs:   preSplitRNGs(len(tools), len(corpus.Cases), opts.Seed),
+		valid:  validSinkSets(corpus),
+	}
+
+	nTools, nCases := len(tools), len(corpus.Cases)
+	execs := make([][]caseExec, nTools)
+	for t := range execs {
+		execs[t] = make([]caseExec, nCases)
+	}
+
+	if workers == 1 {
+		for t := range tools {
+			for c := range corpus.Cases {
+				if err := ctx.Err(); err != nil {
+					return nil, abortErr(err)
+				}
+				ce, err := eng.executeCase(ctx, t, c)
+				if err != nil {
+					return nil, err
+				}
+				if ce.fault != nil && opts.Degraded == DegradedAbort {
+					return nil, ce.fault.err
+				}
+				execs[t][c] = ce
+			}
+		}
+		return mergeCampaign(corpus, tools, execs, opts.Degraded), nil
+	}
+
+	// Parallel: the task pool mirrors the historical RunParallel. Fatal
+	// conditions (cancellation, or any fault under DegradedAbort) flip
+	// the failed flag so the remaining queue drains; the earliest error
+	// in (tool, case) order is returned, matching serial execution
+	// whenever the same task set got to run.
+	errs := make([][]error, nTools)
+	for t := range errs {
+		errs[t] = make([]error, nCases)
+	}
+	type task struct{ tool, cs int }
+	tasks := make(chan task, workers)
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for tk := range tasks {
+				if failed.Load() {
+					continue // fatal error elsewhere; drain the queue
+				}
+				if err := ctx.Err(); err != nil {
+					errs[tk.tool][tk.cs] = abortErr(err)
+					failed.Store(true)
+					continue
+				}
+				ce, err := eng.executeCase(ctx, tk.tool, tk.cs)
+				if err != nil {
+					errs[tk.tool][tk.cs] = err
+					failed.Store(true)
+					continue
+				}
+				if ce.fault != nil && opts.Degraded == DegradedAbort {
+					errs[tk.tool][tk.cs] = ce.fault.err
+					failed.Store(true)
+					continue
+				}
+				execs[tk.tool][tk.cs] = ce
+			}
+		}()
+	}
+	for t := 0; t < nTools; t++ {
+		for c := 0; c < nCases; c++ {
+			tasks <- task{tool: t, cs: c}
+		}
+	}
+	close(tasks)
+	wg.Wait()
+
+	if failed.Load() {
+		for t := range errs {
+			for c := range errs[t] {
+				if errs[t][c] != nil {
+					return nil, errs[t][c]
+				}
+			}
+		}
+	}
+	return mergeCampaign(corpus, tools, execs, opts.Degraded), nil
+}
+
+// executeCase runs the attempt loop for one (tool, case) cell. The
+// returned error is campaign-fatal (cancellation); per-cell failures are
+// reported through caseExec.fault so the policy layer can decide.
+func (e *engine) executeCase(ctx context.Context, t, c int) (caseExec, error) {
+	tool, cs := e.tools[t], e.corpus.Cases[c]
+	var ce caseExec
+	maxAttempts := 1 + e.opts.Retry.MaxRetries
+	for attempt := 1; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return ce, abortErr(err)
+		}
+		ce.attempts++
+		outs, kind, err := e.runAttempt(ctx, t, c)
+		if err == nil {
+			ce.outcomes = outs
+			return ce, nil
+		}
+		if ctx.Err() != nil {
+			// The attempt died because the campaign did.
+			return ce, abortErr(ctx.Err())
+		}
+		if kind == FailError && detectors.IsRetryable(err) && attempt < maxAttempts {
+			ce.retries++
+			execRetries.Add(1)
+			if e.opts.Retry.Backoff > 0 {
+				if serr := sleepCtx(ctx, backoffFor(e.opts.Retry.Backoff, attempt)); serr != nil {
+					return ce, abortErr(serr)
+				}
+			}
+			continue
+		}
+		ce.fault = &ExecError{
+			Tool:    tool.Name(),
+			Service: cs.Service.Name,
+			Case:    c,
+			Attempt: attempt,
+			Kind:    kind,
+			Msg:     err.Error(),
+			err:     err,
+		}
+		switch kind {
+		case FailPanic:
+			execPanics.Add(1)
+		case FailTimeout:
+			execTimeouts.Add(1)
+		default:
+			execErrors.Add(1)
+		}
+		return ce, nil
+	}
+}
+
+// runAttempt performs one isolated, deadline-bounded tool invocation.
+// kind is zero on success and classifies the failure otherwise. The
+// attempt consumes a value copy of the cell's RNG stream, so every
+// attempt of a cell replays identical draws.
+func (e *engine) runAttempt(ctx context.Context, t, c int) (outs []SinkOutcome, kind FailureKind, err error) {
+	tool, cs := e.tools[t], e.corpus.Cases[c]
+	attemptRNG := *e.rngs[t][c]
+	timeout := e.opts.PerToolTimeout
+
+	actx := ctx
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		actx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+
+	call := func() (outs []SinkOutcome, kind FailureKind, err error) {
+		defer func() {
+			if v := recover(); v != nil {
+				outs, kind = nil, FailPanic
+				err = fmt.Errorf("harness: %s on %s: recovered panic: %v", tool.Name(), cs.Service.Name, v)
+			}
+		}()
+		outs, err = analyzeCaseCtx(actx, tool, cs, &attemptRNG, e.valid[c])
+		return outs, 0, err
+	}
+
+	// classify maps an attempt error onto a FailureKind, converting
+	// deadline expiry into a deterministic timeout record.
+	classify := func(outs []SinkOutcome, kind FailureKind, err error) ([]SinkOutcome, FailureKind, error) {
+		if err == nil || kind != 0 {
+			return outs, kind, err
+		}
+		if timeout > 0 && actx.Err() == context.DeadlineExceeded && ctx.Err() == nil {
+			return nil, FailTimeout, timeoutError(tool, cs, timeout)
+		}
+		return nil, FailError, err
+	}
+
+	if _, ok := tool.(detectors.ContextAnalyzer); ok || timeout == 0 {
+		// Context-aware tools observe the deadline themselves; tools
+		// without a deadline cannot outlive one. Either way the call can
+		// run inline on this worker — panic isolation is the deferred
+		// recover above.
+		return classify(call())
+	}
+
+	// Plain tool under a deadline: run on a watchdog goroutine we can
+	// abandon. The buffered channel lets a late-finishing tool complete
+	// and be collected by the GC; a tool that never returns leaks its
+	// goroutine — that is the price of deadlines without tool
+	// cooperation, and why detectors.ContextAnalyzer exists.
+	type attemptResult struct {
+		outs []SinkOutcome
+		kind FailureKind
+		err  error
+	}
+	ch := make(chan attemptResult, 1)
+	go func() {
+		o, k, e := call()
+		ch <- attemptResult{o, k, e}
+	}()
+	select {
+	case r := <-ch:
+		return classify(r.outs, r.kind, r.err)
+	case <-actx.Done():
+		if ctx.Err() != nil {
+			return nil, FailTimeout, abortErr(ctx.Err())
+		}
+		return nil, FailTimeout, timeoutError(tool, cs, timeout)
+	}
+}
+
+// timeoutError is the canonical deadline-expiry record: its text depends
+// only on configuration, never on how far the tool got.
+func timeoutError(tool detectors.Tool, cs workload.Case, timeout time.Duration) error {
+	return fmt.Errorf("harness: %s on %s: tool deadline %v exceeded", tool.Name(), cs.Service.Name, timeout)
+}
+
+// abortErr wraps a context error as the campaign-level abort error.
+func abortErr(err error) error {
+	return fmt.Errorf("harness: campaign aborted: %w", err)
+}
+
+// backoffFor returns the wait before retry number `attempt` (1-based
+// failing attempt): base << (attempt-1), i.e. base, 2*base, 4*base, ...
+func backoffFor(base time.Duration, attempt int) time.Duration {
+	shift := attempt - 1
+	if shift > 16 {
+		shift = 16
+	}
+	return base << shift
+}
+
+// sleepCtx blocks for d or until ctx is done. The deadline timer lives
+// inside a derived context — the only timing primitive the
+// deterministic-package lint permits here. Backoff sleeping exists only
+// on the retry path, which fault-free campaigns never take, so campaign
+// results stay a pure function of seed and inputs.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	sctx, cancel := context.WithTimeout(ctx, d)
+	defer cancel()
+	<-sctx.Done()
+	return ctx.Err()
+}
+
+// degradedOutcomes synthesizes the count-as-miss outcomes for a failed
+// case: every sink unflagged, so vulnerable sinks score as false
+// negatives and clean sinks as true negatives, each marked Degraded.
+func degradedOutcomes(cs workload.Case) []SinkOutcome {
+	out := make([]SinkOutcome, len(cs.Truths))
+	for i, tr := range cs.Truths {
+		out[i] = SinkOutcome{
+			Service:    cs.Service.Name,
+			SinkID:     tr.SinkID,
+			Kind:       tr.Kind,
+			Difficulty: cs.Difficulty,
+			Template:   cs.Template,
+			Vulnerable: tr.Vulnerable,
+			Degraded:   true,
+		}
+	}
+	return out
+}

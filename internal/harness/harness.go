@@ -5,6 +5,7 @@
 package harness
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -30,6 +31,10 @@ type SinkOutcome struct {
 	Flagged bool
 	// Confidence is the report confidence (zero when not flagged).
 	Confidence float64
+	// Degraded is true for outcomes synthesized by the count-as-miss
+	// policy when the tool failed on the case: the sink was never
+	// actually analysed. Synthesized outcomes are always unflagged.
+	Degraded bool
 }
 
 // Confusion classifies the outcome into its confusion-matrix cell.
@@ -58,8 +63,14 @@ type ToolResult struct {
 	ByKind       map[svclang.SinkKind]metrics.Confusion
 	ByDifficulty map[workload.Difficulty]metrics.Confusion
 	ByTemplate   map[string]metrics.Confusion
-	// Outcomes lists the per-sink outcomes in corpus order.
+	// Outcomes lists the per-sink outcomes in corpus order. Under
+	// DegradedSkip the sinks of failed cases are absent; under
+	// DegradedCountMiss they appear unflagged with Degraded set.
 	Outcomes []SinkOutcome
+	// Exec is the execution ledger: how many attempts the tool's cases
+	// took and which cases failed how. A fault-free campaign has
+	// Succeeded == Cases == Attempts and no faults.
+	Exec ExecLedger
 }
 
 // MetricValue computes a metric on the overall matrix.
@@ -126,7 +137,20 @@ func validSinkSets(corpus *workload.Corpus) []map[int]bool {
 // distinct (tool, case) pairs can be analysed concurrently as long as each
 // gets its own RNG.
 func analyzeCase(tool detectors.Tool, cs workload.Case, rng *stats.RNG, valid map[int]bool) ([]SinkOutcome, error) {
-	reports, err := tool.Analyze(cs, rng)
+	return analyzeCaseCtx(context.Background(), tool, cs, rng, valid)
+}
+
+// analyzeCaseCtx is analyzeCase with cancellation: tools implementing
+// detectors.ContextAnalyzer receive ctx (the execution engine passes the
+// per-attempt deadline context); plain tools are invoked as before.
+func analyzeCaseCtx(ctx context.Context, tool detectors.Tool, cs workload.Case, rng *stats.RNG, valid map[int]bool) ([]SinkOutcome, error) {
+	var reports []detectors.Report
+	var err error
+	if ca, ok := tool.(detectors.ContextAnalyzer); ok {
+		reports, err = ca.AnalyzeContext(ctx, cs, rng)
+	} else {
+		reports, err = tool.Analyze(cs, rng)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("harness: %s on %s: %w", tool.Name(), cs.Service.Name, err)
 	}
@@ -159,11 +183,14 @@ func analyzeCase(tool detectors.Tool, cs workload.Case, rng *stats.RNG, valid ma
 	return out, nil
 }
 
-// mergeCampaign folds per-(tool, case) outcome slices back into a Campaign
-// in corpus order. Because aggregation happens tool-by-tool, case-by-case
-// in the same order the serial loop used, the result is identical to
-// serial execution regardless of the order the slices were produced in.
-func mergeCampaign(corpus *workload.Corpus, tools []detectors.Tool, outs [][][]SinkOutcome) *Campaign {
+// mergeCampaign folds per-(tool, case) execution records back into a
+// Campaign in corpus order. Because aggregation happens tool-by-tool,
+// case-by-case in the same order the serial loop used, the result is
+// identical to serial execution regardless of the order the records were
+// produced in. Failed cells are scored per the degraded policy: skipped
+// (absent from the matrices) or counted as misses via synthesized
+// unflagged outcomes; either way the ledger records them.
+func mergeCampaign(corpus *workload.Corpus, tools []detectors.Tool, execs [][]caseExec, policy DegradedPolicy) *Campaign {
 	camp := &Campaign{Corpus: corpus}
 	total := corpus.TotalSinks()
 	for toolIdx, tool := range tools {
@@ -176,7 +203,31 @@ func mergeCampaign(corpus *workload.Corpus, tools []detectors.Tool, outs [][][]S
 			Outcomes:     make([]SinkOutcome, 0, total),
 		}
 		for caseIdx := range corpus.Cases {
-			for _, outcome := range outs[toolIdx][caseIdx] {
+			ce := execs[toolIdx][caseIdx]
+			res.Exec.Cases++
+			res.Exec.Attempts += ce.attempts
+			res.Exec.Retries += ce.retries
+			outcomes := ce.outcomes
+			if ce.fault != nil {
+				res.Exec.Failed++
+				res.Exec.FailedCases = append(res.Exec.FailedCases, caseIdx)
+				res.Exec.Faults = append(res.Exec.Faults, *ce.fault)
+				switch ce.fault.Kind {
+				case FailPanic:
+					res.Exec.RecoveredPanics++
+				case FailTimeout:
+					res.Exec.Timeouts++
+				default:
+					res.Exec.Errors++
+				}
+				if policy != DegradedCountMiss {
+					continue
+				}
+				outcomes = degradedOutcomes(corpus.Cases[caseIdx])
+			} else {
+				res.Exec.Succeeded++
+			}
+			for _, outcome := range outcomes {
 				cell := outcome.Confusion()
 				res.Overall = res.Overall.Add(cell)
 				res.ByKind[outcome.Kind] = res.ByKind[outcome.Kind].Add(cell)

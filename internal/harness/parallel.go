@@ -1,9 +1,7 @@
 package harness
 
 import (
-	"runtime"
-	"sync"
-	"sync/atomic"
+	"context"
 
 	"github.com/dsn2015/vdbench/internal/detectors"
 	"github.com/dsn2015/vdbench/internal/stats"
@@ -14,7 +12,8 @@ import (
 // RunParallel executes the campaign across a pool of workers and produces
 // a Campaign identical, field for field, to serial Run with the same seed.
 //
-// Determinism rests on two invariants:
+// Determinism rests on two invariants (enforced by the engine in exec.go,
+// which all entry points share):
 //
 //  1. RNG pre-split: the per-(tool, case) RNG streams are derived up front
 //     by walking toolRNG.Split() in exactly the order the serial loop
@@ -32,85 +31,10 @@ import (
 //
 // On failure the campaign is aborted and one of the task errors is
 // returned; with workers == 1 it is exactly the error serial execution
-// would have hit first.
+// would have hit first. For partial-result semantics, deadlines, retries
+// and cancellation, call RunCtx with explicit Options.
 func RunParallel(corpus *workload.Corpus, tools []detectors.Tool, seed uint64, workers int) (*Campaign, error) {
-	if err := validate(corpus, tools); err != nil {
-		return nil, err
-	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	tools = bindCompileCache(tools)
-
-	rngs := preSplitRNGs(len(tools), len(corpus.Cases), seed)
-	valid := validSinkSets(corpus)
-
-	nTools, nCases := len(tools), len(corpus.Cases)
-	outs := make([][][]SinkOutcome, nTools)
-	for t := range outs {
-		outs[t] = make([][]SinkOutcome, nCases)
-	}
-
-	if workers == 1 {
-		for t, tool := range tools {
-			for c, cs := range corpus.Cases {
-				outcomes, err := analyzeCase(tool, cs, rngs[t][c], valid[c])
-				if err != nil {
-					return nil, err
-				}
-				outs[t][c] = outcomes
-			}
-		}
-		return mergeCampaign(corpus, tools, outs), nil
-	}
-
-	errs := make([][]error, nTools)
-	for t := range errs {
-		errs[t] = make([]error, nCases)
-	}
-	type task struct{ tool, cs int }
-	tasks := make(chan task, workers)
-	var failed atomic.Bool
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for tk := range tasks {
-				if failed.Load() {
-					continue // a task failed; drain the queue
-				}
-				outcomes, err := analyzeCase(tools[tk.tool], corpus.Cases[tk.cs], rngs[tk.tool][tk.cs], valid[tk.cs])
-				if err != nil {
-					errs[tk.tool][tk.cs] = err
-					failed.Store(true)
-					continue
-				}
-				outs[tk.tool][tk.cs] = outcomes
-			}
-		}()
-	}
-	for t := 0; t < nTools; t++ {
-		for c := 0; c < nCases; c++ {
-			tasks <- task{tool: t, cs: c}
-		}
-	}
-	close(tasks)
-	wg.Wait()
-
-	if failed.Load() {
-		// Report the earliest recorded failure in (tool, case) order, so
-		// repeated runs over the same inputs fail the same way whenever
-		// the same task set got to run.
-		for t := range errs {
-			for c := range errs[t] {
-				if errs[t][c] != nil {
-					return nil, errs[t][c]
-				}
-			}
-		}
-	}
-	return mergeCampaign(corpus, tools, outs), nil
+	return RunCtx(context.Background(), corpus, tools, Options{Seed: seed, Workers: workers})
 }
 
 // bindCompileCache rebinds every cache-aware tool to one shared compile

@@ -59,7 +59,7 @@ func (r SubmitRequest) config(base vdbench.ExperimentConfig) vdbench.ExperimentC
 //	POST   /v1/jobs             submit an experiment job
 //	GET    /v1/jobs/{id}        job status and queue position
 //	GET    /v1/jobs/{id}/result rendered result (?format=text|csv|markdown|json, optional ?wait=30s)
-//	DELETE /v1/jobs/{id}        cancel a queued job
+//	DELETE /v1/jobs/{id}        cancel a queued or running job
 //	GET    /v1/experiments      experiment catalogue
 //	GET    /healthz             liveness
 //	GET    /metrics             telemetry snapshot
@@ -197,7 +197,7 @@ func (s *Service) handleCancel(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if !s.Cancel(id) {
-		writeError(w, http.StatusConflict, "job %s is not queued (running and finished jobs cannot be canceled)", id)
+		writeError(w, http.StatusConflict, "job %s already finished (only queued and running jobs can be canceled)", id)
 		return
 	}
 	st, _ := s.Status(id)

@@ -226,11 +226,41 @@ func TestAPIRunningAndCanceledJobs(t *testing.T) {
 	if code != http.StatusGone {
 		t.Fatalf("canceled result = %d, want 410", code)
 	}
-	// The running job is not cancelable.
+	// DELETE on the running job cancels it too: the campaign aborts, the
+	// long-poll resolves to Gone promptly, and the worker slot frees.
+	code, _, body = httpDo(t, http.MethodDelete, ts.URL+"/v1/jobs/"+st1.ID, "")
+	if code != http.StatusOK {
+		t.Fatalf("cancel running = %d: %s", code, body)
+	}
+	code, _, _ = httpDo(t, http.MethodGet, ts.URL+"/v1/jobs/"+st1.ID+"/result?wait=120s", "")
+	if code != http.StatusGone {
+		t.Fatalf("canceled running result = %d, want 410", code)
+	}
+	// The freed slot picks up new work: a fresh submission starts.
+	st3 := submitJob(t, ts.URL, `{"experiment":"e1","quick":true,"seed":3}`)
+	g.waitStarted(t)
+	if st, _ := httpStatus(t, ts.URL, st3.ID); st.Status != StatusRunning {
+		t.Fatalf("post-cancel job status = %+v, want running", st)
+	}
+	// A finished or canceled job is not cancelable.
 	code, _, _ = httpDo(t, http.MethodDelete, ts.URL+"/v1/jobs/"+st1.ID, "")
 	if code != http.StatusConflict {
-		t.Fatalf("cancel running = %d, want 409", code)
+		t.Fatalf("cancel canceled = %d, want 409", code)
 	}
+}
+
+// httpStatus fetches and decodes one job's status over the API.
+func httpStatus(t *testing.T, base, id string) (JobStatus, bool) {
+	t.Helper()
+	code, _, body := httpDo(t, http.MethodGet, base+"/v1/jobs/"+id, "")
+	if code != http.StatusOK {
+		return JobStatus{}, false
+	}
+	var st JobStatus
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatalf("status response not a JobStatus: %v\n%s", err, body)
+	}
+	return st, true
 }
 
 func TestAPIExperimentsCatalog(t *testing.T) {

@@ -1,7 +1,10 @@
 // Package service is the benchmark-as-a-service layer: a job scheduler
-// over the deterministic experiment pipeline (vdbench.RunExperiment)
+// over the deterministic experiment pipeline (vdbench.RunExperimentCtx)
 // with a bounded worker pool, a content-addressed result cache, and
-// singleflight collapsing of identical in-flight requests.
+// singleflight collapsing of identical in-flight requests. Every job
+// runs under its own context derived from the service root, so DELETE
+// on a running job and a bounded Shutdown both abort the underlying
+// campaign at its next (tool, case) cell.
 //
 // The design leans entirely on the repo's determinism guarantee: an
 // experiment result is a pure function of (experiment ID, config minus
@@ -192,8 +195,9 @@ func (o Options) withDefaults() Options {
 }
 
 // runner executes one experiment; injected so tests can observe and gate
-// executions.
-type runner func(id string, cfg vdbench.ExperimentConfig) (vdbench.ExperimentResult, error)
+// executions. Implementations must observe ctx — job cancellation and
+// bounded shutdown both act by cancelling it.
+type runner func(ctx context.Context, id string, cfg vdbench.ExperimentConfig) (vdbench.ExperimentResult, error)
 
 // Service schedules experiment jobs over a bounded worker pool with a
 // content-addressed result cache and singleflight request collapsing.
@@ -219,24 +223,30 @@ type Service struct {
 	seq      uint64 // jobs handed to the queue
 	started  uint64 // jobs taken off the queue
 
-	mSubmitted, mCompleted, mFailed, mCanceled *telemetry.Counter
-	mCacheHit, mCacheMiss, mEvicted            *telemetry.Counter
-	mCollapsed                                 *telemetry.Counter
-	mCompileHit, mCompileMiss                  *telemetry.Counter
-	gQueueDepth, gCacheEntries, gCacheBytes    *telemetry.Gauge
-	hCampaign                                  *telemetry.Histogram
+	mSubmitted, mCompleted, mFailed, mCanceled            *telemetry.Counter
+	mCacheHit, mCacheMiss, mEvicted                       *telemetry.Counter
+	mCollapsed                                            *telemetry.Counter
+	mCompileHit, mCompileMiss                             *telemetry.Counter
+	mExecPanics, mExecTimeouts, mExecErrors, mExecRetries *telemetry.Counter
+	gQueueDepth, gCacheEntries, gCacheBytes               *telemetry.Gauge
+	hCampaign                                             *telemetry.Histogram
 
 	// compileMu guards the delta tracking that maps the process-wide
 	// monotone compile-cache totals onto this service's counters.
 	compileMu                  sync.Mutex
 	lastCompHits, lastCompMiss uint64
+
+	// execMu guards the same delta tracking for the execution engine's
+	// fault totals (recovered panics, deadline expiries, retries).
+	execMu   sync.Mutex
+	lastExec vdbench.ExecTotals
 }
 
-// New builds and starts a service backed by vdbench.RunExperiment.
+// New builds and starts a service backed by vdbench.RunExperimentCtx.
 // Callers must Close it to release the worker pool.
 func New(opts Options) *Service {
-	return newService(opts, func(id string, cfg vdbench.ExperimentConfig) (vdbench.ExperimentResult, error) {
-		return vdbench.RunExperiment(id, cfg)
+	return newService(opts, func(ctx context.Context, id string, cfg vdbench.ExperimentConfig) (vdbench.ExperimentResult, error) {
+		return vdbench.RunExperimentCtx(ctx, id, cfg)
 	})
 }
 
@@ -257,7 +267,7 @@ func newService(opts Options, run runner) *Service {
 		mSubmitted: reg.Counter("vd_jobs_submitted_total", "jobs accepted by Submit"),
 		mCompleted: reg.Counter("vd_jobs_completed_total", "jobs finished successfully"),
 		mFailed:    reg.Counter("vd_jobs_failed_total", "jobs finished with an error"),
-		mCanceled:  reg.Counter("vd_jobs_canceled_total", "jobs canceled before running"),
+		mCanceled:  reg.Counter("vd_jobs_canceled_total", "jobs canceled while queued or running"),
 		mCacheHit:  reg.Counter("vd_cache_hits_total", "submissions answered from the result cache"),
 		mCacheMiss: reg.Counter("vd_cache_misses_total", "submissions that missed the result cache"),
 		mEvicted:   reg.Counter("vd_cache_evictions_total", "cache entries evicted by the byte budget"),
@@ -266,6 +276,11 @@ func newService(opts Options, run runner) *Service {
 		mCompileHit:  reg.Counter("vd_compile_cache_hits_total", "campaign CFG builds served from the shared compile cache"),
 		mCompileMiss: reg.Counter("vd_compile_cache_misses_total", "campaign CFG builds that lowered a graph"),
 
+		mExecPanics:   reg.Counter("vd_exec_recovered_panics_total", "tool panics recovered by the execution engine"),
+		mExecTimeouts: reg.Counter("vd_exec_timeouts_total", "tool invocations abandoned at the per-tool deadline"),
+		mExecErrors:   reg.Counter("vd_exec_errors_total", "tool invocations that returned a non-retryable error"),
+		mExecRetries:  reg.Counter("vd_exec_retries_total", "tool invocations retried after a retryable failure"),
+
 		gQueueDepth:   reg.Gauge("vd_queue_depth", "jobs queued and not yet running"),
 		gCacheEntries: reg.Gauge("vd_cache_entries", "entries in the result cache"),
 		gCacheBytes:   reg.Gauge("vd_cache_bytes", "bytes accounted to the result cache"),
@@ -273,9 +288,11 @@ func newService(opts Options, run runner) *Service {
 		hCampaign: reg.Histogram("vd_campaign_seconds", "latency of executed campaigns in seconds",
 			0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120),
 	}
-	// Baseline the compile-cache deltas at construction: only growth that
-	// happens while this service is running is attributed to it.
+	// Baseline the compile-cache and execution-fault deltas at
+	// construction: only growth that happens while this service is
+	// running is attributed to it.
 	s.lastCompHits, s.lastCompMiss = vdbench.CompileCacheTotals()
+	s.lastExec = vdbench.ExecutionTotals()
 	for _, id := range vdbench.ExperimentIDs() {
 		s.known[id] = true
 	}
@@ -414,10 +431,15 @@ func (s *Service) Status(id string) (JobStatus, bool) {
 	return st, true
 }
 
-// Cancel cancels a queued job. It reports whether the job moved to
-// canceled; running or terminal jobs are not cancelable (a running
-// campaign is drained, never interrupted). The canceled job leaves the
-// singleflight table, so a later identical submission runs fresh.
+// Cancel cancels a queued or running job and reports whether it
+// initiated a cancellation; terminal jobs are not cancelable. A queued
+// job moves straight to canceled. A running job has its context
+// canceled: the campaign engine aborts at the next (tool, case) cell,
+// the worker that owns the job publishes the canceled terminal state,
+// and the worker slot frees without waiting for the campaign to drain.
+// In both cases the job leaves the singleflight table immediately, so a
+// later identical submission runs fresh rather than collapsing onto the
+// doomed job.
 func (s *Service) Cancel(id string) bool {
 	s.mu.Lock()
 	job, ok := s.jobs[id]
@@ -425,6 +447,27 @@ func (s *Service) Cancel(id string) bool {
 	if !ok {
 		return false
 	}
+	if s.reapQueued(job) {
+		return true
+	}
+	job.mu.Lock()
+	running := job.status == StatusRunning
+	job.mu.Unlock()
+	if !running {
+		return false
+	}
+	job.cancel()
+	s.mu.Lock()
+	if s.inflight[job.key] == job {
+		delete(s.inflight, job.key)
+	}
+	s.mu.Unlock()
+	return true
+}
+
+// reapQueued moves a queued job straight to canceled, reporting whether
+// it won the transition. Callers must not hold s.mu.
+func (s *Service) reapQueued(job *Job) bool {
 	if !job.casStatus(StatusQueued, StatusCanceled, vdbench.ExperimentResult{}, context.Canceled) {
 		return false
 	}
@@ -457,17 +500,9 @@ func (s *Service) execute(job *Job) {
 	s.gQueueDepth.Add(-1)
 
 	if job.ctx.Err() != nil {
-		// Shutdown canceled the root context while the job was queued:
-		// reap it (unless a per-job Cancel won the race and already did).
-		if job.casStatus(StatusQueued, StatusCanceled, vdbench.ExperimentResult{}, context.Canceled) {
-			s.mCanceled.Inc()
-			s.mu.Lock()
-			if s.inflight[job.key] == job {
-				delete(s.inflight, job.key)
-			}
-			s.rememberLocked(job)
-			s.mu.Unlock()
-		}
+		// The job was canceled while queued (per-job Cancel or service
+		// shutdown): reap it unless the canceler already did.
+		s.reapQueued(job)
 		return
 	}
 	if !job.casStatus(StatusQueued, StatusRunning, vdbench.ExperimentResult{}, nil) {
@@ -475,7 +510,7 @@ func (s *Service) execute(job *Job) {
 	}
 
 	start := time.Now()
-	res, err := s.run(job.experiment, job.cfg)
+	res, err := s.run(job.ctx, job.experiment, job.cfg)
 	elapsed := time.Since(start).Seconds()
 	s.hCampaign.Observe(elapsed)
 	// Per-experiment latency: registration is idempotent by name, so the
@@ -484,11 +519,21 @@ func (s *Service) execute(job *Job) {
 		"latency of experiment "+job.experiment+" in seconds",
 		0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120).Observe(elapsed)
 	s.observeCompileCache()
+	s.observeExecTotals()
 
-	if err != nil {
+	switch {
+	case err != nil && job.ctx.Err() != nil &&
+		(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)):
+		// The campaign aborted because this job's context fired: DELETE
+		// on a running job, or a shutdown drain budget expiring. That is
+		// a cancellation, not a failure.
+		if job.casStatus(StatusRunning, StatusCanceled, vdbench.ExperimentResult{}, context.Canceled) {
+			s.mCanceled.Inc()
+		}
+	case err != nil:
 		job.casStatus(StatusRunning, StatusFailed, vdbench.ExperimentResult{}, err)
 		s.mFailed.Inc()
-	} else {
+	default:
 		evicted := s.cache.put(job.key, res, resultSize(res))
 		s.mEvicted.Add(uint64(evicted))
 		entries, bytes := s.cache.stats()
@@ -530,18 +575,66 @@ func resultSize(res vdbench.ExperimentResult) int64 {
 	return int64(len(b))
 }
 
+// observeExecTotals folds the growth of the execution engine's
+// process-wide fault totals (recovered panics, deadline expiries,
+// non-retryable errors, retries) since the last observation into this
+// service's counters, the same delta scheme as observeCompileCache.
+func (s *Service) observeExecTotals() {
+	tot := vdbench.ExecutionTotals()
+	s.execMu.Lock()
+	dp := tot.RecoveredPanics - s.lastExec.RecoveredPanics
+	dt := tot.Timeouts - s.lastExec.Timeouts
+	de := tot.Errors - s.lastExec.Errors
+	dr := tot.Retries - s.lastExec.Retries
+	s.lastExec = tot
+	s.execMu.Unlock()
+	s.mExecPanics.Add(dp)
+	s.mExecTimeouts.Add(dt)
+	s.mExecErrors.Add(de)
+	s.mExecRetries.Add(dr)
+}
+
 // Close shuts the service down gracefully: no new submissions are
 // accepted, queued jobs are canceled (their contexts fire), and running
-// campaigns drain to completion before Close returns.
-func (s *Service) Close() {
+// campaigns drain to completion before Close returns. Shutdown is the
+// same with a bound on the drain.
+func (s *Service) Close() { s.Shutdown(context.Background()) }
+
+// Shutdown is Close with a drain budget: queued jobs are canceled
+// immediately and running campaigns get until ctx is done to finish
+// naturally. When the budget expires, the running jobs' contexts are
+// canceled, each campaign aborts at its next (tool, case) cell with
+// partial work discarded, and the jobs finish canceled. Shutdown
+// returns once every worker has exited; with a background context it
+// degenerates to a full drain.
+func (s *Service) Shutdown(ctx context.Context) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
+		s.wg.Wait()
 		return
 	}
 	s.closed = true
+	jobs := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
 	s.mu.Unlock()
-	s.rootCancel()
+	for _, j := range jobs {
+		s.reapQueued(j) // no-op on running and terminal jobs
+	}
 	close(s.queue)
-	s.wg.Wait()
+
+	drained := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+	case <-ctx.Done():
+		s.rootCancel() // abort running campaigns at the next cell boundary
+		<-drained
+	}
+	s.rootCancel()
 }

@@ -25,7 +25,8 @@ func mustWait(t *testing.T, job *Job) {
 }
 
 // gate is a runner test seam: it blocks every execution until release is
-// closed and counts how many executions actually happened.
+// closed (or the job context fires, mirroring a real campaign's abort)
+// and counts how many executions actually happened.
 type gate struct {
 	started chan struct{} // buffered; one tick per execution start
 	release chan struct{}
@@ -41,13 +42,17 @@ func newGate() *gate {
 // open releases every gated execution; safe to call more than once.
 func (g *gate) open() { g.once.Do(func() { close(g.release) }) }
 
-func (g *gate) run(id string, _ vdbench.ExperimentConfig) (vdbench.ExperimentResult, error) {
+func (g *gate) run(ctx context.Context, id string, _ vdbench.ExperimentConfig) (vdbench.ExperimentResult, error) {
 	g.mu.Lock()
 	g.runs++
 	g.mu.Unlock()
 	g.started <- struct{}{}
-	<-g.release
-	return vdbench.ExperimentResult{ID: id, Title: "gated stub"}, nil
+	select {
+	case <-g.release:
+		return vdbench.ExperimentResult{ID: id, Title: "gated stub"}, nil
+	case <-ctx.Done():
+		return vdbench.ExperimentResult{}, ctx.Err()
+	}
 }
 
 func (g *gate) count() int {
@@ -257,9 +262,8 @@ func TestCancelQueuedJob(t *testing.T) {
 	svc := newService(Options{Workers: 1}, g.run)
 	defer func() { g.open(); svc.Close() }()
 
-	j1, err := svc.Submit("e1", quickCfg())
-	if err != nil {
-		t.Fatal(err)
+	if _, err := svc.Submit("e1", quickCfg()); err != nil {
+		t.Fatal(err) // occupies the single worker
 	}
 	g.waitStarted(t)
 	cfg2 := quickCfg()
@@ -275,9 +279,6 @@ func TestCancelQueuedJob(t *testing.T) {
 	if _, err := j2.Result(); !errors.Is(err, context.Canceled) {
 		t.Fatalf("canceled job result error = %v", err)
 	}
-	if svc.Cancel(j1.ID()) {
-		t.Fatal("running job was canceled; running campaigns must drain")
-	}
 	// The canceled job left the singleflight table: an identical
 	// submission gets a fresh job rather than the canceled one.
 	j2b, err := svc.Submit("e1", cfg2)
@@ -286,6 +287,85 @@ func TestCancelQueuedJob(t *testing.T) {
 	}
 	if j2b == j2 {
 		t.Fatal("new submission collapsed onto a canceled job")
+	}
+}
+
+// TestCancelRunningJob: Cancel on a running job fires its context, the
+// campaign aborts, the worker publishes the canceled state and the
+// worker slot frees for the next job.
+func TestCancelRunningJob(t *testing.T) {
+	g := newGate()
+	svc := newService(Options{Workers: 1}, g.run)
+	defer func() { g.open(); svc.Close() }()
+
+	j1, err := svc.Submit("e1", quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.waitStarted(t)
+	if st, _ := svc.Status(j1.ID()); st.Status != StatusRunning {
+		t.Fatalf("j1 status = %+v, want running", st)
+	}
+	if !svc.Cancel(j1.ID()) {
+		t.Fatal("running job not cancelable")
+	}
+	mustWait(t, j1)
+	if _, err := j1.Result(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled running job result error = %v", err)
+	}
+	if st, _ := svc.Status(j1.ID()); st.Status != StatusCanceled {
+		t.Fatalf("j1 status = %+v, want canceled", st)
+	}
+	// The slot is free and the doomed job left the singleflight table: an
+	// identical submission starts a fresh campaign.
+	j1b, err := svc.Submit("e1", quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j1b == j1 {
+		t.Fatal("new submission collapsed onto the canceled job")
+	}
+	g.waitStarted(t)
+	// The worker finished j1's bookkeeping before dequeuing j1b, so the
+	// counters are settled by now.
+	if got := counterValue(svc, "vd_jobs_canceled_total"); got != 1 {
+		t.Fatalf("canceled counter = %d, want 1", got)
+	}
+	if got := counterValue(svc, "vd_jobs_failed_total"); got != 0 {
+		t.Fatalf("failed counter = %d, want 0 (cancellation is not a failure)", got)
+	}
+	g.open()
+	mustWait(t, j1b)
+	if res, err := j1b.Result(); err != nil || res.Title != "gated stub" {
+		t.Fatalf("fresh job after cancel: res=%+v err=%v", res, err)
+	}
+	if svc.Cancel(j1b.ID()) {
+		t.Fatal("terminal job reported cancelable")
+	}
+}
+
+// TestShutdownAbortsRunningAfterBudget: Shutdown with an expired drain
+// budget cancels the running campaign instead of waiting for it.
+func TestShutdownAbortsRunningAfterBudget(t *testing.T) {
+	g := newGate()
+	svc := newService(Options{Workers: 1}, g.run)
+	defer g.open()
+
+	j1, err := svc.Submit("e1", quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.waitStarted(t)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // budget already spent: abort immediately
+	svc.Shutdown(ctx)
+
+	if _, err := j1.Result(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("running job after bounded shutdown: %v, want canceled", err)
+	}
+	if _, err := svc.Submit("e1", quickCfg()); !errors.Is(err, ErrClosed) {
+		t.Fatalf("submit after Shutdown = %v, want ErrClosed", err)
 	}
 }
 
@@ -355,7 +435,7 @@ func TestCloseDrainsRunningAndCancelsQueued(t *testing.T) {
 }
 
 func TestJobHistoryBounded(t *testing.T) {
-	instant := func(id string, _ vdbench.ExperimentConfig) (vdbench.ExperimentResult, error) {
+	instant := func(_ context.Context, id string, _ vdbench.ExperimentConfig) (vdbench.ExperimentResult, error) {
 		return vdbench.ExperimentResult{ID: id}, nil
 	}
 	svc := newService(Options{Workers: 1, JobHistory: 2}, instant)

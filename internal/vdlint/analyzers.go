@@ -9,7 +9,7 @@ import (
 // All returns the module's analyzer suite in the order cmd/vdlint runs
 // it.
 func All() []*Analyzer {
-	return []*Analyzer{ToolWired, RandImport, NoDefaultMux, NoRawRand}
+	return []*Analyzer{ToolWired, RandImport, NoDefaultMux, NoRawRand, CtxFirst}
 }
 
 // ToolWired checks that every exported New* constructor in
@@ -292,6 +292,84 @@ func runNoRawRand(prog *Program) []Finding {
 		}
 	}
 	return out
+}
+
+// CtxFirst checks the module's context-first convention in the packages
+// that form the execution pipeline: an exported function (or method) in
+// internal/harness, internal/experiments or internal/service that
+// accepts a context.Context must take it as the first parameter, the
+// standard library shape every caller expects. A buried context is
+// almost always a retrofitted signature that the next refactor will get
+// wrong.
+var CtxFirst = &Analyzer{
+	Name: "ctxfirst",
+	Doc:  "exported functions in internal/harness, internal/experiments and internal/service must take context.Context first",
+	Run:  runCtxFirst,
+}
+
+// ctxFirstPackages lists the module-relative package paths the
+// context-first convention is enforced in.
+var ctxFirstPackages = []string{
+	"internal/harness",
+	"internal/experiments",
+	"internal/service",
+}
+
+func runCtxFirst(prog *Program) []Finding {
+	target := map[string]bool{}
+	for _, rel := range ctxFirstPackages {
+		target[prog.ModulePath+"/"+rel] = true
+	}
+	var out []Finding
+	for _, pkg := range prog.Packages {
+		if !target[pkg.Path] {
+			continue
+		}
+		for _, file := range pkg.Files {
+			if isTestFile(prog, file) {
+				continue
+			}
+			ctxName := importName(file, "context")
+			if ctxName == "" {
+				continue
+			}
+			for _, d := range file.Decls {
+				fn, ok := d.(*ast.FuncDecl)
+				if !ok || !fn.Name.IsExported() || fn.Type.Params == nil {
+					continue
+				}
+				// Walk the flattened parameter slots; only the first
+				// context parameter matters — at slot zero the signature
+				// is compliant.
+				slot := 0
+				for _, field := range fn.Type.Params.List {
+					names := len(field.Names)
+					if names == 0 {
+						names = 1
+					}
+					if isContextType(field.Type, ctxName) {
+						if slot != 0 {
+							out = append(out, Finding{
+								Pos: field.Pos(),
+								Message: fmt.Sprintf(
+									"exported %s takes context.Context as parameter %d; contexts go first", fn.Name.Name, slot+1),
+							})
+						}
+						break
+					}
+					slot += names
+				}
+			}
+		}
+	}
+	return out
+}
+
+// isContextType reports whether e is the context.Context type under the
+// file's local name for the context import.
+func isContextType(e ast.Expr, ctxName string) bool {
+	sel, ok := e.(*ast.SelectorExpr)
+	return ok && isPkgIdent(sel.X, ctxName) && sel.Sel.Name == "Context"
 }
 
 // importName returns the local name the file binds the given import path

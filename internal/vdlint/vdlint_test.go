@@ -272,3 +272,58 @@ func tick() { clock.Tick(clock.Second) }
 		t.Fatalf("diagnostics = %v, want the renamed time.Tick", diags)
 	}
 }
+
+func TestCtxFirstFlagsBuriedContext(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod": fixtureGomod,
+		"internal/harness/h.go": `package harness
+import "context"
+func RunCtx(ctx context.Context, n int) error { return nil }       // compliant
+func Buried(n int, ctx context.Context) error { return nil }       // flagged
+func unexported(n int, ctx context.Context) error { return nil }   // unexported: ignored
+func NoContext(n int) error { return nil }                         // no context: ignored
+type T struct{}
+func (T) MethodBuried(name string, ctx context.Context) {}         // exported method: flagged
+`,
+		"internal/harness/h_test.go": `package harness
+import "context"
+func HelperBuried(n int, ctx context.Context) {} // test file: ignored
+`,
+		"internal/report/free.go": `package report
+import "context"
+func Elsewhere(n int, ctx context.Context) {} // outside the pipeline: ignored
+`,
+	})
+	prog, err := Load(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run(prog, []*Analyzer{CtxFirst})
+	if len(diags) != 2 {
+		t.Fatalf("diagnostics = %v, want Buried and MethodBuried", diags)
+	}
+	joined := diags[0].Message + "\n" + diags[1].Message
+	for _, want := range []string{"Buried", "MethodBuried"} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("missing %s finding in:\n%s", want, joined)
+		}
+	}
+}
+
+func TestCtxFirstRespectsImportRenames(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod": fixtureGomod,
+		"internal/service/s.go": `package service
+import c "context"
+func Renamed(n int, ctx c.Context) {}
+`,
+	})
+	prog, err := Load(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run(prog, []*Analyzer{CtxFirst})
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "Renamed") {
+		t.Fatalf("diagnostics = %v, want the renamed-import context", diags)
+	}
+}

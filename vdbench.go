@@ -28,12 +28,18 @@
 //	// handle err
 //	tools, err := vdbench.StandardTools()
 //	// handle err
-//	campaign, err := vdbench.RunCampaign(corpus, tools, 1)
+//	campaign, err := vdbench.RunCampaignCtx(ctx, corpus, tools, vdbench.CampaignOptions{
+//		Seed:           1,
+//		Workers:        4,                      // output is identical for every value
+//		PerToolTimeout: 30 * time.Second,       // bound each tool invocation
+//		Retry:          vdbench.RetryPolicy{MaxRetries: 1},
+//		Degraded:       vdbench.DegradedSkip,   // complete with partial results
+//	})
 //	// handle err
 //	recall := vdbench.MustMetric("recall")
 //	for _, res := range campaign.Results {
 //		v, _ := res.MetricValue(recall)
-//		fmt.Printf("%s recall=%.3f\n", res.Tool, v)
+//		fmt.Printf("%s recall=%.3f (failed cases: %d)\n", res.Tool, v, res.Exec.Failed)
 //	}
 //
 // To reproduce the paper's experiments, see RunExperiment and the
@@ -41,6 +47,7 @@
 package vdbench
 
 import (
+	"context"
 	"errors"
 
 	"github.com/dsn2015/vdbench/internal/core"
@@ -98,6 +105,46 @@ type (
 	ExperimentResult = experiments.Result
 	// ExperimentInfo identifies one reproducible experiment (ID + title).
 	ExperimentInfo = experiments.Info
+	// CampaignOptions configures fault-tolerant campaign execution for
+	// RunCampaignCtx: seed, worker pool, per-tool deadline, retry budget
+	// and the degraded-cell scoring policy.
+	CampaignOptions = harness.Options
+	// RetryPolicy bounds re-execution of retryable tool failures.
+	RetryPolicy = harness.RetryPolicy
+	// DegradedPolicy decides how the scoring layer treats a (tool, case)
+	// cell whose every execution attempt failed.
+	DegradedPolicy = harness.DegradedPolicy
+	// ExecLedger is the per-tool execution accounting on every ToolResult:
+	// attempts, retries, and failed cases split by failure kind.
+	ExecLedger = harness.ExecLedger
+	// ExecError records the final failure of one (tool, case) cell.
+	ExecError = harness.ExecError
+	// FailureKind classifies how a cell failed (panic, timeout, error).
+	FailureKind = harness.FailureKind
+	// ExecTotals is the process-wide snapshot of engine fault counters.
+	ExecTotals = harness.ExecTotals
+	// ContextTool is an optional Tool extension for implementations that
+	// observe cancellation mid-analysis; the execution engine passes such
+	// tools the per-attempt deadline context.
+	ContextTool = detectors.ContextAnalyzer
+)
+
+// Degraded-cell scoring policies for CampaignOptions.Degraded.
+const (
+	// DegradedAbort fails the campaign on the first degraded cell — the
+	// historical fail-fast behaviour and the zero value.
+	DegradedAbort = harness.DegradedAbort
+	// DegradedSkip omits failed cases from the tool's confusion matrices.
+	DegradedSkip = harness.DegradedSkip
+	// DegradedCountMiss scores every sink of a failed case as unflagged.
+	DegradedCountMiss = harness.DegradedCountMiss
+)
+
+// Failure kinds recorded in execution ledgers.
+const (
+	FailPanic   = harness.FailPanic
+	FailTimeout = harness.FailTimeout
+	FailError   = harness.FailError
 )
 
 // Metrics returns the full candidate metric catalogue in presentation
@@ -152,23 +199,75 @@ func CombineTools(name string, mode CombineMode, members []Tool) (Tool, error) {
 	return detectors.NewCombined(name, mode, members)
 }
 
+// RunCampaignCtx is the campaign entry point: it executes every tool
+// over every corpus case under ctx and scores the reports at sink
+// granularity. Execution is fault tolerant — every tool invocation runs
+// under panic isolation and, when opts.PerToolTimeout is set, a
+// per-attempt deadline; errors the tool marked retryable (MarkRetryable)
+// are retried up to opts.Retry.MaxRetries times with deterministic
+// backoff. Cells that still fail are handled per opts.Degraded: abort the
+// campaign (zero value, the historical behaviour), skip them, or count
+// them as misses — under the latter two the campaign always completes
+// with partial results and a populated ExecLedger per tool.
+//
+// The result is byte-identical for every opts.Workers value: per-(tool,
+// case) RNG streams are pre-split in serial order and outcomes merged
+// back in corpus order. Custom Tool implementations must tolerate
+// concurrent Analyze calls on distinct cases (keep per-request state in
+// the call frame, as the standard suite does). Cancelling ctx aborts the
+// campaign at the next case boundary.
+func RunCampaignCtx(ctx context.Context, corpus *Corpus, tools []Tool, opts CampaignOptions) (*Campaign, error) {
+	return harness.RunCtx(ctx, corpus, tools, opts)
+}
+
 // RunCampaign executes every tool over every corpus case and scores the
 // reports at sink granularity. The seed drives simulated tools only; real
 // tools are deterministic.
+//
+// Deprecated: use RunCampaignCtx, which adds cancellation, per-tool
+// deadlines, retries and partial-result policies. RunCampaign is
+// RunCampaignCtx with a background context and CampaignOptions{Seed:
+// seed, Workers: 1}, kept for existing callers.
 func RunCampaign(corpus *Corpus, tools []Tool, seed uint64) (*Campaign, error) {
 	return harness.Run(corpus, tools, seed)
 }
 
 // RunCampaignParallel is RunCampaign over a worker pool. The result is
-// byte-identical to RunCampaign for every worker count: the per-(tool,
-// case) RNG streams are pre-split in serial order and the outcomes merged
-// back in corpus order. workers <= 0 selects runtime.GOMAXPROCS(0). Custom
-// Tool implementations must tolerate concurrent Analyze calls on distinct
-// cases (keep per-request state in the call frame, as the standard suite
-// does).
+// byte-identical to RunCampaign for every worker count. workers <= 0
+// selects runtime.GOMAXPROCS(0).
+//
+// Deprecated: use RunCampaignCtx, which adds cancellation, per-tool
+// deadlines, retries and partial-result policies. RunCampaignParallel is
+// RunCampaignCtx with a background context and CampaignOptions{Seed:
+// seed, Workers: workers}, kept for existing callers.
 func RunCampaignParallel(corpus *Corpus, tools []Tool, seed uint64, workers int) (*Campaign, error) {
 	return harness.RunParallel(corpus, tools, seed, workers)
 }
+
+// MarkRetryable wraps err so the execution engine may re-run the failing
+// attempt (with an identical RNG stream) up to the campaign's retry
+// budget. Custom tools wrap transient faults — flaky I/O, resource
+// contention — whose repetition is expected to succeed; deterministic
+// analysis failures must be returned unwrapped.
+func MarkRetryable(err error) error { return detectors.MarkRetryable(err) }
+
+// IsRetryable reports whether err (or any error in its chain) was marked
+// retryable via MarkRetryable.
+func IsRetryable(err error) bool { return detectors.IsRetryable(err) }
+
+// ParseDegradedPolicy maps the textual policy names ("abort", "skip",
+// "count-miss") onto DegradedPolicy values; both daemons' CLI flags
+// accept exactly this set.
+func ParseDegradedPolicy(s string) (DegradedPolicy, error) {
+	return harness.ParseDegradedPolicy(s)
+}
+
+// ExecutionTotals returns the process-wide cumulative fault counters of
+// the campaign execution engine: recovered panics, deadline expiries,
+// exhausted errors and retries across every campaign this process has
+// run. Totals are monotone; cmd/vdserved folds their deltas onto
+// /metrics.
+func ExecutionTotals() ExecTotals { return harness.ExecTotalsSnapshot() }
 
 // CompileCacheTotals returns the process-wide compile-cache counters:
 // hits served a memoised control-flow graph, misses lowered one. The
@@ -246,24 +345,40 @@ func ExperimentCacheKey(id string, cfg ExperimentConfig) string {
 	return experiments.CacheKey(id, cfg)
 }
 
-// RunExperiment reproduces one of the paper's tables or figures by ID.
-func RunExperiment(id string, cfg ExperimentConfig) (ExperimentResult, error) {
+// RunExperimentCtx reproduces one of the paper's tables or figures by ID
+// under ctx. Cancellation is observed between experiment stages and,
+// inside campaigns, between cases; a cancelled run returns an error
+// wrapping ctx.Err(). The serving layer (internal/service) runs every
+// job through this entry point so DELETE and shutdown actually stop work.
+func RunExperimentCtx(ctx context.Context, id string, cfg ExperimentConfig) (ExperimentResult, error) {
 	runner, err := experiments.NewRunner(cfg)
 	if err != nil {
 		return ExperimentResult{}, err
 	}
-	return runner.Run(id)
+	return runner.RunCtx(ctx, id)
 }
 
-// RunAllExperiments reproduces every table and figure. Sharing one call
-// (rather than looping over RunExperiment) reuses the corpus, campaign and
-// metric profiles across experiments.
-func RunAllExperiments(cfg ExperimentConfig) ([]ExperimentResult, error) {
+// RunExperiment reproduces one of the paper's tables or figures by ID.
+// It is RunExperimentCtx without cancellation.
+func RunExperiment(id string, cfg ExperimentConfig) (ExperimentResult, error) {
+	return RunExperimentCtx(context.Background(), id, cfg)
+}
+
+// RunAllExperimentsCtx reproduces every table and figure under ctx.
+// Sharing one call (rather than looping over RunExperimentCtx) reuses the
+// corpus, campaign and metric profiles across experiments.
+func RunAllExperimentsCtx(ctx context.Context, cfg ExperimentConfig) ([]ExperimentResult, error) {
 	runner, err := experiments.NewRunner(cfg)
 	if err != nil {
 		return nil, err
 	}
-	return runner.All()
+	return runner.AllCtx(ctx)
+}
+
+// RunAllExperiments reproduces every table and figure. It is
+// RunAllExperimentsCtx without cancellation.
+func RunAllExperiments(cfg ExperimentConfig) ([]ExperimentResult, error) {
+	return RunAllExperimentsCtx(context.Background(), cfg)
 }
 
 // WilsonInterval computes the Wilson score interval for a binomial rate

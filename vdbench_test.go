@@ -120,7 +120,7 @@ func TestFacadeParsePrintRoundTrip(t *testing.T) {
 }
 
 func TestFacadeExperiments(t *testing.T) {
-	if len(ExperimentIDs()) != 17 {
+	if len(ExperimentIDs()) != 18 {
 		t.Fatal("experiment registry wrong")
 	}
 	res, err := RunExperiment("e1", QuickExperimentConfig())
