@@ -20,6 +20,7 @@ import (
 	"github.com/dsn2015/vdbench/internal/ranking"
 	"github.com/dsn2015/vdbench/internal/stats"
 	"github.com/dsn2015/vdbench/internal/svclang"
+	"github.com/dsn2015/vdbench/internal/svclang/compile"
 	"github.com/dsn2015/vdbench/internal/workload"
 )
 
@@ -289,6 +290,67 @@ func BenchmarkCampaignWorkers(b *testing.B) {
 	}
 }
 
+// BenchmarkCampaignEngines prices the execution engines against each
+// other inside one binary: the same 200-service standard-suite campaign
+// on the default bytecode VM versus the reference tree-walking
+// interpreter. Outputs are deep-equal (TestInterpreterOptionEquivalence);
+// only the cost moves. BENCH_pr6.json records this pair.
+func BenchmarkCampaignEngines(b *testing.B) {
+	corpus, err := workload.Generate(workload.Config{
+		Services:         200,
+		TargetPrevalence: 0.35,
+		Seed:             1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tools, err := detectors.StandardSuite()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, eng := range []struct {
+		name        string
+		interpreter bool
+	}{{"vm", false}, {"interpreter", true}} {
+		b.Run(eng.name, func(b *testing.B) {
+			opts := harness.Options{Seed: 1, Workers: 1, Interpreter: eng.interpreter}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				camp, err := harness.RunCtx(context.Background(), corpus, tools, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(camp.Results) == 0 {
+					b.Fatal("empty campaign")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSvclangExecuteVM is the compiled-execution counterpart of
+// BenchmarkSvclangExecute: the same service and request through the
+// bytecode VM's pooled arenas. The pair prices the compilation work's
+// single-service win inside one binary.
+func BenchmarkSvclangExecuteVM(b *testing.B) {
+	svc, err := svclang.ParseOne(benchServiceSrc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := compile.NewEngine(false)
+	req := svclang.Request{"id": "abc123", "mode": "alpha"}
+	if _, err := eng.Execute(svc, req); err != nil { // compile outside the loop
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Execute(svc, req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkE3CampaignWorkers regenerates the E3 artefact end to end at
 // several campaign pool sizes: the experiment-level view of the same
 // sweep.
@@ -297,6 +359,38 @@ func BenchmarkE3CampaignWorkers(b *testing.B) {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			cfg := experiments.QuickConfig()
 			cfg.Workers = workers
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				runner, err := experiments.NewRunner(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := runner.Run("e3")
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Tables) == 0 {
+					b.Fatal("e3 produced no tables")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE3CampaignEngines prices the execution engines on the
+// standard-suite E3 campaign regenerated end to end — corpus, ground
+// truth and campaign included, everything downstream of the engine
+// switch. This is the ≥10x allocation pair BENCH_pr6.json records; the
+// rendered artefact is byte-identical between sub-benchmarks
+// (TestAllIdenticalInterpreterVsVM in internal/experiments).
+func BenchmarkE3CampaignEngines(b *testing.B) {
+	for _, eng := range []struct {
+		name        string
+		interpreter bool
+	}{{"vm", false}, {"interpreter", true}} {
+		b.Run(eng.name, func(b *testing.B) {
+			cfg := experiments.QuickConfig()
+			cfg.Interpreter = eng.interpreter
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				runner, err := experiments.NewRunner(cfg)

@@ -61,6 +61,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		retries         = fs.Int("retries", 0, "extra attempts for tool errors marked retryable")
 		retryBackoff    = fs.Duration("retry-backoff", 0, "wait before the first retry (doubles per retry)")
 		degraded        = fs.String("degraded", "abort", "policy for cases a tool failed on: abort, skip or count-miss")
+		interp          = fs.Bool("interpreter", false, "execute services on the reference tree-walking interpreter instead of the bytecode VM (output is identical, the VM is faster)")
 		drain           = fs.Duration("drain", 30*time.Second, "graceful-shutdown budget for in-flight HTTP requests and running campaigns")
 	)
 	fs.SetOutput(out)
@@ -88,6 +89,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	base.PerToolTimeout = *toolTimeout
 	base.Retry = vdbench.RetryPolicy{MaxRetries: *retries, Backoff: *retryBackoff}
 	base.Degraded = policy
+	base.Interpreter = *interp
 	if err := base.Validate(); err != nil {
 		return err
 	}

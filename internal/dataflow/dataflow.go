@@ -12,7 +12,10 @@
 // report recording — identical outputs.
 package dataflow
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // Lattice describes a join-semilattice over facts of type T. Join must be
 // commutative, associative and idempotent (the property tests in
@@ -84,23 +87,33 @@ func Solve[T any](g Graph, lat Lattice[T], entryFact T, f Transfer[T]) Result[T]
 	entry := g.Entry()
 	res.In[entry] = entryFact
 
-	pending := make([]bool, n)
-	pending[entry] = true
+	// pos maps node IDs to reverse-postorder positions (-1 for nodes the
+	// entry cannot reach); pending is a packed bitset over those
+	// positions, so "earliest pending node in RPO" is a trailing-zeros
+	// scan over a few words instead of a linear walk of the order slice.
+	pos := make([]int, n)
+	for i := range pos {
+		pos[i] = -1
+	}
+	for i, id := range order {
+		pos[id] = i
+	}
+	pending := make([]uint64, (len(order)+63)/64)
+	pending[pos[entry]>>6] |= 1 << (uint(pos[entry]) & 63)
 	visitsPerNode := make([]int, n)
 	for {
-		// Pick the pending node earliest in reverse postorder. A linear
-		// scan keeps the solver simple; graphs here are small.
 		node := -1
-		for _, id := range order {
-			if pending[id] {
-				node = id
+		for w, word := range pending {
+			if word != 0 {
+				p := w<<6 | bits.TrailingZeros64(word)
+				pending[w] = word & (word - 1) // clear the lowest set bit
+				node = order[p]
 				break
 			}
 		}
 		if node < 0 {
 			return res
 		}
-		pending[node] = false
 		visitsPerNode[node]++
 		if visitsPerNode[node] > visitBudget {
 			panic(fmt.Sprintf("dataflow: node %d evaluated %d times; transfer function is not monotone", node, visitsPerNode[node]))
@@ -115,7 +128,8 @@ func Solve[T any](g Graph, lat Lattice[T], entryFact T, f Transfer[T]) Result[T]
 			joined := lat.Join(res.In[succ], out)
 			if !lat.Equal(joined, res.In[succ]) {
 				res.In[succ] = joined
-				pending[succ] = true
+				p := pos[succ] // successors of a reached node are in the RPO
+				pending[p>>6] |= 1 << (uint(p) & 63)
 			}
 		}
 	}

@@ -8,6 +8,7 @@ import (
 	"github.com/dsn2015/vdbench/internal/stats"
 	"github.com/dsn2015/vdbench/internal/svclang"
 	"github.com/dsn2015/vdbench/internal/svclang/cfg"
+	"github.com/dsn2015/vdbench/internal/svclang/compile"
 	"github.com/dsn2015/vdbench/internal/workload"
 )
 
@@ -51,6 +52,7 @@ type combined struct {
 
 var _ Tool = (*combined)(nil)
 var _ CompileCacheable = (*combined)(nil)
+var _ ExecEngineBindable = (*combined)(nil)
 
 // WithCompileCache implements CompileCacheable by rebinding every member
 // that supports a compile cache; other members are kept as-is.
@@ -60,6 +62,21 @@ func (c *combined) WithCompileCache(cc *cfg.Cache) Tool {
 	for i, m := range c.members {
 		if ccm, ok := m.(CompileCacheable); ok {
 			clone.members[i] = ccm.WithCompileCache(cc)
+		} else {
+			clone.members[i] = m
+		}
+	}
+	return &clone
+}
+
+// WithExecEngine implements ExecEngineBindable by rebinding every member
+// that executes services; other members are kept as-is.
+func (c *combined) WithExecEngine(eng *compile.Engine) Tool {
+	clone := *c
+	clone.members = make([]Tool, len(c.members))
+	for i, m := range c.members {
+		if em, ok := m.(ExecEngineBindable); ok {
+			clone.members[i] = em.WithExecEngine(eng)
 		} else {
 			clone.members[i] = m
 		}
@@ -161,6 +178,7 @@ type restricted struct {
 
 var _ Tool = (*restricted)(nil)
 var _ CompileCacheable = (*restricted)(nil)
+var _ ExecEngineBindable = (*restricted)(nil)
 
 // WithCompileCache implements CompileCacheable by rebinding the inner tool
 // when it supports a compile cache.
@@ -168,6 +186,16 @@ func (r *restricted) WithCompileCache(cc *cfg.Cache) Tool {
 	clone := *r
 	if cci, ok := r.inner.(CompileCacheable); ok {
 		clone.inner = cci.WithCompileCache(cc)
+	}
+	return &clone
+}
+
+// WithExecEngine implements ExecEngineBindable by rebinding the inner
+// tool when it executes services.
+func (r *restricted) WithExecEngine(eng *compile.Engine) Tool {
+	clone := *r
+	if ei, ok := r.inner.(ExecEngineBindable); ok {
+		clone.inner = ei.WithExecEngine(eng)
 	}
 	return &clone
 }

@@ -10,21 +10,23 @@ import (
 	"github.com/dsn2015/vdbench/internal/workload"
 )
 
-// randFact draws a random taintFact over the given variable names.
-func randFact(rng *stats.RNG, vars []string) taintFact {
+// randFact draws a random taintFact over up to nvars slots. The vector
+// length itself is drawn too: the lattice must treat a short vector and
+// its zero-padded extension as the same environment.
+func randFact(rng *stats.RNG, nvars int) taintFact {
 	if rng.Bernoulli(0.15) {
 		return taintFact{} // bottom
 	}
-	env := absEnv{}
-	for _, v := range vars {
+	vars := make([]absVal, rng.Intn(nvars+1))
+	for i := range vars {
 		if rng.Bernoulli(0.5) {
-			env[v] = absVal{
+			vars[i] = absVal{
 				dangerous: kindMask(rng.Intn(int(allKindsMask()) + 1)),
 				sanitized: rng.Bernoulli(0.3),
 			}
 		}
 	}
-	return taintFact{live: true, vars: env}
+	return taintFact{live: true, vars: vars}
 }
 
 // TestTaintLatticeLaws property-checks the join-semilattice axioms the
@@ -33,10 +35,10 @@ func randFact(rng *stats.RNG, vars []string) taintFact {
 // including facts that mention different variable sets.
 func TestTaintLatticeLaws(t *testing.T) {
 	lat := taintLattice{}
-	vars := []string{"a", "b", "c", "d"}
+	const nvars = 4
 	rng := stats.NewRNG(20150622)
 	for i := 0; i < 5000; i++ {
-		a, b, c := randFact(rng, vars), randFact(rng, vars), randFact(rng, vars)
+		a, b, c := randFact(rng, nvars), randFact(rng, nvars), randFact(rng, nvars)
 		if !lat.Equal(lat.Join(a, b), lat.Join(b, a)) {
 			t.Fatalf("join not commutative: %+v vs %+v", a, b)
 		}
@@ -92,32 +94,28 @@ func TestSolverFixpointOnGeneratedCFGs(t *testing.T) {
 func checkFixpoint(t *testing.T, tool *dataflowSAST, svc *svclang.Service) {
 	t.Helper()
 	g := cfg.Build(svc, cfg.Options{}) // loops tracked: the hard case for convergence
-	entry := make(absEnv, len(svc.Params))
-	vars := map[string]bool{}
+	run := &dataflowRun{
+		tool:       tool,
+		svc:        svc,
+		found:      map[int]Report{},
+		slots:      slotTable(svc),
+		storeSlots: storeSlotTable(svc),
+	}
+	run.store = make([]absVal, len(run.storeSlots))
+	run.nextStore = make([]absVal, len(run.storeSlots))
+	entry := make([]absVal, len(run.slots))
 	for _, p := range svc.Params {
-		entry[p] = absVal{dangerous: allKindsMask()}
-		vars[p] = true
+		entry[run.slots[p]] = absVal{dangerous: allKindsMask()}
 	}
-	for _, blk := range g.Blocks {
-		for _, in := range blk.Instrs {
-			switch v := in.Stmt.(type) {
-			case svclang.VarDecl:
-				vars[v.Name] = true
-			case svclang.Assign:
-				vars[v.Name] = true
-			}
-		}
-	}
-	run := &dataflowRun{tool: tool, svc: svc, found: map[int]Report{}, store: absEnv{}, nextStore: absEnv{}}
 	transfer := func(n int, in taintFact) taintFact {
 		return run.transfer(g.Blocks[n], in)
 	}
 	lat := taintLattice{}
-	res := dataflow.Solve[taintFact](g, lat, taintFact{live: true, vars: entry.clone()}, transfer)
+	res := dataflow.Solve[taintFact](g, lat, taintFact{live: true, vars: entry}, transfer)
 
-	if bound := g.NumNodes() * latticeHeight(len(vars)); res.Visits > bound {
+	if bound := g.NumNodes() * latticeHeight(len(run.slots)); res.Visits > bound {
 		t.Fatalf("%s: %d visits exceeds |blocks|·height = %d·%d = %d",
-			svc.Name, res.Visits, g.NumNodes(), latticeHeight(len(vars)), bound)
+			svc.Name, res.Visits, g.NumNodes(), latticeHeight(len(run.slots)), bound)
 	}
 	// The solution is a fixpoint: every out-fact is the transfer of its
 	// in-fact, and every reachable edge's flow is absorbed by the

@@ -73,10 +73,14 @@ func (d *dataflowSAST) Class() Class { return ClassSAST }
 
 // taintFact is the dataflow fact: live marks reachable-so-far code (the
 // lattice bottom is the unreached fact), vars is the abstract variable
-// environment.
+// environment as a slot vector — one absVal (a kind bitset plus the
+// sanitized flag) per declared name, indexed by the run's slot table.
+// Vectors replace the per-fact maps this engine used to carry: joining
+// and comparing become elementwise loops over a few machine words and
+// cloning a fact is one slice copy instead of a map rebuild.
 type taintFact struct {
 	live bool
-	vars absEnv
+	vars []absVal
 }
 
 // taintLattice is the join-semilattice over taintFact. Facts are treated
@@ -95,8 +99,15 @@ func (taintLattice) Join(a, b taintFact) taintFact {
 	case !b.live:
 		return a
 	}
-	vars := a.vars.clone()
-	vars.joinWith(b.vars)
+	n := len(a.vars)
+	if len(b.vars) > n {
+		n = len(b.vars)
+	}
+	vars := make([]absVal, n)
+	copy(vars, a.vars)
+	for i, v := range b.vars {
+		vars[i] = vars[i].join(v)
+	}
 	return taintFact{live: true, vars: vars}
 }
 
@@ -107,19 +118,75 @@ func (taintLattice) Equal(a, b taintFact) bool {
 	if !a.live {
 		return true
 	}
-	// Missing keys read as the zero value, so {x: clean} and {} are the
-	// same environment.
-	for k, v := range a.vars {
-		if b.vars[k] != v {
+	// Slots past a vector's end read as the zero value, so a short vector
+	// and its zero-padded extension are the same environment.
+	long, short := a.vars, b.vars
+	if len(short) > len(long) {
+		long, short = short, long
+	}
+	for i, v := range short {
+		if long[i] != v {
 			return false
 		}
 	}
-	for k, v := range b.vars {
-		if a.vars[k] != v {
+	for _, v := range long[len(short):] {
+		if v != (absVal{}) {
 			return false
 		}
 	}
 	return true
+}
+
+// slotTable assigns a dense index to every name the service can bind:
+// parameters first, then VarDecls in AST order. Validate guarantees the
+// names are unique, so the assignment is total and collision-free.
+func slotTable(svc *svclang.Service) map[string]int {
+	slots := make(map[string]int, len(svc.Params)+4)
+	for _, p := range svc.Params {
+		slots[p] = len(slots)
+	}
+	var walk func(list []svclang.Stmt)
+	walk = func(list []svclang.Stmt) {
+		for _, st := range list {
+			switch v := st.(type) {
+			case svclang.VarDecl:
+				if _, ok := slots[v.Name]; !ok {
+					slots[v.Name] = len(slots)
+				}
+			case svclang.If:
+				walk(v.Then)
+				walk(v.Else)
+			case svclang.Repeat:
+				walk(v.Body)
+			}
+		}
+	}
+	walk(svc.Body)
+	return slots
+}
+
+// storeSlotTable indexes every store key the service writes; a load of a
+// never-written key reads the zero value, exactly as the map image did.
+func storeSlotTable(svc *svclang.Service) map[string]int {
+	slots := map[string]int{}
+	var walk func(list []svclang.Stmt)
+	walk = func(list []svclang.Stmt) {
+		for _, st := range list {
+			switch v := st.(type) {
+			case svclang.Store:
+				if _, ok := slots[v.Key]; !ok {
+					slots[v.Key] = len(slots)
+				}
+			case svclang.If:
+				walk(v.Then)
+				walk(v.Else)
+			case svclang.Repeat:
+				walk(v.Body)
+			}
+		}
+	}
+	walk(svc.Body)
+	return slots
 }
 
 // Analyze implements Tool.
@@ -132,11 +199,18 @@ func (d *dataflowSAST) Analyze(cs workload.Case, _ *stats.RNG) ([]Report, error)
 		PruneConstantBranches: d.cfg.PruneDeadBranches,
 		SkipLoops:             !d.cfg.TrackLoops,
 	})
-	entry := make(absEnv, len(svc.Params))
-	for _, p := range svc.Params {
-		entry[p] = absVal{dangerous: allKindsMask()}
+	run := &dataflowRun{
+		tool:       d,
+		svc:        svc,
+		found:      map[int]Report{},
+		slots:      slotTable(svc),
+		storeSlots: storeSlotTable(svc),
 	}
-	run := &dataflowRun{tool: d, svc: svc, found: map[int]Report{}, store: absEnv{}}
+	run.store = make([]absVal, len(run.storeSlots))
+	entry := make([]absVal, len(run.slots))
+	for _, p := range svc.Params {
+		entry[run.slots[p]] = absVal{dangerous: allKindsMask()}
+	}
 	// Stateful services get a second pass, like the walker: a load in
 	// request N observes what request N-1 stored, so pass 2 reads the
 	// store image accumulated by pass 1. Within a pass the store snapshot
@@ -147,9 +221,9 @@ func (d *dataflowSAST) Analyze(cs workload.Case, _ *stats.RNG) ([]Report, error)
 		passes = 2
 	}
 	for i := 0; i < passes; i++ {
-		run.nextStore = run.store.clone()
+		run.nextStore = append([]absVal(nil), run.store...)
 		dataflow.Solve[taintFact](g, taintLattice{},
-			taintFact{live: true, vars: entry.clone()},
+			taintFact{live: true, vars: append([]absVal(nil), entry...)},
 			func(n int, in taintFact) taintFact {
 				return run.transfer(g.Blocks[n], in)
 			})
@@ -168,10 +242,34 @@ type dataflowRun struct {
 	tool  *dataflowSAST
 	svc   *svclang.Service
 	found map[int]Report
+	// slots maps declared names to vars-vector indices; storeSlots maps
+	// store keys to store-vector indices. Both are fixed per service.
+	slots      map[string]int
+	storeSlots map[string]int
 	// store is the read snapshot for the current pass; nextStore
 	// accumulates writes (weak joins) for the following pass.
-	store     absEnv
-	nextStore absEnv
+	store     []absVal
+	nextStore []absVal
+	// curVars is the environment the statement being transferred reads
+	// from; transfer sets it before interpreting a block (the absSource
+	// seam shared with the walker's evalExpr).
+	curVars []absVal
+}
+
+var _ absSource = (*dataflowRun)(nil)
+
+func (r *dataflowRun) varAbs(name string) absVal {
+	if i, ok := r.slots[name]; ok {
+		return r.curVars[i]
+	}
+	return absVal{}
+}
+
+func (r *dataflowRun) storeAbs(key string) absVal {
+	if i, ok := r.storeSlots[key]; ok {
+		return r.store[i]
+	}
+	return absVal{}
 }
 
 // transfer interprets one basic block. Sinks are recorded as a side
@@ -183,7 +281,11 @@ func (r *dataflowRun) transfer(blk *cfg.Block, in taintFact) taintFact {
 	if !in.live {
 		return taintFact{}
 	}
-	env := in.vars.clone()
+	// Clone and zero-extend to the full slot count in one copy; slots past
+	// the in-fact's end are the zero value by the lattice's convention.
+	env := make([]absVal, len(r.slots))
+	copy(env, in.vars)
+	r.curVars = env
 	for _, instr := range blk.Instrs {
 		if instr.Refine != nil {
 			if !r.refine(*instr.Refine, env) {
@@ -193,16 +295,17 @@ func (r *dataflowRun) transfer(blk *cfg.Block, in taintFact) taintFact {
 		}
 		switch v := instr.Stmt.(type) {
 		case svclang.VarDecl:
-			env[v.Name] = absVal{}
+			env[r.slots[v.Name]] = absVal{}
 		case svclang.Assign:
-			env[v.Name] = r.eval(v.Expr, env)
+			env[r.slots[v.Name]] = r.eval(v.Expr)
 		case svclang.Store:
 			if r.tool.cfg.TrackStores {
-				val := r.eval(v.Expr, env)
-				r.nextStore[v.Key] = r.nextStore[v.Key].join(val)
+				val := r.eval(v.Expr)
+				i := r.storeSlots[v.Key]
+				r.nextStore[i] = r.nextStore[i].join(val)
 			}
 		case svclang.Sink:
-			val := r.eval(v.Expr, env)
+			val := r.eval(v.Expr)
 			if val.dangerous&maskOf(v.Kind) != 0 {
 				conf := 0.9
 				if val.sanitized {
@@ -226,14 +329,20 @@ func (r *dataflowRun) transfer(blk *cfg.Block, in taintFact) taintFact {
 	return taintFact{live: true, vars: env}
 }
 
-func (r *dataflowRun) eval(e svclang.Expr, env absEnv) absVal {
-	return evalExpr(r.tool.cfg.TaintSASTConfig, e, env, r.store)
+func (r *dataflowRun) eval(e svclang.Expr) absVal {
+	return evalExpr(r.tool.cfg.TaintSASTConfig, e, r)
+}
+
+// setVar clears or sets a named slot in env; names without a slot (never
+// declared) are impossible after Validate, so the lookup cannot miss.
+func (r *dataflowRun) setVar(env []absVal, name string, v absVal) {
+	env[r.slots[name]] = v
 }
 
 // refine interprets a synthetic Refine instruction against env, mutating
 // it in place. It returns false when the refinement proves the edge
 // infeasible.
-func (r *dataflowRun) refine(ref cfg.Refine, env absEnv) bool {
+func (r *dataflowRun) refine(ref cfg.Refine, env []absVal) bool {
 	cond, holds := ref.Cond, ref.Holds
 	// Peel negations, flipping the polarity — same normalisation as the
 	// walker's applyValidator.
@@ -257,7 +366,7 @@ func (r *dataflowRun) refine(ref cfg.Refine, env absEnv) bool {
 			return true
 		}
 		if id, ok := m.Expr.(svclang.Ident); ok {
-			env[id.Name] = absVal{}
+			r.setVar(env, id.Name, absVal{})
 		}
 	case cfg.GatePath:
 		if !r.tool.cfg.PathSensitive {
@@ -274,7 +383,7 @@ func (r *dataflowRun) refine(ref cfg.Refine, env absEnv) bool {
 			// not all-in-class).
 			if holds {
 				if id, ok := c.Expr.(svclang.Ident); ok {
-					env[id.Name] = absVal{}
+					r.setVar(env, id.Name, absVal{})
 				}
 			}
 		case svclang.Eq:
@@ -282,7 +391,7 @@ func (r *dataflowRun) refine(ref cfg.Refine, env absEnv) bool {
 			// so the attacker no longer controls it.
 			if holds {
 				if id, ok := c.Expr.(svclang.Ident); ok {
-					env[id.Name] = absVal{}
+					r.setVar(env, id.Name, absVal{})
 				}
 			}
 		}

@@ -24,6 +24,7 @@ import (
 
 	"github.com/dsn2015/vdbench/internal/stats"
 	"github.com/dsn2015/vdbench/internal/svclang"
+	"github.com/dsn2015/vdbench/internal/svclang/compile"
 	"github.com/dsn2015/vdbench/internal/workload"
 )
 
@@ -89,6 +90,20 @@ type ContextAnalyzer interface {
 	// AnalyzeContext is Analyze with cancellation. Implementations must
 	// return promptly (with any error) once ctx is done.
 	AnalyzeContext(ctx context.Context, cs workload.Case, rng *stats.RNG) ([]Report, error)
+}
+
+// ExecEngineBindable is implemented by tools that execute services (the
+// dynamic family). The harness rebinds every such tool in a campaign to
+// one shared execution engine — by default the bytecode VM of
+// internal/svclang/compile, or the reference interpreter when
+// Options.Interpreter asks for it — so compiled programs are shared
+// across tools and workers exactly like the cfg compile cache.
+type ExecEngineBindable interface {
+	Tool
+	// WithExecEngine returns a copy of the tool executing through eng.
+	// The receiver is not mutated (campaign-scoped binding must not leak
+	// into tools shared across campaigns).
+	WithExecEngine(eng *compile.Engine) Tool
 }
 
 // retryableError marks an error as transient: the execution engine may

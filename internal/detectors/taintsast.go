@@ -104,6 +104,16 @@ func (e absEnv) joinWith(other absEnv) {
 	}
 }
 
+// absSource abstracts where evalExpr reads variable and session-store
+// state from: the AST walker keeps map environments, the CFG engine keeps
+// slot vectors. Implementations are pointer receivers carrying a
+// "current environment" field, so sharing the evaluator costs no
+// allocation per expression.
+type absSource interface {
+	varAbs(name string) absVal
+	storeAbs(key string) absVal
+}
+
 // sanitizesUnder applies the configured adequacy model. It is shared by
 // the AST walker and the CFG dataflow engine, which must agree on
 // expression semantics exactly (the differential tests pin this).
@@ -172,7 +182,16 @@ type taintState struct {
 	// store is the abstract session store, keyed by store key; it persists
 	// across analysis passes (weak updates only).
 	store absEnv
+	// curEnv is the environment the expression under evaluation reads
+	// from; expr sets it before handing the state to evalExpr (the
+	// absSource seam).
+	curEnv absEnv
 }
+
+var _ absSource = (*taintState)(nil)
+
+func (s *taintState) varAbs(name string) absVal  { return s.curEnv[name] }
+func (s *taintState) storeAbs(key string) absVal { return s.store[key] }
 
 // stmts analyses a statement list under env, mutating env in place. It
 // returns true when the list always rejects (every path ends in Reject).
@@ -299,37 +318,39 @@ func (s *taintState) applyValidator(cond svclang.Cond, condHolds bool, env absEn
 
 // expr computes the abstract value of an expression.
 func (s *taintState) expr(e svclang.Expr, env absEnv) absVal {
-	return evalExpr(s.tool.cfg, e, env, s.store)
+	s.curEnv = env
+	return evalExpr(s.tool.cfg, e, s)
 }
 
-// evalExpr computes the abstract value of an expression under a variable
-// environment and an abstract session store. Both static engines — the
-// AST walker above and the CFG dataflow engine in dataflowsast.go — share
-// this definition, so any report divergence between them can only come
-// from control flow, never from expression semantics.
-func evalExpr(cfg TaintSASTConfig, e svclang.Expr, env absEnv, store absEnv) absVal {
+// evalExpr computes the abstract value of an expression under the
+// variable environment and abstract session store exposed by src. Both
+// static engines — the AST walker above and the CFG dataflow engine in
+// dataflowsast.go — share this definition, so any report divergence
+// between them can only come from control flow, never from expression
+// semantics.
+func evalExpr(cfg TaintSASTConfig, e svclang.Expr, src absSource) absVal {
 	switch v := e.(type) {
 	case svclang.Lit:
 		return absVal{}
 	case svclang.Ident:
-		return env[v.Name]
+		return src.varAbs(v.Name)
 	case svclang.LoadExpr:
 		if !cfg.TrackStores {
 			return absVal{} // blind to stored data
 		}
-		return store[v.Key]
+		return src.storeAbs(v.Key)
 	case svclang.Call:
 		switch v.Fn {
 		case svclang.BuiltinConcat:
 			var out absVal
 			for _, a := range v.Args {
-				out = out.join(evalExpr(cfg, a, env, store))
+				out = out.join(evalExpr(cfg, a, src))
 			}
 			return out
 		case svclang.BuiltinUpper, svclang.BuiltinTrim:
-			return evalExpr(cfg, v.Args[0], env, store)
+			return evalExpr(cfg, v.Args[0], src)
 		default:
-			in := evalExpr(cfg, v.Args[0], env, store)
+			in := evalExpr(cfg, v.Args[0], src)
 			out := absVal{sanitized: true}
 			for _, k := range svclang.AllSinkKinds() {
 				if in.dangerous&maskOf(k) != 0 && !cfg.sanitizesUnder(v.Fn, k) {

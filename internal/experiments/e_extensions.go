@@ -139,6 +139,7 @@ func (r *Runner) E13MicroMacro(ctx context.Context) (Result, error) {
 		TargetPrevalence: r.cfg.Prevalence,
 		Kinds:            skewed,
 		Seed:             r.cfg.Seed + 13,
+		Interpreter:      r.cfg.Interpreter,
 	})
 	if err != nil {
 		return Result{}, err
@@ -201,6 +202,7 @@ func (r *Runner) E14Combination(ctx context.Context) (Result, error) {
 		Services:         r.cfg.Services,
 		TargetPrevalence: r.cfg.Prevalence,
 		Seed:             r.cfg.Seed,
+		Interpreter:      r.cfg.Interpreter,
 	})
 	if err != nil {
 		return Result{}, err

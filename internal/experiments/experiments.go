@@ -57,6 +57,13 @@ type Config struct {
 	PerToolTimeout time.Duration
 	Retry          harness.RetryPolicy
 	Degraded       harness.DegradedPolicy
+	// Interpreter runs corpus labelling and campaign probing through the
+	// reference tree-walking interpreter instead of the default bytecode
+	// VM (see harness.Options.Interpreter). Outputs are byte-identical
+	// either way — the differential suite and the interpreter≡VM
+	// determinism pin enforce it — so, like the execution-policy knobs
+	// above, the flag is excluded from experiment cache keys.
+	Interpreter bool
 }
 
 // DefaultConfig returns the configuration used for the published numbers
@@ -136,6 +143,7 @@ func (c Config) execOptions() harness.Options {
 		PerToolTimeout: c.PerToolTimeout,
 		Retry:          c.Retry,
 		Degraded:       c.Degraded,
+		Interpreter:    c.Interpreter,
 	}
 }
 
@@ -254,6 +262,7 @@ func (r *Runner) runCampaign(ctx context.Context) (*harness.Campaign, error) {
 		Services:         r.cfg.Services,
 		TargetPrevalence: r.cfg.Prevalence,
 		Seed:             r.cfg.Seed,
+		Interpreter:      r.cfg.Interpreter,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: corpus: %w", err)

@@ -70,6 +70,29 @@ func TestAllIdenticalAcrossWorkers(t *testing.T) {
 	}
 }
 
+// TestAllIdenticalInterpreterVsVM extends the determinism matrix along
+// the execution-engine axis: the full rendered output of every
+// experiment on the reference tree-walking interpreter must be
+// byte-identical to the bytecode VM's, for several seeds and worker
+// counts. Together with TestAllIdenticalAcrossWorkers this closes the
+// (engine × workers × seed) matrix — the engine switch is a speed knob,
+// never a results knob, which is also why CacheKey may exclude it.
+func TestAllIdenticalInterpreterVsVM(t *testing.T) {
+	if testing.Short() {
+		t.Skip("engine equality matrix is slow")
+	}
+	for _, seed := range []uint64{1, 7, 42} {
+		want := renderAll(t, tinyConfig(seed, 1)) // bytecode VM, the default
+		for _, workers := range []int{1, 2, 4, 13} {
+			cfg := tinyConfig(seed, workers)
+			cfg.Interpreter = true
+			if got := renderAll(t, cfg); got != want {
+				t.Fatalf("seed %d: interpreter output at %d workers differs from VM output", seed, workers)
+			}
+		}
+	}
+}
+
 // TestValidateRejectsInconsistentBudgets pins the single-budget rule: an
 // explicit Prop.Workers that disagrees with the shared Workers budget is
 // a configuration error, not a silent oversubscription.

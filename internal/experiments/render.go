@@ -104,7 +104,10 @@ func (r Result) JSON() ([]byte, error) {
 // for the same reason: with the well-behaved standard suite no cell ever
 // fails, so the policy cannot reach any output (Config.Validate pins
 // PerToolTimeout to zero or >= 1s so a deadline can never fire on a
-// healthy tool). Every other Config field must be folded in here
+// healthy tool). Interpreter is excluded because the bytecode VM and the
+// reference interpreter produce byte-identical outputs (pinned by the
+// differential suite and TestAllIdenticalInterpreterVsVM). Every other
+// Config field must be folded in here
 // (TestCacheKeyCoversEveryConfigField enforces this by reflection).
 func CacheKey(id string, cfg Config) string {
 	h := sha256.New()

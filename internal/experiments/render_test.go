@@ -25,11 +25,13 @@ func TestCacheKeyCoversEveryConfigField(t *testing.T) {
 	baseKey := CacheKey("e1", cfg)
 
 	// excluded reports the fields whose perturbation must NOT move the
-	// key: worker budgets and campaign execution policy.
+	// key: worker budgets, campaign execution policy and the execution-
+	// engine selector (interpreter≡VM byte-identity is pinned by the
+	// differential suite and TestAllIdenticalInterpreterVsVM).
 	excluded := func(name string) bool {
 		return name == "Workers" || strings.HasSuffix(name, ".Workers") ||
 			name == "PerToolTimeout" || name == "Degraded" ||
-			strings.HasPrefix(name, "Retry.")
+			name == "Interpreter" || strings.HasPrefix(name, "Retry.")
 	}
 
 	// The walk mutates cfg in place through the addressable value chain,
@@ -50,6 +52,8 @@ func TestCacheKeyCoversEveryConfigField(t *testing.T) {
 				fv.SetUint(fv.Uint() + 1)
 			case reflect.Float64:
 				fv.SetFloat(fv.Float()*2 + 0.25)
+			case reflect.Bool:
+				fv.SetBool(!fv.Bool())
 			default:
 				t.Fatalf("Config field %s has unhandled kind %s; extend this test and CacheKey", name, fv.Kind())
 			}

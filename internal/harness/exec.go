@@ -110,6 +110,12 @@ type Options struct {
 	// Degraded is the scoring policy for cells whose attempts all
 	// failed. The zero value aborts, matching the historical behaviour.
 	Degraded DegradedPolicy
+	// Interpreter switches service execution from the default bytecode VM
+	// (internal/svclang/compile) back to the reference tree-walking
+	// interpreter. The two engines are locked together by a differential
+	// test suite and produce identical campaigns; the flag exists as an
+	// escape hatch and as the reference side of end-to-end equality tests.
+	Interpreter bool
 }
 
 // Validate rejects unusable option combinations.
@@ -309,6 +315,7 @@ func RunCtx(ctx context.Context, corpus *workload.Corpus, tools []detectors.Tool
 		workers = runtime.GOMAXPROCS(0)
 	}
 	tools = bindCompileCache(tools)
+	tools = bindExecEngine(tools, opts.Interpreter)
 
 	eng := &engine{
 		opts:   opts,

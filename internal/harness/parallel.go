@@ -6,6 +6,7 @@ import (
 	"github.com/dsn2015/vdbench/internal/detectors"
 	"github.com/dsn2015/vdbench/internal/stats"
 	"github.com/dsn2015/vdbench/internal/svclang/cfg"
+	"github.com/dsn2015/vdbench/internal/svclang/compile"
 	"github.com/dsn2015/vdbench/internal/workload"
 )
 
@@ -59,6 +60,36 @@ func bindCompileCache(tools []detectors.Tool) []detectors.Tool {
 	for i, t := range tools {
 		if cct, ok := t.(detectors.CompileCacheable); ok {
 			bound[i] = cct.WithCompileCache(cc)
+		} else {
+			bound[i] = t
+		}
+	}
+	return bound
+}
+
+// bindExecEngine rebinds every service-executing tool to one shared
+// execution engine scoped to this campaign — the bytecode VM by default,
+// the reference interpreter when interpret is set — so each service
+// compiles once no matter how many tools and workers probe it. Mirrors
+// bindCompileCache: rebinding is a copy, results are engine-independent
+// (pinned by the differential suite), and tools that do not implement
+// detectors.ExecEngineBindable pass through unchanged.
+func bindExecEngine(tools []detectors.Tool, interpret bool) []detectors.Tool {
+	anyExec := false
+	for _, t := range tools {
+		if _, ok := t.(detectors.ExecEngineBindable); ok {
+			anyExec = true
+			break
+		}
+	}
+	if !anyExec {
+		return tools
+	}
+	eng := compile.NewEngine(interpret)
+	bound := make([]detectors.Tool, len(tools))
+	for i, t := range tools {
+		if et, ok := t.(detectors.ExecEngineBindable); ok {
+			bound[i] = et.WithExecEngine(eng)
 		} else {
 			bound[i] = t
 		}

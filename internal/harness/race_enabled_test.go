@@ -1,0 +1,8 @@
+//go:build race
+
+package harness
+
+// raceEnabled reports whether the race detector is compiled in; the
+// allocation-budget tests skip under it because instrumentation
+// allocates.
+const raceEnabled = true

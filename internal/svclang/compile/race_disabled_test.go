@@ -1,0 +1,7 @@
+//go:build !race
+
+package compile
+
+// raceEnabled lets allocation-budget tests skip under the race detector,
+// whose instrumentation changes allocation counts.
+const raceEnabled = false

@@ -1,0 +1,128 @@
+package compile
+
+// Structural-taint judgment over the VM's packed value representation,
+// mirroring svclang.StructuralTaint character for character so the
+// streaming oracle path never materialises a TString. Any drift from
+// oracle.go's per-kind functions is a ground-truth bug;
+// TestAnalyzeDifferentialTemplates locks the two implementations
+// together over the whole template library.
+
+import "github.com/dsn2015/vdbench/internal/svclang"
+
+func structuralTaint(kind svclang.SinkKind, v value) bool {
+	switch kind {
+	case svclang.SinkSQL:
+		return quotedStructuralTaint(v, true)
+	case svclang.SinkXPath:
+		return quotedStructuralTaint(v, false)
+	case svclang.SinkHTML:
+		return htmlStructuralTaint(v)
+	case svclang.SinkCmd:
+		return cmdStructuralTaint(v)
+	case svclang.SinkPath:
+		return pathStructuralTaint(v)
+	default:
+		return false
+	}
+}
+
+// quotedStructuralTaint mirrors quotedLanguageStructuralTaint: tainted
+// string delimiters, and tainted non-digit characters outside string
+// literals, are structural.
+func quotedStructuralTaint(v value, sqlEscapes bool) bool {
+	i := 0
+	n := len(v.chars)
+	for i < n {
+		r := v.chars[i]
+		switch {
+		case r == '\'' || (!sqlEscapes && r == '"'):
+			quote := r
+			if v.tainted(i) {
+				return true // tainted string delimiter
+			}
+			i++
+			for i < n {
+				if v.chars[i] == quote {
+					if sqlEscapes && i+1 < n && v.chars[i+1] == quote {
+						i += 2 // escaped quote: content, stays inside
+						continue
+					}
+					if v.tainted(i) {
+						return true // tainted closing delimiter
+					}
+					i++
+					break
+				}
+				i++ // string content: never structural
+			}
+		case r >= '0' && r <= '9':
+			i++ // numeric data outside strings: not structural
+		default:
+			if v.tainted(i) {
+				return true // tainted keyword/identifier/symbol character
+			}
+			i++
+		}
+	}
+	return false
+}
+
+// htmlStructuralTaint: a tainted raw '<' opens markup.
+func htmlStructuralTaint(v value) bool {
+	for i, r := range v.chars {
+		if r == '<' && v.tainted(i) {
+			return true
+		}
+	}
+	return false
+}
+
+// cmdStructuralTaint: tainted unescaped shell metacharacters or
+// separators are structural; a backslash escapes the next character.
+func cmdStructuralTaint(v value) bool {
+	i := 0
+	n := len(v.chars)
+	for i < n {
+		r := v.chars[i]
+		if r == '\\' && i+1 < n {
+			i += 2 // escaped character: not structural
+			continue
+		}
+		if isShellStructural(r) && v.tainted(i) {
+			return true
+		}
+		i++
+	}
+	return false
+}
+
+// isShellStructural covers the metacharacter set of the interpreter's
+// cmdStructuralTaint (shellEscapeSet plus whitespace separators, minus
+// the backslash handled above).
+func isShellStructural(r rune) bool {
+	switch r {
+	case ' ', ';', '|', '&', '$', '`', '"', '\'', '(', ')', '<', '>', '*', '?', '~', '#', '\t', '\n':
+		return true
+	}
+	return false
+}
+
+// pathStructuralTaint: tainted separators, or a tainted dot adjacent to
+// another dot, navigate the filesystem.
+func pathStructuralTaint(v value) bool {
+	n := len(v.chars)
+	for i := 0; i < n; i++ {
+		r := v.chars[i]
+		if (r == '/' || r == '\\') && v.tainted(i) {
+			return true
+		}
+		if r == '.' && v.tainted(i) {
+			prev := i > 0 && v.chars[i-1] == '.'
+			next := i+1 < n && v.chars[i+1] == '.'
+			if prev || next {
+				return true
+			}
+		}
+	}
+	return false
+}

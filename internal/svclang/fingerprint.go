@@ -1,0 +1,353 @@
+package svclang
+
+// Structure fingerprints: a 64-bit FNV-1a digest of the token skeleton
+// Structure would return, computed directly from a rune slice without
+// allocating the skeleton (or even a string). The pentester compares
+// thousands of observed sink values per service; folding the token
+// stream into a fingerprint turns each comparison set from a slice of
+// freshly allocated []string skeletons into a flat slice of uint64s.
+//
+// The contract, pinned by TestFingerprintMatchesStructure: for every
+// kind and value, StructureFingerprint(kind, []rune(s)) equals the same
+// FNV fold applied to Structure(kind, s). Two values therefore have
+// equal fingerprints exactly when their skeletons are StructureEqual —
+// up to 64-bit hash collisions, which at the scale of one comparison
+// set (tens of skeletons) are negligible.
+
+const (
+	fnvOffset64 uint64 = 14695981039346656037
+	fnvPrime64  uint64 = 1099511628211
+)
+
+// Token codes. Each token folds as a prefix-free byte sequence: a fixed
+// tag byte, followed for symbol tokens by the rune (4 bytes) and for
+// HTML tag names by the lowercased letters and a 0x00 terminator
+// (letters are never 0x00, so the terminator is unambiguous).
+const (
+	fpTokSym    byte = 0x01 // single-symbol token, rune payload follows
+	fpTokStr    byte = 0x02 // "str"
+	fpTokErr    byte = 0x03 // "ERR"
+	fpTokNum    byte = 0x04 // "n"
+	fpTokWord   byte = 0x05 // "w"
+	fpTokArg    byte = 0x06 // "a"
+	fpTokInside byte = 0x07 // "inside"
+	fpTokEscape byte = 0x08 // "escape"
+	fpTokTag    byte = 0x09 // HTML tag name, letters + 0x00 follow
+)
+
+func fpByte(h uint64, b byte) uint64 {
+	return (h ^ uint64(b)) * fnvPrime64
+}
+
+func fpRune(h uint64, r rune) uint64 {
+	h = fpByte(h, byte(r))
+	h = fpByte(h, byte(r>>8))
+	h = fpByte(h, byte(r>>16))
+	return fpByte(h, byte(r>>24))
+}
+
+// StructureFingerprint digests the structure skeleton of a sink value
+// given as a rune slice. It never reads beyond rs and never allocates.
+// For rune slices that round-trip through string (every TString and VM
+// value does: both normalise invalid input bytes to U+FFFD on the way
+// in), the digest is the exact fold of Structure(kind, string(rs)).
+func StructureFingerprint(kind SinkKind, rs []rune) uint64 {
+	h := fpRune(fnvOffset64, rune(kind))
+	switch kind {
+	case SinkSQL:
+		return quotedFingerprint(h, rs, true)
+	case SinkXPath:
+		return quotedFingerprint(h, rs, false)
+	case SinkHTML:
+		return htmlFingerprint(h, rs)
+	case SinkCmd:
+		return cmdFingerprint(h, rs)
+	case SinkPath:
+		if pathInside(rs) {
+			return fpByte(h, fpTokInside)
+		}
+		return fpByte(h, fpTokEscape)
+	default:
+		return h
+	}
+}
+
+// fingerprintSkeleton folds an already-materialised Structure skeleton
+// through the same encoding; the differential tests use it to pin
+// StructureFingerprint to Structure token by token.
+func fingerprintSkeleton(kind SinkKind, skel []string) uint64 {
+	h := fpRune(fnvOffset64, rune(kind))
+	for _, tok := range skel {
+		switch {
+		case kind == SinkHTML:
+			h = fpByte(h, fpTokTag)
+			for _, r := range tok {
+				h = fpByte(h, byte(r))
+			}
+			h = fpByte(h, 0x00)
+		case tok == "str":
+			h = fpByte(h, fpTokStr)
+		case tok == "ERR":
+			h = fpByte(h, fpTokErr)
+		case tok == "n":
+			h = fpByte(h, fpTokNum)
+		case tok == "w":
+			h = fpByte(h, fpTokWord)
+		case tok == "a":
+			h = fpByte(h, fpTokArg)
+		case tok == "inside":
+			h = fpByte(h, fpTokInside)
+		case tok == "escape":
+			h = fpByte(h, fpTokEscape)
+		default: // single-symbol token
+			for _, r := range tok {
+				h = fpByte(h, fpTokSym)
+				h = fpRune(h, r)
+			}
+		}
+	}
+	return h
+}
+
+// quotedFingerprint mirrors quotedStructure's tokeniser loop exactly,
+// folding token codes instead of appending strings.
+func quotedFingerprint(h uint64, rs []rune, sqlEscapes bool) uint64 {
+	i, n := 0, len(rs)
+	for i < n {
+		r := rs[i]
+		switch {
+		case r == ' ' || r == '\t' || r == '\n':
+			i++
+		case r == '\'' || (!sqlEscapes && r == '"'):
+			quote := r
+			i++
+			closed := false
+			for i < n {
+				if rs[i] == quote {
+					if sqlEscapes && i+1 < n && rs[i+1] == quote {
+						i += 2
+						continue
+					}
+					i++
+					closed = true
+					break
+				}
+				i++
+			}
+			if closed {
+				h = fpByte(h, fpTokStr)
+			} else {
+				h = fpByte(h, fpTokErr)
+			}
+		case r >= '0' && r <= '9':
+			for i < n && rs[i] >= '0' && rs[i] <= '9' {
+				i++
+			}
+			h = fpByte(h, fpTokNum)
+		case isWordRune(r):
+			for i < n && isWordRune(rs[i]) {
+				i++
+			}
+			h = fpByte(h, fpTokWord)
+		default:
+			h = fpByte(h, fpTokSym)
+			h = fpRune(h, r)
+			i++
+		}
+	}
+	return h
+}
+
+// htmlFingerprint mirrors htmlStructure, folding each tag name
+// lowercased (tag names are ASCII letters, so per-byte folding matches
+// strings.ToLower of the collected name).
+func htmlFingerprint(h uint64, rs []rune) uint64 {
+	i, n := 0, len(rs)
+	for i < n {
+		if rs[i] != '<' {
+			i++
+			continue
+		}
+		j := i + 1
+		if j < n && rs[j] == '/' {
+			j++
+		}
+		start := j
+		for j < n && (rs[j] >= 'a' && rs[j] <= 'z' || rs[j] >= 'A' && rs[j] <= 'Z') {
+			j++
+		}
+		if j == start { // "<" followed by non-letter: text
+			i++
+			continue
+		}
+		nameEnd := j
+		for j < n && rs[j] != '>' {
+			j++
+		}
+		if j < n {
+			h = fpByte(h, fpTokTag)
+			for _, r := range rs[start:nameEnd] {
+				if r >= 'A' && r <= 'Z' {
+					r += 'a' - 'A'
+				}
+				h = fpByte(h, byte(r))
+			}
+			h = fpByte(h, 0x00)
+			i = j + 1
+		} else {
+			i = n // unterminated tag: treated as text
+		}
+	}
+	return h
+}
+
+// cmdFingerprint mirrors cmdStructure.
+func cmdFingerprint(h uint64, rs []rune) uint64 {
+	const metas = ";|&$`()<>*?~#"
+	i, n := 0, len(rs)
+	inWord := false
+	flush := func() {
+		if inWord {
+			h = fpByte(h, fpTokArg)
+			inWord = false
+		}
+	}
+	for i < n {
+		r := rs[i]
+		switch {
+		case r == '\\' && i+1 < n:
+			inWord = true
+			i += 2
+		case r == '\'' || r == '"':
+			quote := r
+			i++
+			closed := false
+			for i < n {
+				if rs[i] == quote {
+					closed = true
+					i++
+					break
+				}
+				i++
+			}
+			if !closed {
+				flush()
+				return fpByte(h, fpTokErr)
+			}
+			inWord = true
+		case r == ' ' || r == '\t':
+			flush()
+			i++
+		case isCmdMeta(r):
+			flush()
+			h = fpByte(h, fpTokSym)
+			h = fpRune(h, r)
+			i++
+		default:
+			inWord = true
+			i++
+		}
+	}
+	flush()
+	return h
+}
+
+func isCmdMeta(r rune) bool {
+	switch r {
+	case ';', '|', '&', '$', '`', '(', ')', '<', '>', '*', '?', '~', '#':
+		return true
+	}
+	return false
+}
+
+// pathSeg is one resolved path segment: either a literal range of rs,
+// or one of the two virtual pathBase segments (start < 0).
+type pathSeg struct {
+	start, end int
+}
+
+const (
+	segSrv  = -1
+	segData = -2
+)
+
+// pathInside replicates pathStructure's resolution without allocating:
+// it simulates the segment stack with index ranges into rs, treating
+// '\\' as '/' in place of the up-front ReplaceAll. Paths deeper than
+// the fixed stack (pathological, never produced by the workload) fall
+// back to the allocating implementation.
+func pathInside(rs []rune) bool {
+	var segs [64]pathSeg
+	top := 0
+	absolute := len(rs) > 0 && (rs[0] == '/' || rs[0] == '\\')
+	if !absolute {
+		segs[0] = pathSeg{segSrv, segSrv}
+		segs[1] = pathSeg{segData, segData}
+		top = 2
+	}
+	segStart := 0
+	flush := func(end int) bool { // false → escaped, stop
+		start := segStart
+		segStart = end + 1
+		n := end - start
+		switch {
+		case n == 0: // empty segment
+		case n == 1 && rs[start] == '.': // "."
+		case n == 2 && rs[start] == '.' && rs[start+1] == '.': // ".."
+			if top > 0 {
+				top--
+			} else {
+				return false
+			}
+		default:
+			if top == len(segs) {
+				top = -1 // overflow sentinel
+				return false
+			}
+			segs[top] = pathSeg{start, end}
+			top++
+		}
+		return true
+	}
+	for i, r := range rs {
+		if r == '/' || r == '\\' {
+			if !flush(i) {
+				if top < 0 {
+					return pathInsideSlow(rs)
+				}
+				return false
+			}
+		}
+	}
+	if !flush(len(rs)) {
+		if top < 0 {
+			return pathInsideSlow(rs)
+		}
+		return false
+	}
+	return top >= 2 && segIs(rs, segs[0], "srv") && segIs(rs, segs[1], "data")
+}
+
+func segIs(rs []rune, s pathSeg, lit string) bool {
+	switch s.start {
+	case segSrv:
+		return lit == "srv"
+	case segData:
+		return lit == "data"
+	}
+	seg := rs[s.start:s.end]
+	if len(seg) != len(lit) {
+		return false
+	}
+	for i, r := range seg {
+		if byte(r) != lit[i] || r > 0x7f {
+			return false
+		}
+	}
+	return true
+}
+
+// pathInsideSlow is the segment-stack overflow fallback.
+func pathInsideSlow(rs []rune) bool {
+	return pathStructure(string(rs))[0] == "inside"
+}

@@ -1,0 +1,135 @@
+package svclang
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/dsn2015/vdbench/internal/stats"
+)
+
+// fingerprintCases are inputs chosen to hit every tokeniser branch:
+// quotes (closed, unterminated, SQL-escaped), numbers, words, symbols,
+// HTML tags (closed, unterminated, slashed, non-letter '<'), command
+// metacharacters and quote errors, and path resolution (relative,
+// absolute, backslashes, dot and dot-dot segments, escapes through the
+// virtual base, segments literally named like the base).
+var fingerprintCases = []string{
+	"",
+	" ",
+	"7",
+	"alpha",
+	"SELECT name FROM t WHERE id = '7'",
+	"' OR '1'='1",
+	"it''s fine",
+	"unterminated '",
+	"\"xpath\" and 'apos'",
+	"<b>bold</b> text",
+	"<script>alert(1)</script>",
+	"< 5 and > 3",
+	"<unterminated",
+	"<IMG src=x>",
+	"ls -la /tmp; rm -rf ~",
+	"echo 'quoted arg' | wc",
+	"back\\ slash",
+	"broken 'quote",
+	"a && b || c $(sub) `tick`",
+	"file.txt",
+	"../../etc/passwd",
+	"..\\..\\windows",
+	"/absolute/path",
+	"/srv/data/ok",
+	"/srv/data",
+	"/srv/datax",
+	"nested/dir/../file",
+	"../data/file",
+	"../../srv/data/back",
+	"./.././..",
+	"a/./b//c",
+	strings.Repeat("d/", 80) + "deep", // overflows the fixed segment stack
+	strings.Repeat("../", 5) + "up",
+	"é世🙂� mixed",
+	"tab\tand\nnewline",
+}
+
+// TestFingerprintMatchesStructure pins StructureFingerprint to
+// Structure: the streaming digest of a rune slice must equal the fold
+// of the materialised skeleton, for every kind, on branch-targeted and
+// seeded random inputs. This is what lets the pentester compare
+// fingerprints instead of skeletons.
+func TestFingerprintMatchesStructure(t *testing.T) {
+	check := func(t *testing.T, s string) {
+		t.Helper()
+		for _, kind := range AllSinkKinds() {
+			got := StructureFingerprint(kind, []rune(s))
+			want := fingerprintSkeleton(kind, Structure(kind, s))
+			if got != want {
+				t.Errorf("kind %v input %q: StructureFingerprint=%#x, skeleton fold=%#x (skeleton %v)",
+					kind, s, got, want, Structure(kind, s))
+			}
+		}
+	}
+	for _, s := range fingerprintCases {
+		check(t, s)
+	}
+	for _, v := range BenignValues() {
+		check(t, v)
+	}
+	for _, kind := range AllSinkKinds() {
+		for _, p := range AttackPayloads(kind) {
+			check(t, p)
+		}
+	}
+	const alphabet = "ab AB_09'\"<>&;|$`\\/.~#?*()\t\né�"
+	runes := []rune(alphabet)
+	rng := stats.NewRNG(99)
+	for n := 0; n < 2000; n++ {
+		rs := make([]rune, rng.Intn(30))
+		for i := range rs {
+			rs[i] = runes[rng.Intn(len(runes))]
+		}
+		check(t, string(rs))
+	}
+}
+
+// TestFingerprintSeparatesSkeletons spot-checks the other direction on
+// values whose skeletons differ: distinct skeletons get distinct
+// fingerprints (guaranteed only up to hash collisions, so the cases are
+// fixed, not random).
+func TestFingerprintSeparatesSkeletons(t *testing.T) {
+	pairs := [][2]string{
+		{"7", "' OR '1'='1"},
+		{"alpha", "unterminated '"},
+		{"<b>x</b>", "plain text"},
+		{"ls file", "ls; rm"},
+		{"file.txt", "../../etc/passwd"},
+	}
+	for _, kind := range AllSinkKinds() {
+		for _, pair := range pairs {
+			a, b := Structure(kind, pair[0]), Structure(kind, pair[1])
+			fa := StructureFingerprint(kind, []rune(pair[0]))
+			fb := StructureFingerprint(kind, []rune(pair[1]))
+			if StructureEqual(a, b) != (fa == fb) {
+				t.Errorf("kind %v: %q vs %q: StructureEqual=%v but fingerprints %#x vs %#x",
+					kind, pair[0], pair[1], StructureEqual(a, b), fa, fb)
+			}
+		}
+	}
+}
+
+// FuzzStructureFingerprint extends the pin to fuzzed inputs.
+func FuzzStructureFingerprint(f *testing.F) {
+	for _, s := range fingerprintCases {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		rs := []rune(s) // normalises invalid UTF-8 exactly like TString construction
+		for _, kind := range AllSinkKinds() {
+			got := StructureFingerprint(kind, rs)
+			want := fingerprintSkeleton(kind, Structure(kind, string(rs)))
+			if got != want {
+				t.Fatalf("kind %v input %q: StructureFingerprint=%#x, skeleton fold=%#x",
+					kind, s, got, want)
+			}
+		}
+	})
+}

@@ -2,6 +2,7 @@ package svclang
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 )
 
@@ -30,6 +31,29 @@ func NewTaintedTString(s string) TString {
 	}
 	return TString{chars: rs, taint: ts}
 }
+
+// MakeTString builds a TString from parallel character and taint slices,
+// taking ownership of both (callers must not mutate them afterwards —
+// TString values are immutable and may share backing arrays, exactly as
+// trim() does). The slices must have equal length. This is the
+// materialisation point for alternative execution engines (see
+// internal/svclang/compile) whose internal value representation is not a
+// TString: sink events and session-store writes escape the engine through
+// this constructor.
+func MakeTString(chars []rune, taint []bool) TString {
+	if len(chars) != len(taint) {
+		panic(fmt.Sprintf("svclang: MakeTString length mismatch: %d chars, %d taint flags", len(chars), len(taint)))
+	}
+	return TString{chars: chars, taint: taint}
+}
+
+// Runes returns the backing character slice. The slice is shared, not
+// copied: callers must treat it as read-only (TString is immutable).
+func (t TString) Runes() []rune { return t.chars }
+
+// Taints returns the backing per-character taint slice. Like Runes, the
+// slice is shared and must be treated as read-only.
+func (t TString) Taints() []bool { return t.taint }
 
 // String returns the character content.
 func (t TString) String() string { return string(t.chars) }
@@ -213,6 +237,18 @@ func (s *SessionStore) Set(key string, v TString) { s.values[key] = v }
 
 // Keys reports how many keys the store holds.
 func (s *SessionStore) Keys() int { return len(s.values) }
+
+// SortedKeys returns the stored keys in lexicographic order, for
+// deterministic iteration (differential tests compare store contents
+// between execution engines this way).
+func (s *SessionStore) SortedKeys() []string {
+	keys := make([]string, 0, len(s.values))
+	for k := range s.values {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
 
 // Execute runs the service on one request with a fresh session store and
 // returns the sink events. Missing parameters default to the empty string,

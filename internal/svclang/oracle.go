@@ -432,15 +432,71 @@ const maxOracleParams = 3
 // oracle enumerates request *pairs* and the space squares.
 const maxStatefulParams = 1
 
+// ExecFunc executes one request of a service against a session store
+// (nil store = fresh store), with the exact semantics of
+// ExecuteInSession. The oracle quantifies over executions through this
+// seam so alternative engines (the bytecode VM in
+// internal/svclang/compile) can drive the exhaustive search without an
+// import cycle; the differential test suite pins engine equivalence.
+type ExecFunc func(svc *Service, req Request, store *SessionStore) (Result, error)
+
 // Analyze computes ground truth for every sink of the service by
 // exhaustive search over the oracle's value pool (benign values plus all
 // canonical payloads). Stateless services are searched over every
 // single-request parameter assignment; services using the session store
 // are searched over every two-request sequence, which covers the
-// second-order flows a single request cannot reach.
+// second-order flows a single request cannot reach. Analyze uses the
+// reference tree-walking interpreter; AnalyzeWith runs the same search
+// through a caller-supplied engine.
 func Analyze(svc *Service) ([]GroundTruth, error) {
+	return AnalyzeWith(svc, ExecuteInSession)
+}
+
+// ProbeObserver receives one sink event of an oracle probe: the sink's
+// ID, its declared kind and the structural-taint judgment of the value
+// that reached it. Silent sinks are reported too — the oracle is
+// white-box.
+type ProbeObserver func(sinkID int, kind SinkKind, structuralTaint bool)
+
+// ProbeFunc executes one oracle probe against a session store (nil for
+// a fresh one) and reports every sink event through obs, in program
+// order. It is the streaming counterpart of ExecFunc: an engine that
+// can judge StructuralTaint on its internal value representation avoids
+// materialising a Result per probe, which dominates the cost of ground
+// truth derivation.
+type ProbeFunc func(svc *Service, req Request, store *SessionStore, obs ProbeObserver) error
+
+// AnalyzeWith is Analyze with the execution engine supplied by the
+// caller. The engine must reproduce ExecuteInSession semantics exactly
+// (taint provenance included) for the resulting labels to be ground
+// truth; passing ExecuteInSession itself recovers Analyze.
+func AnalyzeWith(svc *Service, exec ExecFunc) ([]GroundTruth, error) {
+	if exec == nil {
+		return nil, fmt.Errorf("svclang: nil exec func")
+	}
+	return AnalyzeProbing(svc, func(svc *Service, req Request, store *SessionStore, obs ProbeObserver) error {
+		res, err := exec(svc, req, store)
+		if err != nil {
+			return err
+		}
+		for _, ev := range res.Events {
+			obs(ev.SinkID, ev.Kind, StructuralTaint(ev.Kind, ev.Value))
+		}
+		return nil
+	})
+}
+
+// AnalyzeProbing derives ground truth through a streaming probe
+// function: the same exhaustive search as AnalyzeWith — the full value
+// pool over every parameter assignment, two-request sequences for
+// stateful services — with sink events judged in place of being
+// materialised.
+func AnalyzeProbing(svc *Service, probe ProbeFunc) ([]GroundTruth, error) {
 	if svc == nil {
 		return nil, fmt.Errorf("svclang: nil service")
+	}
+	if probe == nil {
+		return nil, fmt.Errorf("svclang: nil probe func")
 	}
 	if err := svc.Validate(); err != nil {
 		return nil, err
@@ -471,37 +527,41 @@ func Analyze(svc *Service) ([]GroundTruth, error) {
 		pool = append(pool, AttackPayloads(k)...)
 	}
 
-	record := func(res Result, sequence []Request) {
-		for _, ev := range res.Events {
-			gt := byID[ev.SinkID]
-			if gt == nil || gt.Vulnerable {
-				continue
-			}
-			if StructuralTaint(ev.Kind, ev.Value) {
-				gt.Vulnerable = true
-				gt.Sequence = cloneSequence(sequence)
-				gt.Witness = gt.Sequence[len(gt.Sequence)-1]
-			}
+	// curSeq is the request sequence of the probe in flight; the observer
+	// clones it lazily, only when a sink first proves vulnerable.
+	var curSeq []Request
+	observer := func(sinkID int, kind SinkKind, structuralTaint bool) {
+		gt := byID[sinkID]
+		if gt == nil || gt.Vulnerable || !structuralTaint {
+			return
 		}
+		gt.Vulnerable = true
+		gt.Sequence = cloneSequence(curSeq)
+		gt.Witness = gt.Sequence[len(gt.Sequence)-1]
+	}
+	run := func(req Request, store *SessionStore, seq []Request) error {
+		curSeq = seq
+		return probe(svc, req, store, observer)
 	}
 
 	if stateful {
-		return truths, analyzeStateful(svc, pool, record)
+		return truths, analyzeStateful(svc, pool, run)
 	}
 
 	// Stateless: enumerate the full cross product of pool values over
-	// parameters.
+	// parameters. The request map is reused across the odometer — its
+	// keys never change, and the observer's cloneSequence snapshots it
+	// whenever a witness is recorded.
 	assignment := make([]int, len(svc.Params))
+	req := make(Request, len(svc.Params))
+	seq := []Request{req}
 	for {
-		req := make(Request, len(svc.Params))
 		for i, p := range svc.Params {
 			req[p] = pool[assignment[i]]
 		}
-		res, err := Execute(svc, req)
-		if err != nil {
+		if err := run(req, nil, seq); err != nil {
 			return nil, err
 		}
-		record(res, []Request{req})
 		// Advance the odometer.
 		i := 0
 		for ; i < len(assignment); i++ {
@@ -520,30 +580,28 @@ func Analyze(svc *Service) ([]GroundTruth, error) {
 
 // analyzeStateful enumerates every two-request sequence over the pool,
 // sharing a session store within each sequence. Single-request exploits
-// are covered by the first element of each pair.
-func analyzeStateful(svc *Service, pool []string, record func(Result, []Request)) error {
-	reqFor := func(v string) Request {
-		req := Request{}
+// are covered by the first element of each pair. Like the stateless
+// odometer, the two request maps are reused across pairs; witnesses are
+// snapshotted by the observer.
+func analyzeStateful(svc *Service, pool []string, run func(req Request, store *SessionStore, seq []Request) error) error {
+	fill := func(req Request, v string) {
 		for _, p := range svc.Params {
 			req[p] = v
 		}
-		return req
 	}
+	r1, r2 := Request{}, Request{}
+	seq1, seq2 := []Request{r1}, []Request{r1, r2}
 	for _, v1 := range pool {
 		for _, v2 := range pool {
 			store := NewSessionStore()
-			r1 := reqFor(v1)
-			res1, err := ExecuteInSession(svc, r1, store)
-			if err != nil {
+			fill(r1, v1)
+			if err := run(r1, store, seq1); err != nil {
 				return err
 			}
-			record(res1, []Request{r1})
-			r2 := reqFor(v2)
-			res2, err := ExecuteInSession(svc, r2, store)
-			if err != nil {
+			fill(r2, v2)
+			if err := run(r2, store, seq2); err != nil {
 				return err
 			}
-			record(res2, []Request{r1, r2})
 		}
 	}
 	return nil

@@ -9,7 +9,7 @@ import (
 // All returns the module's analyzer suite in the order cmd/vdlint runs
 // it.
 func All() []*Analyzer {
-	return []*Analyzer{ToolWired, RandImport, NoDefaultMux, NoRawRand, CtxFirst}
+	return []*Analyzer{ToolWired, RandImport, NoDefaultMux, NoRawRand, CtxFirst, CompiledExec}
 }
 
 // ToolWired checks that every exported New* constructor in
@@ -360,6 +360,77 @@ func runCtxFirst(prog *Program) []Finding {
 					slot += names
 				}
 			}
+		}
+	}
+	return out
+}
+
+// CompiledExec checks that the execution-path packages — the ones that
+// run svclang services inside campaigns and experiments — execute
+// through the compiled engine (compile.Engine's Execute,
+// ExecuteInSession, Observe, Analyze) rather than the raw tree-walking
+// entry points of package svclang. A raw svclang.Execute in a detector
+// or the harness silently bypasses the shared program cache and the
+// arena pool, costing a compile per probe; the engine's interpret mode
+// exists for the cases that genuinely need the reference interpreter.
+// Tests are exempt (the differential suites exist to call both).
+var CompiledExec = &Analyzer{
+	Name: "compiledexec",
+	Doc:  "execution-path packages must run services through compile.Engine, not raw svclang.Execute/Analyze",
+	Run:  runCompiledExec,
+}
+
+// execPathPackages lists the module-relative package paths whose
+// non-test code must execute services through the compiled engine.
+// internal/svclang and internal/svclang/compile themselves are the
+// implementations and are naturally absent.
+var execPathPackages = []string{
+	"internal/detectors",
+	"internal/workload",
+	"internal/harness",
+	"internal/experiments",
+}
+
+// rawExecFuncs are the interpreter-path entry points of package svclang.
+var rawExecFuncs = map[string]bool{
+	"Execute": true, "ExecuteInSession": true,
+	"Analyze": true, "AnalyzeWith": true, "AnalyzeProbing": true,
+}
+
+func runCompiledExec(prog *Program) []Finding {
+	target := map[string]bool{}
+	for _, rel := range execPathPackages {
+		target[prog.ModulePath+"/"+rel] = true
+	}
+	var out []Finding
+	for _, pkg := range prog.Packages {
+		if !target[pkg.Path] {
+			continue
+		}
+		for _, file := range pkg.Files {
+			if isTestFile(prog, file) {
+				continue
+			}
+			svclangName := importName(file, prog.ModulePath+"/internal/svclang")
+			if svclangName == "" {
+				continue
+			}
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok || !isPkgIdent(sel.X, svclangName) || !rawExecFuncs[sel.Sel.Name] {
+					return true
+				}
+				out = append(out, Finding{
+					Pos: call.Pos(),
+					Message: fmt.Sprintf(
+						"package %s calls svclang.%s directly; execute through compile.Engine so programs compile once and arenas pool", pkg.Path, sel.Sel.Name),
+				})
+				return true
+			})
 		}
 	}
 	return out

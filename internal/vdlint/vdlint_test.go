@@ -327,3 +327,80 @@ func Renamed(n int, ctx c.Context) {}
 		t.Fatalf("diagnostics = %v, want the renamed-import context", diags)
 	}
 }
+
+func TestCompiledExecFlagsRawInterpreterCalls(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod": fixtureGomod,
+		"internal/svclang/lang.go": `package svclang
+type Service struct{}
+type Request map[string]string
+type Result struct{}
+func Execute(s *Service, r Request) (Result, error) { return Result{}, nil }
+func ExecuteInSession(s *Service, r Request, st *int) (Result, error) { return Result{}, nil }
+func Analyze(s *Service) error { return nil }
+`,
+		"internal/detectors/d.go": `package detectors
+import "example.com/fix/internal/svclang"
+func probe(s *svclang.Service) {
+	svclang.Execute(s, nil)           // flagged
+	svclang.ExecuteInSession(s, nil, nil) // flagged
+}
+`,
+		"internal/workload/w.go": `package workload
+import "example.com/fix/internal/svclang"
+func label(s *svclang.Service) { svclang.Analyze(s) } // flagged
+`,
+		"internal/detectors/d_test.go": `package detectors
+import "example.com/fix/internal/svclang"
+func helper(s *svclang.Service) { svclang.Execute(s, nil) } // test file: ignored
+`,
+		"internal/report/free.go": `package report
+import "example.com/fix/internal/svclang"
+func outside(s *svclang.Service) { svclang.Execute(s, nil) } // outside the execution path: ignored
+`,
+	})
+	prog, err := Load(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run(prog, []*Analyzer{CompiledExec})
+	if len(diags) != 3 {
+		t.Fatalf("diagnostics = %v, want the three raw calls", diags)
+	}
+	joined := ""
+	for _, d := range diags {
+		joined += d.Message + "\n"
+	}
+	for _, want := range []string{"svclang.Execute", "svclang.ExecuteInSession", "svclang.Analyze"} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("missing %s finding in:\n%s", want, joined)
+		}
+	}
+}
+
+func TestCompiledExecIgnoresEngineCalls(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod": fixtureGomod,
+		"internal/harness/h.go": `package harness
+import "example.com/fix/internal/svclang/compile"
+func run(eng *compile.Engine) {
+	eng.Execute(nil, nil)       // engine method, not the raw entry point
+	eng.ExecuteInSession(nil, nil, nil)
+	eng.Analyze(nil)
+}
+`,
+		"internal/svclang/compile/engine.go": `package compile
+type Engine struct{}
+func (e *Engine) Execute(a, b any) {}
+func (e *Engine) ExecuteInSession(a, b, c any) {}
+func (e *Engine) Analyze(a any) {}
+`,
+	})
+	prog, err := Load(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diags := Run(prog, []*Analyzer{CompiledExec}); len(diags) != 0 {
+		t.Fatalf("engine-path calls flagged: %v", diags)
+	}
+}

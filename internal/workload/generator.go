@@ -8,6 +8,7 @@ import (
 
 	"github.com/dsn2015/vdbench/internal/stats"
 	"github.com/dsn2015/vdbench/internal/svclang"
+	"github.com/dsn2015/vdbench/internal/svclang/compile"
 )
 
 // Case is one generated service with its verified ground truth.
@@ -121,6 +122,12 @@ type Config struct {
 	Mix DifficultyMix
 	// Seed drives all random choices.
 	Seed uint64
+	// Interpreter labels the corpus through the reference tree-walking
+	// interpreter instead of the default bytecode VM. Labels are engine-
+	// independent (the differential suite pins the engines to each other);
+	// the flag mirrors harness Options.Interpreter for end-to-end
+	// equivalence runs.
+	Interpreter bool
 }
 
 // Validate reports whether the configuration is usable.
@@ -159,6 +166,10 @@ func Generate(cfg Config) (*Corpus, error) {
 		kinds = svclang.AllSinkKinds()
 	}
 	rng := stats.NewRNG(cfg.Seed)
+	// One execution engine for the whole generation run: the oracle's
+	// exhaustive search dominates corpus cost, and the engine compiles
+	// each service once across its thousands of probe executions.
+	eng := compile.NewEngine(cfg.Interpreter)
 	corpus := &Corpus{Config: cfg}
 	buckets := map[Difficulty][]Template{
 		Easy:   TemplatesByDifficulty(Easy),
@@ -181,7 +192,7 @@ func Generate(cfg Config) (*Corpus, error) {
 		vulnerable := float64(vulnSinks) < cfg.TargetPrevalence*float64(totalSinks+1)
 		name := fmt.Sprintf("%s_%s_%04d", sanitizeName(tpl.Name), kind, i)
 		svc, expected := tpl.Build(name, kind, vulnerable)
-		truths, err := svclang.Analyze(svc)
+		truths, err := eng.Analyze(svc)
 		if err != nil {
 			return nil, fmt.Errorf("workload: analyse %s: %w", name, err)
 		}

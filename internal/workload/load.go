@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/dsn2015/vdbench/internal/svclang"
+	"github.com/dsn2015/vdbench/internal/svclang/compile"
 )
 
 // FromSources builds a labelled corpus from externally authored service
@@ -31,6 +32,7 @@ func FromServices(services []*svclang.Service) (*Corpus, error) {
 	}
 	corpus := &Corpus{}
 	seen := make(map[string]bool, len(services))
+	eng := compile.NewEngine(false)
 	for _, svc := range services {
 		if svc == nil {
 			return nil, fmt.Errorf("workload: nil service")
@@ -39,7 +41,7 @@ func FromServices(services []*svclang.Service) (*Corpus, error) {
 			return nil, fmt.Errorf("workload: duplicate service name %q", svc.Name)
 		}
 		seen[svc.Name] = true
-		truths, err := svclang.Analyze(svc)
+		truths, err := eng.Analyze(svc)
 		if err != nil {
 			return nil, fmt.Errorf("workload: label %s: %w", svc.Name, err)
 		}
