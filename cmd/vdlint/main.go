@@ -2,11 +2,13 @@
 // internal/vdlint) over the source tree and exits non-zero when any
 // analyzer reports a finding. It is part of the tier-1 verification line:
 //
-//	go vet ./... && go run ./cmd/vdlint ./...
+//	go vet ./... && go run ./cmd/vdlint -json ./...
 //
 // Arguments are package patterns for familiarity with go tooling, but the
 // analyzers are whole-module checks: any pattern (or none) loads the
 // module containing the working directory.
+//
+// Exit status: 0 clean, 1 findings, 2 load or analysis error.
 package main
 
 import (
@@ -14,36 +16,72 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"github.com/dsn2015/vdbench/internal/vdlint"
 )
 
 func main() {
+	var (
+		only    = flag.String("only", "", "comma-separated analyzers to run (default: all)")
+		skip    = flag.String("skip", "", "comma-separated analyzers to skip")
+		jsonOut = flag.Bool("json", false, "emit diagnostics as a stable JSON array")
+		workers = flag.Int("workers", 0, "parallel type-check/analysis workers (0 = GOMAXPROCS)")
+		impMode = flag.String("importer", "auto", "stdlib import resolution: auto, gclist or source")
+	)
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: vdlint [./...]\n\nanalyzers:\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: vdlint [flags] [./...]\n\nflags:\n")
+		flag.PrintDefaults()
+		fmt.Fprintf(flag.CommandLine.Output(), "\nanalyzers:\n")
 		for _, a := range vdlint.All() {
-			fmt.Fprintf(flag.CommandLine.Output(), "  %-12s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-13s %s\n", a.Name, a.Doc)
 		}
 	}
 	flag.Parse()
 
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "vdlint:", err)
+		os.Exit(2)
+	}
 	root, err := moduleRoot(".")
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "vdlint:", err)
-		os.Exit(2)
+		fail(err)
 	}
-	prog, err := vdlint.Load(root)
+	prog, err := vdlint.LoadWith(root, vdlint.LoadOptions{Importer: *impMode})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "vdlint:", err)
-		os.Exit(2)
+		fail(err)
 	}
-	diags := vdlint.Run(prog, vdlint.All())
-	for _, d := range diags {
-		fmt.Println(d)
+	diags, err := vdlint.Run(prog, vdlint.All(), vdlint.Options{
+		Workers: *workers,
+		Only:    splitList(*only),
+		Skip:    splitList(*skip),
+	})
+	if err != nil {
+		fail(err)
+	}
+	if *jsonOut {
+		if err := vdlint.WriteJSON(os.Stdout, diags); err != nil {
+			fail(err)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
 	}
 	if len(diags) > 0 {
 		os.Exit(1)
 	}
+}
+
+// splitList parses a comma-separated flag value, dropping empty entries.
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
 }
 
 // moduleRoot walks up from dir to the nearest directory holding go.mod.

@@ -129,6 +129,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	case <-ctx.Done():
 	}
 	fmt.Fprintln(out, "vdserved: shutting down (draining running campaigns)")
+	//vdlint:ignore ctxflow ctx is already cancelled here; the drain budget needs a fresh root or shutdown would abort instantly
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	shutdownErr := srv.Shutdown(shutdownCtx)

@@ -67,6 +67,7 @@ type Job struct {
 	cfg        vdbench.ExperimentConfig
 	seq        uint64 // submission order among queued jobs; 0 when never queued
 
+	//vdlint:ignore ctxflow a Job is itself a cancellation scope: Cancel aborts it via this stored context, which exists only for the job's own lifetime
 	ctx    context.Context
 	cancel context.CancelFunc
 	done   chan struct{}
@@ -211,6 +212,7 @@ type Service struct {
 	queue chan *Job
 	wg    sync.WaitGroup
 
+	//vdlint:ignore ctxflow the service owns its workers' lifetime; rootCtx is the shutdown signal Close fires, not a request context
 	rootCtx    context.Context
 	rootCancel context.CancelFunc
 

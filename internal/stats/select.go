@@ -3,7 +3,7 @@ package stats
 // Deterministic in-place selection of order statistics. The bootstrap's
 // percentile bounds need only four order statistics per interval, so a
 // quickselect beats the previous full sort of the estimate vector — and it
-// must not randomise its pivot (this package is under the norawrand
+// must not randomise its pivot (this package is under the detrand
 // analyzer: all randomness flows through RNG streams the caller controls,
 // and pivoting is not allowed to consume any).
 

@@ -1,15 +1,18 @@
 package vdlint
 
 import (
-	"fmt"
 	"go/ast"
+	"go/types"
 	"strings"
 )
 
 // All returns the module's analyzer suite in the order cmd/vdlint runs
 // it.
 func All() []*Analyzer {
-	return []*Analyzer{ToolWired, RandImport, NoDefaultMux, NoRawRand, CtxFirst, CompiledExec}
+	return []*Analyzer{
+		ToolWired, RandImport, NoDefaultMux, CtxFirst, CompiledExec,
+		DetRand, CtxFlow, LockCopy, LeakyGo, JudgeSync,
+	}
 }
 
 // ToolWired checks that every exported New* constructor in
@@ -17,47 +20,22 @@ func All() []*Analyzer {
 // from StandardSuite or from some test file. An unwired constructor is a
 // detector the benchmark silently stopped measuring.
 var ToolWired = &Analyzer{
-	Name: "toolwired",
-	Doc:  "exported Tool constructors in internal/detectors must be exercised by StandardSuite or a test",
-	Run:  runToolWired,
+	Name:   "toolwired",
+	Doc:    "exported Tool constructors in internal/detectors must be exercised by StandardSuite or a test",
+	Run:    runToolWired,
+	Finish: finishToolWired,
 }
 
-func runToolWired(prog *Program) []Finding {
-	var detectors *Package
-	for _, pkg := range prog.Packages {
-		if pkg.Path == prog.ModulePath+"/internal/detectors" {
-			detectors = pkg
-		}
-	}
-	if detectors == nil {
-		return nil
-	}
+// toolWiredResult is one unit's contribution: the constructors it
+// defines (detectors primary only) and the call names its test files (or
+// StandardSuite) make.
+type toolWiredResult struct {
+	ctors  []Finding // position + constructor name in Message
+	called map[string]bool
+}
 
-	// Collect the exported New* constructors whose results include Tool.
-	type ctor struct {
-		name string
-		decl *ast.FuncDecl
-	}
-	var ctors []ctor
-	for _, file := range detectors.Files {
-		if isTestFile(prog, file) {
-			continue
-		}
-		for _, d := range file.Decls {
-			fn, ok := d.(*ast.FuncDecl)
-			if !ok || fn.Recv != nil || !fn.Name.IsExported() || !strings.HasPrefix(fn.Name.Name, "New") {
-				continue
-			}
-			if returnsTool(fn) {
-				ctors = append(ctors, ctor{name: fn.Name.Name, decl: fn})
-			}
-		}
-	}
-
-	// Collect the names called from the places that count as "exercised":
-	// the bodies of test files anywhere in the module, and StandardSuite
-	// itself.
-	called := map[string]bool{}
+func runToolWired(pass *Pass) {
+	res := toolWiredResult{called: map[string]bool{}}
 	collect := func(n ast.Node) {
 		ast.Inspect(n, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
@@ -66,57 +44,80 @@ func runToolWired(prog *Program) []Finding {
 			}
 			switch fun := call.Fun.(type) {
 			case *ast.Ident:
-				called[fun.Name] = true
+				res.called[fun.Name] = true
 			case *ast.SelectorExpr:
-				called[fun.Sel.Name] = true
+				res.called[fun.Sel.Name] = true
 			}
 			return true
 		})
 	}
-	for _, pkg := range prog.Packages {
-		for _, file := range pkg.Files {
-			if isTestFile(prog, file) {
-				collect(file)
+	for _, file := range pass.Pkg.Owned {
+		if pass.IsTestFile(file) {
+			collect(file)
+		}
+	}
+	if pass.Pkg.Kind == UnitPrimary && pass.Pkg.Path == pass.Prog.ModulePath+"/internal/detectors" {
+		for _, file := range pass.Pkg.Files {
+			for _, d := range file.Decls {
+				fn, ok := d.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				if fn.Name.Name == "StandardSuite" && fn.Body != nil {
+					collect(fn.Body)
+				}
+				if fn.Recv == nil && fn.Name.IsExported() && strings.HasPrefix(fn.Name.Name, "New") &&
+					returnsTool(pass, fn) {
+					res.ctors = append(res.ctors, Finding{Pos: fn.Name.Pos(), Message: fn.Name.Name})
+				}
 			}
 		}
 	}
-	for _, file := range detectors.Files {
-		for _, d := range file.Decls {
-			if fn, ok := d.(*ast.FuncDecl); ok && fn.Name.Name == "StandardSuite" && fn.Body != nil {
-				collect(fn.Body)
-			}
-		}
-	}
-
-	var out []Finding
-	for _, c := range ctors {
-		if !called[c.name] {
-			out = append(out, Finding{
-				Pos: c.decl.Name.Pos(),
-				Message: fmt.Sprintf(
-					"constructor %s returns a Tool but is never exercised by StandardSuite or a test", c.name),
-			})
-		}
-	}
-	return out
+	pass.SetResult(res)
 }
 
-// returnsTool reports whether fn's result list mentions the Tool type
-// (bare Tool within the package, or detectors.Tool from outside).
-func returnsTool(fn *ast.FuncDecl) bool {
+func finishToolWired(fp *FinishPass) {
+	called := map[string]bool{}
+	var ctors []Finding
+	for _, u := range fp.Prog.Packages {
+		res, ok := fp.Result(u).(toolWiredResult)
+		if !ok {
+			continue
+		}
+		for name := range res.called {
+			called[name] = true
+		}
+		ctors = append(ctors, res.ctors...)
+	}
+	for _, c := range ctors {
+		if !called[c.Message] {
+			fp.Reportf(c.Pos, "constructor %s returns a Tool but is never exercised by StandardSuite or a test", c.Message)
+		}
+	}
+}
+
+// returnsTool reports whether fn's result list mentions the detectors
+// Tool type, resolved through type information.
+func returnsTool(pass *Pass, fn *ast.FuncDecl) bool {
 	if fn.Type.Results == nil {
 		return false
 	}
 	for _, field := range fn.Type.Results.List {
-		switch t := field.Type.(type) {
-		case *ast.Ident:
-			if t.Name == "Tool" {
-				return true
+		t := pass.Pkg.TypesInfo.TypeOf(field.Type)
+		for {
+			switch tt := t.(type) {
+			case *types.Pointer:
+				t = tt.Elem()
+				continue
+			case *types.Slice:
+				t = tt.Elem()
+				continue
 			}
-		case *ast.SelectorExpr:
-			if t.Sel.Name == "Tool" {
-				return true
-			}
+			break
+		}
+		if named, ok := t.(*types.Named); ok && named.Obj().Name() == "Tool" &&
+			named.Obj().Pkg() == pass.Pkg.Types {
+			return true
 		}
 	}
 	return false
@@ -132,26 +133,20 @@ var RandImport = &Analyzer{
 	Run:  runRandImport,
 }
 
-func runRandImport(prog *Program) []Finding {
-	var out []Finding
-	for _, pkg := range prog.Packages {
-		if pkg.Path == prog.ModulePath+"/internal/stats" {
-			continue
-		}
-		for _, file := range pkg.Files {
-			for _, imp := range file.Imports {
-				path := strings.Trim(imp.Path.Value, `"`)
-				if path == "math/rand" || path == "math/rand/v2" {
-					out = append(out, Finding{
-						Pos: imp.Path.Pos(),
-						Message: fmt.Sprintf(
-							"package %s imports %s; use internal/stats.RNG for reproducible randomness", pkg.Path, path),
-					})
-				}
+func runRandImport(pass *Pass) {
+	pkgPath := strings.TrimSuffix(pass.Pkg.Path, "_test")
+	if pkgPath == pass.Prog.ModulePath+"/internal/stats" {
+		return
+	}
+	for _, file := range pass.Pkg.Owned {
+		for _, imp := range file.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if path == "math/rand" || path == "math/rand/v2" {
+				pass.Reportf(imp.Path.Pos(),
+					"package %s imports %s; use internal/stats.RNG for reproducible randomness", pkgPath, path)
 			}
 		}
 	}
-	return out
 }
 
 // NoDefaultMux checks that no non-test code routes through the global
@@ -166,132 +161,45 @@ var NoDefaultMux = &Analyzer{
 	Run:  runNoDefaultMux,
 }
 
-func runNoDefaultMux(prog *Program) []Finding {
-	var out []Finding
-	for _, pkg := range prog.Packages {
-		for _, file := range pkg.Files {
-			if isTestFile(prog, file) {
-				continue
-			}
-			httpName := importName(file, "net/http")
-			if httpName == "" {
-				continue
-			}
-			ast.Inspect(file, func(n ast.Node) bool {
-				switch n := n.(type) {
-				case *ast.CallExpr:
-					sel, ok := n.Fun.(*ast.SelectorExpr)
-					if !ok || !isPkgIdent(sel.X, httpName) {
-						return true
-					}
-					name := sel.Sel.Name
-					if (name == "ListenAndServe" && len(n.Args) == 2 && isNil(n.Args[1])) ||
-						(name == "ListenAndServeTLS" && len(n.Args) == 4 && isNil(n.Args[3])) {
-						out = append(out, Finding{
-							Pos:     n.Pos(),
-							Message: fmt.Sprintf("http.%s with a nil handler serves http.DefaultServeMux; pass an explicit *http.ServeMux", name),
-						})
-					}
-				case *ast.SelectorExpr:
-					if !isPkgIdent(n.X, httpName) {
-						return true
-					}
-					switch n.Sel.Name {
-					case "DefaultServeMux":
-						out = append(out, Finding{
-							Pos:     n.Pos(),
-							Message: "use of http.DefaultServeMux; construct a mux with http.NewServeMux",
-						})
-					case "Handle", "HandleFunc":
-						out = append(out, Finding{
-							Pos:     n.Pos(),
-							Message: fmt.Sprintf("http.%s registers on http.DefaultServeMux; register on an explicit *http.ServeMux", n.Sel.Name),
-						})
-					}
-				}
-				return true
-			})
-		}
+func runNoDefaultMux(pass *Pass) {
+	if pass.Pkg.Kind != UnitPrimary {
+		return
 	}
-	return out
-}
-
-// NoRawRand checks that the deterministic packages — the ones whose
-// outputs must be byte-identical across runs and worker counts — use
-// neither math/rand (global, unseedable from a campaign seed) nor the
-// wall clock. A time.Now in a resampling loop or a stray rand call is a
-// nondeterminism leak that the cross-worker equality tests can only catch
-// after the fact; this analyzer catches it at lint time. Timing belongs
-// in the serving layer (internal/service), which is free to use the
-// clock.
-var NoRawRand = &Analyzer{
-	Name: "norawrand",
-	Doc:  "deterministic packages (stats, metricprop, experiments, harness, workpool) must not use math/rand or the wall clock",
-	Run:  runNoRawRand,
-}
-
-// deterministicPackages lists the module-relative package paths whose
-// non-test code must be a pure function of explicit seeds and inputs.
-var deterministicPackages = []string{
-	"internal/stats",
-	"internal/metricprop",
-	"internal/experiments",
-	"internal/harness",
-	"internal/workpool",
-}
-
-// wallClockFuncs are the time-package functions that read or wait on the
-// wall clock. Pure value constructors (time.Duration arithmetic,
-// time.Unix) are fine.
-var wallClockFuncs = map[string]bool{
-	"Now": true, "Since": true, "Until": true,
-	"Sleep": true, "Tick": true, "After": true, "AfterFunc": true,
-	"NewTimer": true, "NewTicker": true,
-}
-
-func runNoRawRand(prog *Program) []Finding {
-	deterministic := map[string]bool{}
-	for _, rel := range deterministicPackages {
-		deterministic[prog.ModulePath+"/"+rel] = true
-	}
-	var out []Finding
-	for _, pkg := range prog.Packages {
-		if !deterministic[pkg.Path] {
-			continue
-		}
-		for _, file := range pkg.Files {
-			if isTestFile(prog, file) {
-				continue
-			}
-			for _, imp := range file.Imports {
-				path := strings.Trim(imp.Path.Value, `"`)
-				if path == "math/rand" || path == "math/rand/v2" {
-					out = append(out, Finding{
-						Pos: imp.Path.Pos(),
-						Message: fmt.Sprintf(
-							"deterministic package %s imports %s; use the seedable stats.RNG", pkg.Path, path),
-					})
-				}
-			}
-			timeName := importName(file, "time")
-			if timeName == "" {
-				continue
-			}
-			ast.Inspect(file, func(n ast.Node) bool {
-				sel, ok := n.(*ast.SelectorExpr)
-				if !ok || !isPkgIdent(sel.X, timeName) || !wallClockFuncs[sel.Sel.Name] {
+	info := pass.Pkg.TypesInfo
+	for _, file := range pass.Pkg.Owned {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				sel, ok := n.Fun.(*ast.SelectorExpr)
+				if !ok || !isPkgFunc(info, sel, "net/http", "ListenAndServe", "ListenAndServeTLS") {
 					return true
 				}
-				out = append(out, Finding{
-					Pos: sel.Pos(),
-					Message: fmt.Sprintf(
-						"deterministic package %s reads the wall clock (time.%s); keep timing in the serving layer", pkg.Path, sel.Sel.Name),
-				})
-				return true
-			})
-		}
+				name := sel.Sel.Name
+				if (name == "ListenAndServe" && len(n.Args) == 2 && isNil(n.Args[1])) ||
+					(name == "ListenAndServeTLS" && len(n.Args) == 4 && isNil(n.Args[3])) {
+					pass.Reportf(n.Pos(),
+						"http.%s with a nil handler serves http.DefaultServeMux; pass an explicit *http.ServeMux", name)
+				}
+			case *ast.SelectorExpr:
+				obj := info.Uses[n.Sel]
+				if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "net/http" {
+					return true
+				}
+				switch n.Sel.Name {
+				case "DefaultServeMux":
+					pass.Reportf(n.Pos(), "use of http.DefaultServeMux; construct a mux with http.NewServeMux")
+				case "Handle", "HandleFunc":
+					// Only the package-level functions register on the
+					// default mux; (*ServeMux).Handle is the fix.
+					if _, isFunc := obj.(*types.Func); isFunc && obj.(*types.Func).Type().(*types.Signature).Recv() == nil {
+						pass.Reportf(n.Pos(),
+							"http.%s registers on http.DefaultServeMux; register on an explicit *http.ServeMux", n.Sel.Name)
+					}
+				}
+			}
+			return true
+		})
 	}
-	return out
 }
 
 // CtxFirst checks the module's context-first convention in the packages
@@ -315,54 +223,37 @@ var ctxFirstPackages = []string{
 	"internal/service",
 }
 
-func runCtxFirst(prog *Program) []Finding {
-	target := map[string]bool{}
-	for _, rel := range ctxFirstPackages {
-		target[prog.ModulePath+"/"+rel] = true
+func runCtxFirst(pass *Pass) {
+	if pass.Pkg.Kind != UnitPrimary || !inPackageSet(pass, ctxFirstPackages) {
+		return
 	}
-	var out []Finding
-	for _, pkg := range prog.Packages {
-		if !target[pkg.Path] {
-			continue
-		}
-		for _, file := range pkg.Files {
-			if isTestFile(prog, file) {
+	info := pass.Pkg.TypesInfo
+	for _, file := range pass.Pkg.Owned {
+		for _, d := range file.Decls {
+			fn, ok := d.(*ast.FuncDecl)
+			if !ok || !fn.Name.IsExported() || fn.Type.Params == nil {
 				continue
 			}
-			ctxName := importName(file, "context")
-			if ctxName == "" {
-				continue
-			}
-			for _, d := range file.Decls {
-				fn, ok := d.(*ast.FuncDecl)
-				if !ok || !fn.Name.IsExported() || fn.Type.Params == nil {
-					continue
+			// Walk the flattened parameter slots; only the first context
+			// parameter matters — at slot zero the signature is
+			// compliant.
+			slot := 0
+			for _, field := range fn.Type.Params.List {
+				names := len(field.Names)
+				if names == 0 {
+					names = 1
 				}
-				// Walk the flattened parameter slots; only the first
-				// context parameter matters — at slot zero the signature
-				// is compliant.
-				slot := 0
-				for _, field := range fn.Type.Params.List {
-					names := len(field.Names)
-					if names == 0 {
-						names = 1
+				if isContextType(info.TypeOf(field.Type)) {
+					if slot != 0 {
+						pass.Reportf(field.Pos(),
+							"exported %s takes context.Context as parameter %d; contexts go first", fn.Name.Name, slot+1)
 					}
-					if isContextType(field.Type, ctxName) {
-						if slot != 0 {
-							out = append(out, Finding{
-								Pos: field.Pos(),
-								Message: fmt.Sprintf(
-									"exported %s takes context.Context as parameter %d; contexts go first", fn.Name.Name, slot+1),
-							})
-						}
-						break
-					}
-					slot += names
+					break
 				}
+				slot += names
 			}
 		}
 	}
-	return out
 }
 
 // CompiledExec checks that the execution-path packages — the ones that
@@ -397,80 +288,90 @@ var rawExecFuncs = map[string]bool{
 	"Analyze": true, "AnalyzeWith": true, "AnalyzeProbing": true,
 }
 
-func runCompiledExec(prog *Program) []Finding {
-	target := map[string]bool{}
-	for _, rel := range execPathPackages {
-		target[prog.ModulePath+"/"+rel] = true
+func runCompiledExec(pass *Pass) {
+	if pass.Pkg.Kind != UnitPrimary || !inPackageSet(pass, execPathPackages) {
+		return
 	}
-	var out []Finding
-	for _, pkg := range prog.Packages {
-		if !target[pkg.Path] {
-			continue
-		}
-		for _, file := range pkg.Files {
-			if isTestFile(prog, file) {
-				continue
-			}
-			svclangName := importName(file, prog.ModulePath+"/internal/svclang")
-			if svclangName == "" {
-				continue
-			}
-			ast.Inspect(file, func(n ast.Node) bool {
-				call, ok := n.(*ast.CallExpr)
-				if !ok {
-					return true
-				}
-				sel, ok := call.Fun.(*ast.SelectorExpr)
-				if !ok || !isPkgIdent(sel.X, svclangName) || !rawExecFuncs[sel.Sel.Name] {
-					return true
-				}
-				out = append(out, Finding{
-					Pos: call.Pos(),
-					Message: fmt.Sprintf(
-						"package %s calls svclang.%s directly; execute through compile.Engine so programs compile once and arenas pool", pkg.Path, sel.Sel.Name),
-				})
+	svclangPath := pass.Prog.ModulePath + "/internal/svclang"
+	for _, file := range pass.Pkg.Owned {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
 				return true
-			})
-		}
-	}
-	return out
-}
-
-// isContextType reports whether e is the context.Context type under the
-// file's local name for the context import.
-func isContextType(e ast.Expr, ctxName string) bool {
-	sel, ok := e.(*ast.SelectorExpr)
-	return ok && isPkgIdent(sel.X, ctxName) && sel.Sel.Name == "Context"
-}
-
-// importName returns the local name the file binds the given import path
-// to ("" when the path is not imported; dot imports are ignored — this
-// mini-framework has no type information to resolve them).
-func importName(file *ast.File, path string) string {
-	for _, imp := range file.Imports {
-		if strings.Trim(imp.Path.Value, `"`) != path {
-			continue
-		}
-		if imp.Name != nil {
-			if imp.Name.Name == "." || imp.Name.Name == "_" {
-				return ""
 			}
-			return imp.Name.Name
-		}
-		base := path
-		if i := strings.LastIndex(base, "/"); i >= 0 {
-			base = base[i+1:]
-		}
-		return base
+			callee := staticCallee(pass.Pkg.TypesInfo, call)
+			if callee == nil || callee.Pkg() == nil {
+				return true
+			}
+			if callee.Pkg().Path() == svclangPath && callee.Type().(*types.Signature).Recv() == nil &&
+				rawExecFuncs[callee.Name()] {
+				pass.Reportf(call.Pos(),
+					"package %s calls svclang.%s directly; execute through compile.Engine so programs compile once and arenas pool",
+					pass.Pkg.Path, callee.Name())
+			}
+			return true
+		})
 	}
-	return ""
 }
 
-// isPkgIdent reports whether e is a bare identifier with the given name
-// (the receiver shape of a package-qualified selector).
-func isPkgIdent(e ast.Expr, name string) bool {
-	id, ok := e.(*ast.Ident)
-	return ok && id.Name == name
+// inPackageSet reports whether the pass's unit is one of the given
+// module-relative package paths.
+func inPackageSet(pass *Pass, rels []string) bool {
+	for _, rel := range rels {
+		if pass.Pkg.Path == pass.Prog.ModulePath+"/"+rel {
+			return true
+		}
+	}
+	return false
+}
+
+// isPkgFunc reports whether sel resolves to one of the named
+// package-level functions of the given import path.
+func isPkgFunc(info *types.Info, sel *ast.SelectorExpr, pkgPath string, names ...string) bool {
+	obj, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || obj.Pkg() == nil || obj.Pkg().Path() != pkgPath {
+		return false
+	}
+	if obj.Type().(*types.Signature).Recv() != nil {
+		return false
+	}
+	for _, n := range names {
+		if obj.Name() == n {
+			return true
+		}
+	}
+	return false
+}
+
+// staticCallee resolves a call expression to the function or method it
+// statically invokes. Calls through interfaces, function values,
+// builtins and conversions return nil: without a points-to analysis
+// their target is unknown, and the analyzers here stay conservative.
+func staticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = info.Uses[fun.Sel]
+	default:
+		return nil
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return nil
+	}
+	if recv := fn.Type().(*types.Signature).Recv(); recv != nil && types.IsInterface(recv.Type()) {
+		return nil
+	}
+	return fn
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() != nil &&
+		named.Obj().Pkg().Path() == "context" && named.Obj().Name() == "Context"
 }
 
 // isNil reports whether e is the predeclared nil identifier.
@@ -479,7 +380,22 @@ func isNil(e ast.Expr) bool {
 	return ok && id.Name == "nil"
 }
 
-// isTestFile reports whether the file's name ends in _test.go.
-func isTestFile(prog *Program, file *ast.File) bool {
-	return strings.HasSuffix(prog.Fset.Position(file.Package).Filename, "_test.go")
+// funcDisplayName renders a function or method name for messages.
+func funcDisplayName(fn *types.Func) string {
+	if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+		t := recv.Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			return named.Obj().Name() + "." + fn.Name()
+		}
+	}
+	if fn.Pkg() != nil {
+		if i := strings.LastIndex(fn.Pkg().Path(), "/"); i >= 0 {
+			return fn.Pkg().Path()[i+1:] + "." + fn.Name()
+		}
+		return fn.Pkg().Path() + "." + fn.Name()
+	}
+	return fn.Name()
 }

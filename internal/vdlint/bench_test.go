@@ -1,0 +1,72 @@
+package vdlint
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// benchExports resolves the shared export table outside the timed
+// region.
+func benchExports(b *testing.B) LoadOptions {
+	b.Helper()
+	exportsOnce.Do(func() {
+		exportsTab, exportsErr = GoListExports(filepath.Join("..", ".."))
+	})
+	if exportsErr != nil {
+		b.Skipf("go list -export unavailable: %v", exportsErr)
+	}
+	return LoadOptions{Exports: exportsTab}
+}
+
+// BenchmarkVdlint measures the three phases of a lint run over this
+// repository: parsing/splitting (load), type-checking, and the full
+// analyze pipeline at several worker counts. The syntactic subset runs
+// the five ported single-pass analyzers only — the cost profile of the
+// pre-typed vdlint — for comparison against the typed full suite.
+func BenchmarkVdlint(b *testing.B) {
+	root := filepath.Join("..", "..")
+	opts := benchExports(b)
+
+	b.Run("load", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := LoadWith(root, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("typecheck", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			prog, err := LoadWith(root, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			if err := prog.EnsureTyped(newTestBudget()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	run := func(b *testing.B, analyzers []*Analyzer, workers int) {
+		b.Helper()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			prog, err := LoadWith(root, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			if _, err := Run(prog, analyzers, Options{Workers: workers}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	syntactic := []*Analyzer{ToolWired, RandImport, NoDefaultMux, CtxFirst, CompiledExec}
+	b.Run("analyze/syntactic", func(b *testing.B) { run(b, syntactic, 0) })
+	for _, workers := range []int{1, 2, 4} {
+		workers := workers
+		b.Run("analyze/full/workers="+string(rune('0'+workers)), func(b *testing.B) {
+			run(b, All(), workers)
+		})
+	}
+}

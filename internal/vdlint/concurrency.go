@@ -1,0 +1,319 @@
+package vdlint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxFlow enforces that contexts flow down the call stack instead of
+// being parked in struct fields or minted mid-pipeline. Two shapes are
+// flagged: a struct field of type context.Context (the documented
+// anti-pattern — a stored context outlives the request it belonged to
+// and silently detaches cancellation), and a context.Background() /
+// context.TODO() call inside a function that already receives a
+// context, which severs the caller's deadline and cancellation. The one
+// sanctioned shape for the latter is nil-defaulting — assigning
+// Background directly to the context parameter when the caller passed
+// nil — which the harness and experiments packages use at their public
+// entry points.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "contexts must flow as arguments: no context.Context struct fields, no Background/TODO inside ctx-taking functions",
+	Run:  runCtxFlow,
+}
+
+func runCtxFlow(pass *Pass) {
+	if pass.Pkg.Kind != UnitPrimary {
+		return // tests routinely mint Background contexts; that is their job
+	}
+	info := pass.Pkg.TypesInfo
+	for _, file := range pass.Pkg.Owned {
+		for _, d := range file.Decls {
+			switch d := d.(type) {
+			case *ast.GenDecl:
+				ast.Inspect(d, func(n ast.Node) bool {
+					st, ok := n.(*ast.StructType)
+					if !ok {
+						return true
+					}
+					for _, field := range st.Fields.List {
+						if isContextType(info.TypeOf(field.Type)) {
+							pass.Reportf(field.Pos(),
+								"struct field stores a context.Context; pass the context to the methods that need it instead")
+						}
+					}
+					return true
+				})
+			case *ast.FuncDecl:
+				checkCtxFlowFunc(pass, info, d)
+			}
+		}
+	}
+}
+
+// checkCtxFlowFunc flags Background/TODO calls inside a function that
+// already has a context parameter, excepting direct assignment to that
+// parameter (the nil-defaulting idiom: if ctx == nil { ctx =
+// context.Background() }).
+func checkCtxFlowFunc(pass *Pass, info *types.Info, fn *ast.FuncDecl) {
+	if fn.Body == nil || fn.Type.Params == nil {
+		return
+	}
+	var ctxParams []types.Object
+	for _, field := range fn.Type.Params.List {
+		if !isContextType(info.TypeOf(field.Type)) {
+			continue
+		}
+		for _, name := range field.Names {
+			if obj := info.Defs[name]; obj != nil {
+				ctxParams = append(ctxParams, obj)
+			}
+		}
+	}
+	if len(ctxParams) == 0 {
+		return
+	}
+	isCtxParam := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok {
+			return false
+		}
+		obj := info.Uses[id]
+		for _, p := range ctxParams {
+			if obj == p {
+				return true
+			}
+		}
+		return false
+	}
+	exempt := map[ast.Node]bool{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if as, ok := n.(*ast.AssignStmt); ok && len(as.Lhs) == len(as.Rhs) {
+			for i, lhs := range as.Lhs {
+				if isCtxParam(lhs) {
+					exempt[ast.Unparen(as.Rhs[i])] = true
+				}
+			}
+		}
+		return true
+	})
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || exempt[call] {
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok &&
+			isPkgFunc(info, sel, "context", "Background", "TODO") {
+			pass.Reportf(call.Pos(),
+				"%s already receives a context; context.%s here discards the caller's cancellation and deadline",
+				fn.Name.Name, sel.Sel.Name)
+		}
+		return true
+	})
+}
+
+// LockCopy flags signatures that copy a lock: a parameter, result or
+// value receiver whose type transitively contains a sync primitive
+// (Mutex, RWMutex, WaitGroup, Once, Cond, Pool, Map) or a sync/atomic
+// value type. A copied mutex guards nothing, a copied WaitGroup waits on
+// nothing, and the race detector only catches the ones a test happens to
+// exercise. go vet's copylocks covers assignments and function calls;
+// this check closes the declaration side so the bad signature never
+// exists in the first place.
+var LockCopy = &Analyzer{
+	Name: "lockcopy",
+	Doc:  "parameters, results and value receivers must not contain sync primitives by value",
+	Run:  runLockCopy,
+}
+
+func runLockCopy(pass *Pass) {
+	info := pass.Pkg.TypesInfo
+	for _, file := range pass.Pkg.Owned {
+		for _, d := range file.Decls {
+			fn, ok := d.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			check := func(field *ast.Field, what string) {
+				t := info.TypeOf(field.Type)
+				if t == nil {
+					return
+				}
+				if lock := containsLock(t, nil); lock != "" {
+					pass.Reportf(field.Pos(),
+						"%s of %s passes %s by value, copying its %s; use a pointer", what, fn.Name.Name, t.String(), lock)
+				}
+			}
+			if fn.Recv != nil {
+				for _, field := range fn.Recv.List {
+					check(field, "receiver")
+				}
+			}
+			if fn.Type.Params != nil {
+				for _, field := range fn.Type.Params.List {
+					check(field, "parameter")
+				}
+			}
+			if fn.Type.Results != nil {
+				for _, field := range fn.Type.Results.List {
+					check(field, "result")
+				}
+			}
+		}
+	}
+}
+
+// containsLock reports the first sync primitive a type transitively
+// holds by value ("" if none). Pointers, slices, maps and channels are
+// indirections and stop the walk.
+func containsLock(t types.Type, seen []types.Type) string {
+	for _, s := range seen {
+		if types.Identical(s, t) {
+			return ""
+		}
+	}
+	seen = append(seen, t)
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil {
+			switch obj.Pkg().Path() {
+			case "sync":
+				switch obj.Name() {
+				case "Mutex", "RWMutex", "WaitGroup", "Once", "Cond", "Pool", "Map":
+					return "sync." + obj.Name()
+				}
+			case "sync/atomic":
+				switch obj.Name() {
+				case "Bool", "Int32", "Int64", "Uint32", "Uint64", "Uintptr", "Pointer", "Value":
+					return "atomic." + obj.Name()
+				}
+			}
+		}
+		return containsLock(named.Underlying(), seen)
+	}
+	switch t := t.(type) {
+	case *types.Struct:
+		for i := 0; i < t.NumFields(); i++ {
+			if lock := containsLock(t.Field(i).Type(), seen); lock != "" {
+				return lock
+			}
+		}
+	case *types.Array:
+		return containsLock(t.Elem(), seen)
+	}
+	return ""
+}
+
+// LeakyGo flags `go` statements whose body has no visible termination
+// path: no channel operation, no select, no range over a channel, no
+// context use, no WaitGroup Done/Wait. Such a goroutine cannot be told
+// to stop and cannot signal that it stopped — the classic leak that
+// keeps campaign workers alive past their deadline. The check looks
+// inside function literals and same-package named functions; a call into
+// another package is conservatively trusted.
+var LeakyGo = &Analyzer{
+	Name: "leakygo",
+	Doc:  "go statements need a termination path: a channel op, select, context, or WaitGroup in the body",
+	Run:  runLeakyGo,
+}
+
+func runLeakyGo(pass *Pass) {
+	info := pass.Pkg.TypesInfo
+	// Named-function bodies in this unit, for `go pkgFunc(...)`.
+	bodies := map[*types.Func]*ast.BlockStmt{}
+	for _, file := range pass.Pkg.Files {
+		for _, d := range file.Decls {
+			if fn, ok := d.(*ast.FuncDecl); ok && fn.Body != nil {
+				if obj, ok := info.Defs[fn.Name].(*types.Func); ok {
+					bodies[obj] = fn.Body
+				}
+			}
+		}
+	}
+	for _, file := range pass.Pkg.Owned {
+		ast.Inspect(file, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			var body ast.Node
+			switch fun := ast.Unparen(g.Call.Fun).(type) {
+			case *ast.FuncLit:
+				body = fun.Body
+			default:
+				callee := staticCallee(info, g.Call)
+				if callee == nil {
+					return true // func value or interface method: unknown body
+				}
+				b, ok := bodies[callee]
+				if !ok {
+					return true // other package or no body: trust it
+				}
+				body = b
+			}
+			// Arguments count too: `go worker(jobs)` with jobs a channel is
+			// a ranged worker even before we look inside.
+			if !hasTerminationPath(info, body) && !anyChannelArg(info, g.Call) {
+				pass.Reportf(g.Pos(),
+					"goroutine has no termination path (no channel op, select, context or WaitGroup); it cannot be stopped or awaited")
+			}
+			return true
+		})
+	}
+}
+
+// hasTerminationPath scans a goroutine body for any construct that lets
+// the goroutine stop or be observed stopping.
+func hasTerminationPath(info *types.Info, body ast.Node) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt, *ast.SelectStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if t := info.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					found = true
+				}
+			}
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				if obj, ok := info.Uses[sel.Sel].(*types.Func); ok && obj.Pkg() != nil &&
+					obj.Pkg().Path() == "sync" && (obj.Name() == "Done" || obj.Name() == "Wait" || obj.Name() == "Add") {
+					found = true
+				}
+			}
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "close" {
+				if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+					found = true
+				}
+			}
+		case *ast.Ident:
+			if obj := info.Uses[n]; obj != nil && isContextType(obj.Type()) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// anyChannelArg reports whether any argument of the call is a channel —
+// a worker launched with its job channel terminates by ranging it.
+func anyChannelArg(info *types.Info, call *ast.CallExpr) bool {
+	for _, arg := range call.Args {
+		if t := info.TypeOf(arg); t != nil {
+			if _, ok := t.Underlying().(*types.Chan); ok {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,271 @@
+package vdlint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// DetRand is the interprocedural determinism-taint analyzer. The
+// deterministic packages — the ones whose outputs must be byte-identical
+// across runs and worker counts — must never reach a nondeterminism
+// source: the wall clock (time.Now and friends), the globally seeded
+// math/rand package-level functions, or map iteration feeding ordered
+// output. Unlike the retired syntactic norawrand check, DetRand builds
+// the module's static call graph from type information and propagates a
+// "reaches nondeterminism" fact across package boundaries, so a rand
+// call hidden behind an import rename, a wrapper function or a helper
+// package two hops away is still caught, with the full call chain in the
+// message.
+//
+// The taint stops at interface calls and function values (no points-to
+// analysis) and does not enter the standard library: the sources are the
+// explicit call sites listed below. context.WithTimeout and the rest of
+// the context machinery therefore stay usable — deadlines are the
+// sanctioned way for deterministic code to interact with time.
+var DetRand = &Analyzer{
+	Name: "detrand",
+	Doc:  "deterministic packages must not reach time.Now/math.rand or emit map-iteration-ordered output, even through wrappers",
+	Run:  runDetRand,
+}
+
+// deterministicPackages lists the module-relative package paths whose
+// non-test code must be a pure function of explicit seeds and inputs.
+var deterministicPackages = []string{
+	"internal/harness",
+	"internal/svclang",
+	"internal/svclang/cfg",
+	"internal/svclang/compile",
+	"internal/stats",
+	"internal/metricprop",
+	"internal/experiments",
+	"internal/workpool",
+}
+
+// wallClockFuncs are the time-package functions that read or wait on the
+// wall clock. Pure value constructors (time.Duration arithmetic,
+// time.Unix) are fine.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true,
+	"Sleep": true, "Tick": true, "After": true, "AfterFunc": true,
+	"NewTimer": true, "NewTicker": true,
+}
+
+// detrandFact marks a function as reaching a nondeterminism source,
+// carrying the call chain for the diagnostic.
+type detrandFact struct {
+	// Trace is the chain from the function to the source, e.g.
+	// "stamp → clockNow → time.Now".
+	Trace string
+}
+
+// detrandCall is one statically resolved call site inside a function.
+type detrandCall struct {
+	pos    ast.Node
+	source string      // nonempty for a direct nondeterminism source
+	callee *types.Func // module-internal static callee, if any
+}
+
+func runDetRand(pass *Pass) {
+	if pass.Pkg.Kind != UnitPrimary {
+		return // determinism is a property of shipped code; tests are free
+	}
+	info := pass.Pkg.TypesInfo
+	prog := pass.Prog
+
+	// Gather each declared function's resolved call sites.
+	calls := map[*types.Func][]detrandCall{}
+	var order []*types.Func // declaration order, for deterministic fixpoint
+	for _, file := range pass.Pkg.Files {
+		for _, d := range file.Decls {
+			fn, ok := d.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			obj, _ := info.Defs[fn.Name].(*types.Func)
+			if obj == nil {
+				continue
+			}
+			order = append(order, obj)
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				callee := staticCallee(info, call)
+				if callee == nil || callee.Pkg() == nil {
+					return true
+				}
+				if src := nondetSource(callee); src != "" {
+					calls[obj] = append(calls[obj], detrandCall{pos: call, source: src})
+				} else if prog.isModulePath(callee.Pkg().Path()) {
+					calls[obj] = append(calls[obj], detrandCall{pos: call, callee: callee})
+				}
+				return true
+			})
+		}
+	}
+
+	// Local fixpoint over this package's call edges; cross-package
+	// callees resolve through facts, which dependency-ordered scheduling
+	// has already completed.
+	tainted := map[*types.Func]string{} // → trace
+	traceOf := func(callee *types.Func) (string, bool) {
+		if t, ok := tainted[callee]; ok {
+			return t, true
+		}
+		if f, ok := pass.LookupFact(callee); ok {
+			return f.(detrandFact).Trace, true
+		}
+		return "", false
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range order {
+			if _, done := tainted[fn]; done {
+				continue
+			}
+			for _, c := range calls[fn] {
+				if c.source != "" {
+					tainted[fn] = c.source
+					changed = true
+					break
+				}
+				if c.callee == fn {
+					continue
+				}
+				if t, ok := traceOf(c.callee); ok {
+					tainted[fn] = clipTrace(funcDisplayName(c.callee) + " → " + t)
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	for _, fn := range order {
+		if t, ok := tainted[fn]; ok {
+			pass.ExportFact(fn, detrandFact{Trace: t})
+		}
+	}
+
+	if !inPackageSet(pass, deterministicPackages) {
+		return
+	}
+	// Report each first hop out of determinism: a direct source call, or
+	// a call into a tainted function of a non-deterministic package.
+	// Tainted callees inside deterministic packages get their own
+	// diagnostic at their own leak edge, so each chain is reported once.
+	detSet := map[string]bool{}
+	for _, rel := range deterministicPackages {
+		detSet[prog.ModulePath+"/"+rel] = true
+	}
+	for _, fn := range order {
+		for _, c := range calls[fn] {
+			switch {
+			case c.source != "":
+				pass.Reportf(c.pos.Pos(),
+					"deterministic package %s calls %s; derive values from the campaign seed instead", pass.Pkg.Path, c.source)
+			case c.callee != nil && !detSet[c.callee.Pkg().Path()]:
+				if t, ok := traceOf(c.callee); ok {
+					pass.Reportf(c.pos.Pos(),
+						"deterministic package %s calls %s, which reaches %s", pass.Pkg.Path, funcDisplayName(c.callee), t)
+				}
+			}
+		}
+	}
+	reportMapOrderedOutput(pass)
+}
+
+// nondetSource classifies a resolved callee as a nondeterminism source,
+// returning a display name ("" if it is not one): wall-clock reads, and
+// the globally seeded math/rand package-level functions. Explicitly
+// seeded constructors (rand.New, rand.NewPCG, ...) and methods on
+// *rand.Rand are deterministic given their seed and stay allowed — the
+// stats.RNG wrapper is built on exactly that.
+func nondetSource(fn *types.Func) string {
+	pkg := fn.Pkg().Path()
+	if fn.Type().(*types.Signature).Recv() != nil {
+		return ""
+	}
+	switch pkg {
+	case "time":
+		if wallClockFuncs[fn.Name()] {
+			return "time." + fn.Name()
+		}
+	case "math/rand", "math/rand/v2":
+		if strings.HasPrefix(fn.Name(), "New") {
+			return "" // seeded constructors: deterministic given their seed
+		}
+		return pkg + "." + fn.Name()
+	}
+	return ""
+}
+
+// clipTrace bounds a taint trace so diagnostics stay readable on deep
+// call chains.
+func clipTrace(t string) string {
+	const max = 160
+	if len(t) <= max {
+		return t
+	}
+	return t[:max] + "…"
+}
+
+// reportMapOrderedOutput flags `for … range m` over a map inside a
+// deterministic package when the loop body visibly emits in iteration
+// order: sends on a channel, prints, or appends anything other than the
+// bare key (the sorted-keys idiom — collect keys, sort, then iterate —
+// appends exactly the key and stays allowed).
+func reportMapOrderedOutput(pass *Pass) {
+	info := pass.Pkg.TypesInfo
+	for _, file := range pass.Pkg.Owned {
+		ast.Inspect(file, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			if _, isMap := info.TypeOf(rng.X).Underlying().(*types.Map); !isMap {
+				return true
+			}
+			var keyObj types.Object
+			if id, ok := rng.Key.(*ast.Ident); ok {
+				keyObj = info.Defs[id]
+				if keyObj == nil {
+					keyObj = info.Uses[id]
+				}
+			}
+			ast.Inspect(rng.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.SendStmt:
+					pass.Reportf(n.Pos(),
+						"deterministic package %s sends map-iteration-ordered values; sort the keys first", pass.Pkg.Path)
+				case *ast.CallExpr:
+					if callee := staticCallee(info, n); callee != nil && callee.Pkg() != nil &&
+						callee.Pkg().Path() == "fmt" && callee.Type().(*types.Signature).Recv() == nil {
+						pass.Reportf(n.Pos(),
+							"deterministic package %s prints in map-iteration order; sort the keys first", pass.Pkg.Path)
+						return true
+					}
+					if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "append" {
+						if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin && appendsBeyondKey(info, n, keyObj) {
+							pass.Reportf(n.Pos(),
+								"deterministic package %s appends in map-iteration order; collect and sort the keys, then iterate", pass.Pkg.Path)
+						}
+					}
+				}
+				return true
+			})
+			return true
+		})
+	}
+}
+
+// appendsBeyondKey reports whether the append call appends anything
+// other than the range statement's own key variable.
+func appendsBeyondKey(info *types.Info, call *ast.CallExpr, keyObj types.Object) bool {
+	if keyObj == nil || len(call.Args) != 2 || call.Ellipsis.IsValid() {
+		return true
+	}
+	id, ok := ast.Unparen(call.Args[1]).(*ast.Ident)
+	return !ok || info.Uses[id] != keyObj
+}

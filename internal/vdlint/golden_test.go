@@ -1,0 +1,123 @@
+package vdlint
+
+import (
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// wantRe extracts the backtick-quoted expectations of a `// want`
+// comment: each is a regexp the diagnostic message on that line must
+// match.
+var wantRe = regexp.MustCompile("`([^`]*)`")
+
+type wantExpectation struct {
+	file string // corpus-relative slash path
+	line int
+	re   *regexp.Regexp
+	used bool
+}
+
+// parseWants scans every .go file under root for // want comments.
+func parseWants(t *testing.T, root string) []*wantExpectation {
+	t.Helper()
+	var wants []*wantExpectation
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		rel = filepath.ToSlash(rel)
+		for i, line := range strings.Split(string(data), "\n") {
+			_, rest, ok := strings.Cut(line, "// want ")
+			if !ok {
+				continue
+			}
+			matches := wantRe.FindAllStringSubmatch(rest, -1)
+			if len(matches) == 0 {
+				t.Errorf("%s:%d: // want comment without backtick-quoted expectations", rel, i+1)
+				continue
+			}
+			for _, m := range matches {
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					t.Errorf("%s:%d: bad want regexp %q: %v", rel, i+1, m[1], err)
+					continue
+				}
+				wants = append(wants, &wantExpectation{file: rel, line: i + 1, re: re})
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wants
+}
+
+// TestGoldenCorpus runs the full analyzer suite over the corpus module
+// in testdata/golden and checks the diagnostics against the corpus's
+// // want comments, both ways: every diagnostic must be expected, and
+// every expectation must fire at its exact file and line.
+func TestGoldenCorpus(t *testing.T) {
+	root := filepath.Join("testdata", "golden")
+	prog, err := LoadWith(root, fixtureOptions(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := mustRun(t, prog, All(), Options{})
+	wants := parseWants(t, root)
+	if len(wants) == 0 {
+		t.Fatal("corpus has no // want expectations")
+	}
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if !w.used && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.used = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.used {
+			t.Errorf("%s:%d: expected diagnostic matching %q never reported", w.file, w.line, w.re)
+		}
+	}
+}
+
+// TestGoldenCorpusJSONStable loads and analyzes the corpus twice and
+// requires byte-identical JSON: position-accurate diagnostics are only
+// trustworthy if they are also reproducible.
+func TestGoldenCorpusJSONStable(t *testing.T) {
+	root := filepath.Join("testdata", "golden")
+	render := func(workers int) string {
+		prog, err := LoadWith(root, fixtureOptions(t))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sb strings.Builder
+		if err := WriteJSON(&sb, mustRun(t, prog, All(), Options{Workers: workers})); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	first, second := render(1), render(4)
+	if first != second {
+		t.Fatalf("corpus JSON not stable across runs/worker counts:\n%s\n---\n%s", first, second)
+	}
+}

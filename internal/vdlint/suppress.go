@@ -1,0 +1,146 @@
+package vdlint
+
+import (
+	"go/token"
+	"strings"
+)
+
+// suppressAnalyzer is the pseudo-analyzer name under which the driver
+// reports problems with suppression comments themselves. It cannot be
+// suppressed.
+const suppressAnalyzer = "suppress"
+
+// suppression is one parsed //vdlint:ignore comment.
+//
+// Syntax:
+//
+//	//vdlint:ignore analyzer[,analyzer...] reason text
+//
+// The comment suppresses matching diagnostics on its own line and on the
+// line immediately below (so it can trail the offending code or sit
+// above it). A reason is mandatory; a suppression that matches nothing
+// its analyzers reported is itself diagnosed, so stale ignores cannot
+// accumulate.
+type suppression struct {
+	pos       token.Position // root-relative position of the comment
+	analyzers []string
+	reason    string
+	used      bool
+}
+
+// parseSuppressions scans every file of the program once (files shared
+// between a primary and its augmented unit are visited once) and returns
+// the suppressions plus malformed-comment diagnostics.
+func parseSuppressions(prog *Program, known map[string]bool) ([]*suppression, []Diagnostic) {
+	var sups []*suppression
+	var diags []Diagnostic
+	seenFile := map[string]bool{}
+	for _, u := range prog.Packages {
+		for _, f := range u.Files {
+			name := prog.filename(f)
+			if seenFile[name] {
+				continue
+			}
+			seenFile[name] = true
+			for _, group := range f.Comments {
+				for _, c := range group.List {
+					rest, ok := strings.CutPrefix(c.Text, "//vdlint:ignore")
+					if !ok {
+						continue
+					}
+					pos := prog.Fset.Position(c.Pos())
+					pos.Filename = prog.relFile(pos.Filename)
+					report := func(msg string) {
+						diags = append(diags, Diagnostic{Pos: pos, Analyzer: suppressAnalyzer, Message: msg})
+					}
+					// The golden corpus carries expectation comments on
+					// the same line; they are not part of the reason.
+					if i := strings.Index(rest, "// want"); i >= 0 {
+						rest = rest[:i]
+					}
+					rest = strings.TrimSpace(rest)
+					names, reason, _ := strings.Cut(rest, " ")
+					reason = strings.TrimSpace(reason)
+					if names == "" {
+						report("vdlint:ignore needs an analyzer name and a reason")
+						continue
+					}
+					var list []string
+					bad := false
+					for _, n := range strings.Split(names, ",") {
+						if !known[n] {
+							report("vdlint:ignore names unknown analyzer " + strings.TrimSpace(n))
+							bad = true
+							break
+						}
+						list = append(list, n)
+					}
+					if bad {
+						continue
+					}
+					if reason == "" {
+						report("vdlint:ignore " + names + " has no reason; say why the finding is acceptable")
+						continue
+					}
+					sups = append(sups, &suppression{pos: pos, analyzers: list, reason: reason})
+				}
+			}
+		}
+	}
+	return sups, diags
+}
+
+// applySuppressions filters the diagnostics through the program's
+// //vdlint:ignore comments and appends the suppression meta-diagnostics:
+// malformed comments, and comments that ran but matched nothing.
+func applySuppressions(prog *Program, byAnalyzer map[string][]Diagnostic, ran, known map[string]bool) []Diagnostic {
+	sups, meta := parseSuppressions(prog, known)
+	// Index: (file, line, analyzer) → suppressions covering that line.
+	type key struct {
+		file     string
+		line     int
+		analyzer string
+	}
+	idx := map[key][]*suppression{}
+	for _, s := range sups {
+		for _, a := range s.analyzers {
+			idx[key{s.pos.Filename, s.pos.Line, a}] = append(idx[key{s.pos.Filename, s.pos.Line, a}], s)
+			idx[key{s.pos.Filename, s.pos.Line + 1, a}] = append(idx[key{s.pos.Filename, s.pos.Line + 1, a}], s)
+		}
+	}
+	var out []Diagnostic
+	for name, diags := range byAnalyzer {
+		for _, d := range diags {
+			if matches := idx[key{d.Pos.Filename, d.Pos.Line, name}]; len(matches) > 0 {
+				for _, s := range matches {
+					s.used = true
+				}
+				continue
+			}
+			out = append(out, d)
+		}
+	}
+	for _, s := range sups {
+		if s.used {
+			continue
+		}
+		// Only analyzers that actually ran can prove a suppression
+		// unused; under -only/-skip the others get the benefit of the
+		// doubt.
+		anyRan := false
+		for _, a := range s.analyzers {
+			if ran[a] {
+				anyRan = true
+			}
+		}
+		if !anyRan {
+			continue
+		}
+		meta = append(meta, Diagnostic{
+			Pos:      s.pos,
+			Analyzer: suppressAnalyzer,
+			Message:  "unused vdlint:ignore for " + strings.Join(s.analyzers, ",") + "; the finding it excused is gone — delete the comment",
+		})
+	}
+	return append(out, meta...)
+}

@@ -1,0 +1,3 @@
+module example.com/golden
+
+go 1.22

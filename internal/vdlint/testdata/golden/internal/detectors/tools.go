@@ -1,0 +1,18 @@
+// Package detectors exercises toolwired (an orphaned constructor) and
+// compiledexec (a raw interpreter call on the execution path).
+package detectors
+
+import "example.com/golden/internal/svclang"
+
+type Tool interface{ Name() string }
+
+func NewWired() Tool  { return nil }
+func NewOrphan() Tool { return nil } // want `constructor NewOrphan returns a Tool but is never exercised`
+
+func StandardSuite() []Tool { return []Tool{NewWired()} }
+
+func probe(s *svclang.Service) {
+	_, _ = svclang.Execute(s, nil) // want `calls svclang.Execute directly; execute through compile.Engine`
+}
+
+var _ = probe

@@ -1,0 +1,67 @@
+// Package harness carries the corpus's seeded violations for the
+// deep analyzers: a wrapped rand call that only interprocedural taint
+// can see, a buried context parameter, a by-value lock, and a goroutine
+// with no termination path.
+package harness
+
+import (
+	"context"
+	"sync"
+
+	"example.com/golden/internal/util"
+)
+
+// Campaign reaches the global rand generator through util.Rand — two
+// packages away from any math/rand import in this file.
+func Campaign(seed int64) int {
+	return util.Rand() // want `deterministic package example.com/golden/internal/harness calls util.Rand, which reaches math/rand.Int`
+}
+
+// Deadline reaches time.Now through util.Stamp → now → time.Now.
+func Deadline() int64 {
+	return util.Stamp() // want `calls util.Stamp, which reaches util.now → time.Now`
+}
+
+// Derived uses only the seed; no taint, no finding.
+func Derived(seed int64) int { return util.Pure(int(seed)) }
+
+// RunCase buries its context behind the name — the signature every
+// caller will get wrong.
+func RunCase(name string, ctx context.Context) error { // want `exported RunCase takes context.Context as parameter 2`
+	_ = ctx
+	return nil
+}
+
+// counters carries a mutex, so passing it by value copies the lock.
+type counters struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Snapshot copies the lock twice: once in, once out.
+func Snapshot(c counters) counters { // want `parameter of Snapshot passes example.com/golden/internal/harness.counters by value, copying its sync.Mutex` `result of Snapshot passes example.com/golden/internal/harness.counters by value, copying its sync.Mutex`
+	return c
+}
+
+// Spin launches the classic leak: no channel, no context, no WaitGroup —
+// nothing can stop it or wait for it.
+func Spin() {
+	go func() { // want `goroutine has no termination path`
+		n := 0
+		for {
+			n++
+		}
+	}()
+}
+
+// Drain launches a worker that ranges its job channel; closing the
+// channel terminates it, so this shape is clean.
+func Drain(jobs chan int) {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for range jobs {
+		}
+	}()
+	<-done
+}

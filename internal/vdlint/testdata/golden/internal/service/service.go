@@ -1,0 +1,38 @@
+// Package service exercises ctxflow (a stored context and a severed
+// one) and nodefaultmux (routing through the global mux).
+package service
+
+import (
+	"context"
+	"net/http"
+)
+
+type session struct {
+	name string
+	ctx  context.Context // want `struct field stores a context.Context`
+}
+
+var _ = session{}
+
+// Handle severs the caller's context mid-pipeline.
+func Handle(ctx context.Context, name string) error {
+	sub := context.Background() // want `Handle already receives a context; context.Background here discards the caller's cancellation`
+	_ = sub
+	return nil
+}
+
+// Entry nil-defaults its parameter — the sanctioned shape, no finding.
+func Entry(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	_ = ctx
+	return nil
+}
+
+func routes() {
+	http.HandleFunc("/submit", nil)    // want `http.HandleFunc registers on http.DefaultServeMux`
+	_ = http.ListenAndServe(":0", nil) // want `http.ListenAndServe with a nil handler serves http.DefaultServeMux`
+}
+
+var _ = routes

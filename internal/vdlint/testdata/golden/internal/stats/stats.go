@@ -1,0 +1,47 @@
+// Package stats exercises detrand's direct-source and map-iteration
+// checks plus randimport's one sanctioned importer.
+package stats
+
+import (
+	"math/rand" // stats is the one package allowed to import math/rand
+	"sort"
+	"time"
+)
+
+// RNG is the sanctioned seeded generator; constructors are exempt from
+// detrand because their output is a pure function of the seed.
+func RNG(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// Jitter reads the global generator — flagged even in the blessed
+// importer, because determinism is about call sites, not imports.
+func Jitter() int {
+	return rand.Int() // want `deterministic package example.com/golden/internal/stats calls math/rand.Int`
+}
+
+// Elapsed reads the wall clock directly.
+func Elapsed() time.Duration {
+	return time.Since(time.Time{}) // want `calls time.Since`
+}
+
+// Flatten emits map values in iteration order.
+func Flatten(m map[string]float64) []float64 {
+	var out []float64
+	for _, v := range m {
+		out = append(out, v) // want `appends in map-iteration order`
+	}
+	return out
+}
+
+// FlattenSorted is the idiomatic fix and stays clean.
+func FlattenSorted(m map[string]float64) []float64 {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]float64, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, m[k])
+	}
+	return out
+}

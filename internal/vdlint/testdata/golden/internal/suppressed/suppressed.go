@@ -1,0 +1,19 @@
+// Package suppressed exercises the //vdlint:ignore machinery: a
+// suppression that works (and therefore produces no diagnostic), a
+// stale one, one without a reason, and one naming an unknown analyzer.
+package suppressed
+
+import (
+	"math/rand" //vdlint:ignore randimport this package demonstrates suppression; the import is the demo
+)
+
+var _ = rand.New
+
+//vdlint:ignore detrand nothing below ever matched, so this must be reported stale // want `unused vdlint:ignore for detrand`
+var stale = 1
+
+//vdlint:ignore randimport // want `vdlint:ignore randimport has no reason`
+var noReason = 2
+
+//vdlint:ignore nosuchanalyzer because reasons // want `vdlint:ignore names unknown analyzer nosuchanalyzer`
+var unknown = 3

@@ -1,0 +1,22 @@
+// Package util is the corpus's innocent-looking helper package: it is
+// not one of the deterministic packages, so its wall-clock and rand
+// calls are legal here — but detrand's taint follows them into any
+// deterministic caller.
+package util
+
+import (
+	"math/rand" // want `package example.com/golden/internal/util imports math/rand`
+	"time"
+)
+
+// Rand wraps the globally seeded generator; calling it from a
+// deterministic package is the classic hidden-nondeterminism bug.
+func Rand() int { return rand.Int() }
+
+// Stamp reads the wall clock behind two layers of indirection.
+func Stamp() int64 { return now().UnixNano() }
+
+func now() time.Time { return time.Now() }
+
+// Pure is genuinely deterministic and must not pick up taint.
+func Pure(n int) int { return n * 2 }

@@ -1,48 +1,33 @@
-// Package vdlint is a small, dependency-free static-analysis framework
-// for this module, in the style of go/analysis: a loader that parses the
-// module's packages, an Analyzer interface, and a driver that runs the
-// analyzers and collects position-tagged diagnostics. The toolchain's
-// golang.org/x/tools multichecker is deliberately not used — the module
-// is stdlib-only — so cmd/vdlint binds the repo-specific analyzers in
-// this package into a standalone checker.
+// Package vdlint is a dependency-free, type-aware static-analysis
+// framework for this module, in the style of go/analysis: a loader that
+// parses the module into correct type-check units (load.go), a driver
+// that type-checks and analyzes packages in dependency order over the
+// shared workpool budget, an object-fact store so analyzers can reason
+// across package boundaries, and //vdlint:ignore suppression with
+// unused-suppression reporting. The toolchain's golang.org/x/tools
+// multichecker is deliberately not used — the module is stdlib-only — so
+// cmd/vdlint binds the repo-specific analyzers into a standalone checker.
 package vdlint
 
 import (
+	"encoding/json"
 	"fmt"
 	"go/ast"
-	"go/parser"
 	"go/token"
-	"io/fs"
-	"os"
+	"go/types"
+	"io"
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
+
+	"github.com/dsn2015/vdbench/internal/workpool"
 )
 
-// Package is one parsed directory of the module.
-type Package struct {
-	// Path is the package's import path (module path + relative dir).
-	Path string
-	// Dir is the directory relative to the module root ("." for the root).
-	Dir string
-	// Files holds the parsed files, test files included, in file-name
-	// order. File names are available through Program.Fset.
-	Files []*ast.File
-}
-
-// Program is the loaded module: every package, sharing one FileSet.
-type Program struct {
-	// ModulePath is the module path from go.mod.
-	ModulePath string
-	// Fset resolves token positions for all files.
-	Fset *token.FileSet
-	// Packages lists the parsed packages in path order.
-	Packages []*Package
-}
-
-// Diagnostic is one finding, anchored to a source position.
+// Diagnostic is one finding, anchored to a source position. File paths
+// are relative to the module root so output is stable across checkouts.
 type Diagnostic struct {
-	// Pos is the resolved file position of the finding.
+	// Pos is the resolved, root-relative file position of the finding.
 	Pos token.Position
 	// Analyzer names the analyzer that produced the finding.
 	Analyzer string
@@ -55,17 +40,6 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
 }
 
-// Analyzer is one whole-program check. Run inspects the program and
-// returns its findings; the driver sorts and positions them.
-type Analyzer struct {
-	// Name identifies the analyzer in diagnostics and on the command line.
-	Name string
-	// Doc is a one-line description.
-	Doc string
-	// Run produces the findings as (pos, message) pairs.
-	Run func(prog *Program) []Finding
-}
-
 // Finding is an unresolved diagnostic: a token.Pos plus a message. The
 // driver resolves positions against the program's FileSet.
 type Finding struct {
@@ -73,99 +47,331 @@ type Finding struct {
 	Message string
 }
 
-// Load parses every .go file of the module rooted at dir, grouping files
-// by directory. Hidden directories and testdata trees are skipped, like
-// the go tool does. Test files are included: the analyzers here reason
-// about what the tests exercise.
-func Load(dir string) (*Program, error) {
-	modPath, err := modulePath(filepath.Join(dir, "go.mod"))
-	if err != nil {
-		return nil, err
-	}
-	prog := &Program{ModulePath: modPath, Fset: token.NewFileSet()}
-	byDir := map[string]*Package{}
-	err = filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
-		if err != nil {
-			return err
-		}
-		if d.IsDir() {
-			name := d.Name()
-			if path != dir && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
-				return filepath.SkipDir
-			}
-			return nil
-		}
-		if !strings.HasSuffix(path, ".go") {
-			return nil
-		}
-		file, err := parser.ParseFile(prog.Fset, path, nil, parser.ParseComments)
-		if err != nil {
-			return fmt.Errorf("vdlint: parse %s: %w", path, err)
-		}
-		rel, err := filepath.Rel(dir, filepath.Dir(path))
-		if err != nil {
-			return err
-		}
-		rel = filepath.ToSlash(rel)
-		pkg, ok := byDir[rel]
-		if !ok {
-			importPath := modPath
-			if rel != "." {
-				importPath = modPath + "/" + rel
-			}
-			pkg = &Package{Path: importPath, Dir: rel}
-			byDir[rel] = pkg
-		}
-		pkg.Files = append(pkg.Files, file)
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	for _, pkg := range byDir {
-		prog.Packages = append(prog.Packages, pkg)
-	}
-	sort.Slice(prog.Packages, func(i, j int) bool { return prog.Packages[i].Path < prog.Packages[j].Path })
-	return prog, nil
+// Analyzer is one check. Run is invoked once per type-check unit, in
+// dependency order (a unit's module-internal imports are always analyzed
+// first, so facts exported on their objects are visible). Finish, if
+// set, runs once after every unit, for whole-program properties that
+// need all per-package results.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics, suppression comments
+	// and on the command line.
+	Name string
+	// Doc is a one-line description.
+	Doc string
+	// Run analyzes one unit. Report findings via pass.Reportf; stash
+	// per-package data for Finish via pass.SetResult.
+	Run func(pass *Pass)
+	// Finish, optional, runs after all units and reports whole-program
+	// findings.
+	Finish func(fp *FinishPass)
 }
 
-// Run executes the analyzers against the program and returns all
-// diagnostics sorted by position.
-func Run(prog *Program, analyzers []*Analyzer) []Diagnostic {
-	var out []Diagnostic
-	for _, a := range analyzers {
-		for _, f := range a.Run(prog) {
-			out = append(out, Diagnostic{
-				Pos:      prog.Fset.Position(f.Pos),
-				Analyzer: a.Name,
-				Message:  f.Message,
-			})
+// Pass carries one (analyzer, unit) invocation's state.
+type Pass struct {
+	// Prog is the loaded program.
+	Prog *Program
+	// Pkg is the unit under analysis, fully type-checked.
+	Pkg *Package
+
+	analyzer *Analyzer
+	store    *factStore
+	findings []Finding
+	result   any
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.findings = append(p.findings, Finding{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// SetResult stashes a per-package value for the analyzer's Finish pass.
+func (p *Pass) SetResult(v any) { p.result = v }
+
+// ExportFact attaches a fact to obj for downstream units (and Finish) of
+// the same analyzer. Facts are keyed by the object's stable full name,
+// so an object re-checked in a test-augmented unit resolves to the same
+// fact as its primary incarnation.
+func (p *Pass) ExportFact(obj types.Object, fact any) { p.store.set(obj, fact) }
+
+// LookupFact returns the fact exported for obj by this analyzer, if any.
+func (p *Pass) LookupFact(obj types.Object) (any, bool) { return p.store.get(obj) }
+
+// IsTestFile reports whether the file's name ends in _test.go.
+func (p *Pass) IsTestFile(f *ast.File) bool { return p.Prog.isTestFilename(f) }
+
+// FinishPass carries an analyzer's whole-program finish phase.
+type FinishPass struct {
+	// Prog is the loaded program.
+	Prog *Program
+
+	analyzer *Analyzer
+	store    *factStore
+	results  map[*Package]any
+	findings []Finding
+}
+
+// Reportf records a finding at pos.
+func (fp *FinishPass) Reportf(pos token.Pos, format string, args ...any) {
+	fp.findings = append(fp.findings, Finding{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Result returns the value the analyzer's Run stored for the unit.
+func (fp *FinishPass) Result(pkg *Package) any { return fp.results[pkg] }
+
+// LookupFact returns the fact exported for obj by this analyzer, if any.
+func (fp *FinishPass) LookupFact(obj types.Object) (any, bool) { return fp.store.get(obj) }
+
+// factStore holds one analyzer's exported object facts. Keys are stable
+// full names rather than object identities because a test-augmented unit
+// re-checks its primary files into distinct types.Object values.
+type factStore struct {
+	mu sync.RWMutex
+	m  map[string]any
+}
+
+func newFactStore() *factStore { return &factStore{m: map[string]any{}} }
+
+// factKey derives the stable key for an object.
+func factKey(obj types.Object) string {
+	if f, ok := obj.(*types.Func); ok {
+		return f.FullName()
+	}
+	pkg := ""
+	if obj.Pkg() != nil {
+		pkg = obj.Pkg().Path()
+	}
+	return pkg + "." + obj.Name()
+}
+
+func (s *factStore) set(obj types.Object, fact any) {
+	key := factKey(obj)
+	s.mu.Lock()
+	s.m[key] = fact
+	s.mu.Unlock()
+}
+
+func (s *factStore) get(obj types.Object) (any, bool) {
+	key := factKey(obj)
+	s.mu.RLock()
+	v, ok := s.m[key]
+	s.mu.RUnlock()
+	return v, ok
+}
+
+// Options configures a driver run.
+type Options struct {
+	// Workers bounds the worker budget; <= 0 selects GOMAXPROCS.
+	Workers int
+	// Only restricts the run to the named analyzers (nil = all).
+	Only []string
+	// Skip drops the named analyzers.
+	Skip []string
+}
+
+// Run type-checks the program (dependency-ordered, parallel across the
+// worker budget) and executes the analyzers against every unit, then
+// applies //vdlint:ignore suppressions and returns the surviving
+// diagnostics sorted by (file, line, column, analyzer, message).
+func Run(prog *Program, analyzers []*Analyzer, opts Options) ([]Diagnostic, error) {
+	selected, err := selectAnalyzers(analyzers, opts)
+	if err != nil {
+		return nil, err
+	}
+	budget := workpool.New(opts.Workers)
+	if err := prog.EnsureTyped(budget); err != nil {
+		return nil, err
+	}
+
+	stores := make([]*factStore, len(selected))
+	for i := range stores {
+		stores[i] = newFactStore()
+	}
+	// passes[unit][analyzer]: every slot is written by exactly one task,
+	// so collection is deterministic without locks.
+	passes := map[*Package][]*Pass{}
+	for _, u := range prog.Packages {
+		passes[u] = make([]*Pass, len(selected))
+	}
+	for _, level := range prog.levels {
+		level := level
+		err := budget.ForEach(len(level), func(_, i int) error {
+			u := level[i]
+			for ai, a := range selected {
+				pass := &Pass{Prog: prog, Pkg: u, analyzer: a, store: stores[ai]}
+				a.Run(pass)
+				passes[u][ai] = pass
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		a, b := out[i], out[j]
+
+	byAnalyzer := map[string][]Diagnostic{}
+	record := func(name string, findings []Finding) {
+		for _, f := range findings {
+			pos := prog.Fset.Position(f.Pos)
+			pos.Filename = prog.relFile(pos.Filename)
+			byAnalyzer[name] = append(byAnalyzer[name], Diagnostic{Pos: pos, Analyzer: name, Message: f.Message})
+		}
+	}
+	for ai, a := range selected {
+		for _, u := range prog.Packages {
+			record(a.Name, passes[u][ai].findings)
+		}
+		if a.Finish != nil {
+			fp := &FinishPass{Prog: prog, analyzer: a, store: stores[ai], results: map[*Package]any{}}
+			for _, u := range prog.Packages {
+				fp.results[u] = passes[u][ai].result
+			}
+			a.Finish(fp)
+			record(a.Name, fp.findings)
+		}
+	}
+
+	ran := map[string]bool{}
+	for _, a := range selected {
+		ran[a.Name] = true
+	}
+	known := map[string]bool{}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	out := applySuppressions(prog, byAnalyzer, ran, known)
+	sortDiagnostics(out)
+	return out, nil
+}
+
+// EnsureTyped type-checks every unit that is not yet checked, levels in
+// dependency order, units within a level across the budget's workers.
+func (prog *Program) EnsureTyped(budget *workpool.Budget) error {
+	prog.typateMu.Lock()
+	defer prog.typateMu.Unlock()
+	if prog.typed {
+		return nil
+	}
+	for _, level := range prog.levels {
+		level := level
+		err := budget.ForEach(len(level), func(_, i int) error {
+			return prog.check(level[i])
+		})
+		if err != nil {
+			return err
+		}
+	}
+	prog.typed = true
+	return nil
+}
+
+// selectAnalyzers applies Only/Skip, rejecting unknown names so a typo
+// in -only can never silently disable the gate.
+func selectAnalyzers(analyzers []*Analyzer, opts Options) ([]*Analyzer, error) {
+	byName := map[string]*Analyzer{}
+	for _, a := range analyzers {
+		byName[a.Name] = a
+	}
+	for _, name := range append(append([]string{}, opts.Only...), opts.Skip...) {
+		if byName[name] == nil {
+			return nil, fmt.Errorf("vdlint: unknown analyzer %q", name)
+		}
+	}
+	skip := map[string]bool{}
+	for _, name := range opts.Skip {
+		skip[name] = true
+	}
+	var out []*Analyzer
+	if len(opts.Only) > 0 {
+		seen := map[string]bool{}
+		for _, a := range analyzers { // preserve registration order
+			for _, name := range opts.Only {
+				if a.Name == name && !seen[name] && !skip[name] {
+					out = append(out, a)
+					seen[name] = true
+				}
+			}
+		}
+	} else {
+		for _, a := range analyzers {
+			if !skip[a.Name] {
+				out = append(out, a)
+			}
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("vdlint: no analyzers selected")
+	}
+	return out, nil
+}
+
+// relFile rewrites an absolute file path to be module-root-relative (in
+// slash form); paths outside the root stay as they are.
+func (prog *Program) relFile(name string) string {
+	rel, err := filepath.Rel(prog.Root, name)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return name
+	}
+	return filepath.ToSlash(rel)
+}
+
+// sortDiagnostics orders diagnostics by (file, line, column, analyzer,
+// message) — a total order, so output is identical at any worker count.
+func sortDiagnostics(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
 			return a.Pos.Filename < b.Pos.Filename
 		}
 		if a.Pos.Line != b.Pos.Line {
 			return a.Pos.Line < b.Pos.Line
 		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
 		return a.Message < b.Message
 	})
-	return out
 }
 
-// modulePath extracts the module path from a go.mod file.
-func modulePath(gomod string) (string, error) {
-	data, err := os.ReadFile(gomod)
-	if err != nil {
-		return "", fmt.Errorf("vdlint: %w", err)
+// jsonDiagnostic is the stable wire shape of one diagnostic.
+type jsonDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// WriteJSON encodes the diagnostics as a JSON array (never null) with a
+// fixed field order, one diagnostic per line, so the tier-1 gate's
+// output is machine-checkable and byte-stable across runs and worker
+// counts.
+func WriteJSON(w io.Writer, diags []Diagnostic) error {
+	if len(diags) == 0 {
+		_, err := io.WriteString(w, "[]\n")
+		return err
 	}
-	for _, line := range strings.Split(string(data), "\n") {
-		line = strings.TrimSpace(line)
-		if rest, ok := strings.CutPrefix(line, "module "); ok {
-			return strings.TrimSpace(rest), nil
+	if _, err := io.WriteString(w, "[\n"); err != nil {
+		return err
+	}
+	for i, d := range diags {
+		row, err := json.Marshal(jsonDiagnostic{
+			File: d.Pos.Filename, Line: d.Pos.Line, Column: d.Pos.Column,
+			Analyzer: d.Analyzer, Message: d.Message,
+		})
+		if err != nil {
+			return err
+		}
+		sep := ",\n"
+		if i == len(diags)-1 {
+			sep = "\n"
+		}
+		if _, err := fmt.Fprintf(w, " %s%s", row, sep); err != nil {
+			return err
 		}
 	}
-	return "", fmt.Errorf("vdlint: no module line in %s", gomod)
+	_, err := io.WriteString(w, "]\n")
+	return err
 }
