@@ -13,6 +13,9 @@
 //	vdbench -seed 7 -services 1000 e3
 //	vdbench -workers 8 e3   # campaign worker pool; output is identical
 //	vdbench -tool-timeout 2s -retries 1 -degraded skip e18
+//	vdbench -distributed http://127.0.0.1:8344 e3
+//	                        # run the campaign on a vdserved -coordinator
+//	                        # worker fleet; output is byte-identical
 //
 // SIGINT/SIGTERM abort the running campaign at its next (tool, case)
 // cell via the context-first execution engine.
@@ -29,6 +32,7 @@ import (
 	"runtime"
 	"strings"
 	"syscall"
+	"time"
 
 	"github.com/dsn2015/vdbench"
 )
@@ -55,6 +59,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		format       = fs.String("format", "text", "output format: text, csv, markdown or json (tables only for csv/markdown)")
 		outDir       = fs.String("out", "", "also write per-experiment artefacts (.txt, .csv, .svg) into this directory")
 		list         = fs.Bool("list", false, "list the available experiments and exit")
+		distributed  = fs.String("distributed", "", "coordinator base URL; runs the benchmark campaign on its worker fleet (output is byte-identical to a local run)")
+		shardCases   = fs.Int("shard-cases", 0, "corpus cases per distributed shard (0 = coordinator default; only with -distributed)")
 	)
 	fs.SetOutput(out)
 	fs.Usage = func() {
@@ -77,6 +83,21 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	}
 	if *workers <= 0 {
 		return fmt.Errorf("-workers must be positive, got %d (campaign output is identical for every positive value)", *workers)
+	}
+	// Reject bad execution-policy flags here, with flag vocabulary, rather
+	// than letting them surface as harness errors deep inside the first
+	// campaign.
+	if *retryBackoff < 0 {
+		return fmt.Errorf("-retry-backoff must be non-negative, got %v", *retryBackoff)
+	}
+	if *toolTimeout < 0 || (*toolTimeout > 0 && *toolTimeout < time.Second) {
+		return fmt.Errorf("-tool-timeout must be 0 (disabled) or at least 1s, got %v (a tighter deadline would make results hardware-dependent)", *toolTimeout)
+	}
+	if *shardCases < 0 {
+		return fmt.Errorf("-shard-cases must be non-negative, got %d", *shardCases)
+	}
+	if *shardCases > 0 && *distributed == "" {
+		return fmt.Errorf("-shard-cases only applies with -distributed")
 	}
 	policy, err := vdbench.ParseDegradedPolicy(*degraded)
 	if err != nil {
@@ -105,13 +126,26 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	defer stop()
 
 	var results []vdbench.ExperimentResult
-	if target == "all" {
+	switch {
+	case target == "all" && *distributed != "":
+		all, err := vdbench.RunAllExperimentsDistributedCtx(ctx, cfg, *distributed, *shardCases)
+		if err != nil {
+			return err
+		}
+		results = all
+	case target == "all":
 		all, err := vdbench.RunAllExperimentsCtx(ctx, cfg)
 		if err != nil {
 			return err
 		}
 		results = all
-	} else {
+	case *distributed != "":
+		res, err := vdbench.RunExperimentDistributedCtx(ctx, target, cfg, *distributed, *shardCases)
+		if err != nil {
+			return err
+		}
+		results = []vdbench.ExperimentResult{res}
+	default:
 		res, err := vdbench.RunExperimentCtx(ctx, target, cfg)
 		if err != nil {
 			return err

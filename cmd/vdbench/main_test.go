@@ -3,10 +3,15 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
+	"time"
+
+	"github.com/dsn2015/vdbench/internal/dist"
 )
 
 func TestRunListsExperiments(t *testing.T) {
@@ -82,6 +87,9 @@ func TestRunErrors(t *testing.T) {
 		{"-quick", "-tool-timeout", "10ms", "e1"}, // below the 1s floor
 		{"-quick", "-retries", "-1", "e1"},        // negative retry budget
 		{"-quick", "-retry-backoff", "-1s", "e1"}, // negative backoff
+		{"-quick", "-tool-timeout", "-1s", "e1"},  // negative deadline
+		{"-quick", "-shard-cases", "-1", "e1"},    // negative shard size
+		{"-quick", "-shard-cases", "4", "e1"},     // -shard-cases without -distributed
 	}
 	for _, args := range cases {
 		var out strings.Builder
@@ -164,5 +172,46 @@ func TestRunOutDirWritesArtefacts(t *testing.T) {
 	svg, _ := os.ReadFile(filepath.Join(dir, "e6_figure1.svg"))
 	if !strings.Contains(string(svg), "<svg") {
 		t.Fatal("figure artefact is not SVG")
+	}
+}
+
+// TestRunDistributedMatchesLocal runs an experiment through the
+// -distributed flag against an in-process coordinator with two workers
+// and requires the rendered output to be byte-identical to the plain
+// local run.
+func TestRunDistributedMatchesLocal(t *testing.T) {
+	coord := dist.NewCoordinator(dist.CoordinatorOptions{})
+	srv := httptest.NewServer(coord.Handler())
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wk := dist.NewWorker(dist.WorkerOptions{Join: srv.URL, PollInterval: 5 * time.Millisecond})
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := wk.Run(ctx); err != nil {
+				t.Errorf("worker: %v", err)
+			}
+		}()
+	}
+	defer func() {
+		cancel()
+		wg.Wait()
+		srv.Close()
+		if err := coord.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	}()
+
+	var local, remote strings.Builder
+	if err := run(context.Background(), []string{"-quick", "e3"}, &local); err != nil {
+		t.Fatal(err)
+	}
+	args := []string{"-quick", "-distributed", srv.URL, "-shard-cases", "3", "e3"}
+	if err := run(context.Background(), args, &remote); err != nil {
+		t.Fatal(err)
+	}
+	if local.String() != remote.String() {
+		t.Fatal("-distributed changed the experiment output")
 	}
 }

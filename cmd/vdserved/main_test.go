@@ -5,10 +5,16 @@ import (
 	"encoding/json"
 	"io"
 	"net/http"
+	"reflect"
 	"strings"
 	"sync"
 	"testing"
 	"time"
+
+	"github.com/dsn2015/vdbench/internal/detectors"
+	"github.com/dsn2015/vdbench/internal/dist"
+	"github.com/dsn2015/vdbench/internal/harness"
+	"github.com/dsn2015/vdbench/internal/workload"
 )
 
 // syncWriter makes the daemon's log output safe to read while run() is
@@ -36,6 +42,15 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		{"-workers", "-2"},
 		{"positional"},
 		{"-addr", "not a real:address:at:all"},
+		{"-retry-backoff", "-1s"},                        // negative backoff
+		{"-tool-timeout", "-1s"},                         // negative deadline
+		{"-tool-timeout", "10ms"},                        // below the 1s floor
+		{"-coordinator", "-worker", "-join", "http://x"}, // mutually exclusive modes
+		{"-worker"},                                      // -worker without -join
+		{"-join", "http://x"},                            // -join without -worker
+		{"-heartbeat-interval", "1s"},                    // heartbeat flags need -coordinator
+		{"-coordinator", "-heartbeat-interval", "-1s"},   // negative heartbeat cadence
+		{"-coordinator", "-heartbeat-timeout", "-1s"},    // negative heartbeat timeout
 	}
 	for _, args := range cases {
 		var out syncWriter
@@ -118,5 +133,109 @@ func TestRunServeAndGracefulShutdown(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "shutting down (draining running campaigns)") {
 		t.Fatalf("no graceful-shutdown notice:\n%s", out.String())
+	}
+}
+
+// waitForListener polls the daemon's output until a line with the given
+// prefix announces the bound address.
+func waitForListener(t *testing.T, out *syncWriter, prefix string) string {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatalf("no %q line; output:\n%s", prefix, out.String())
+		}
+		for _, line := range strings.Split(out.String(), "\n") {
+			if rest, ok := strings.CutPrefix(line, prefix); ok {
+				if i := strings.IndexByte(rest, ' '); i >= 0 {
+					rest = rest[:i]
+				}
+				return strings.TrimSpace(rest)
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestRunDistributedSmoke is the tier-1 end-to-end check of the
+// distributed modes: one vdserved coordinator plus two vdserved workers,
+// all booted through run() exactly as the CLI would, executing a small
+// campaign that must deep-equal the plain in-process run.
+func TestRunDistributedSmoke(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	var coordOut syncWriter
+	done := make(chan error, 3)
+	go func() {
+		done <- run(ctx, []string{"-coordinator", "-addr", "127.0.0.1:0",
+			"-heartbeat-interval", "50ms"}, &coordOut)
+	}()
+	base := waitForListener(t, &coordOut, "vdserved coordinator listening on ")
+
+	var w1, w2 syncWriter
+	go func() { done <- run(ctx, []string{"-worker", "-join", base, "-addr", "127.0.0.1:0"}, &w1) }()
+	go func() { done <- run(ctx, []string{"-worker", "-join", base, "-addr", "127.0.0.1:0"}, &w2) }()
+
+	// Readiness flips once the worker has a live registration.
+	for _, wout := range []*syncWriter{&w1, &w2} {
+		addr := waitForListener(t, wout, "vdserved worker listening on ")
+		deadline := time.Now().Add(30 * time.Second)
+		for {
+			resp, err := http.Get(addr + "/healthz/ready")
+			if err == nil {
+				resp.Body.Close()
+				if resp.StatusCode == http.StatusOK {
+					break
+				}
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("worker %s never became ready", addr)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+
+	wcfg := workload.Config{Services: 8, TargetPrevalence: 0.5, Seed: 3}
+	opts := harness.Options{Seed: 3, Workers: 2}
+
+	corpus, err := workload.Generate(wcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tools, err := detectors.StandardSuite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := harness.RunCtx(context.Background(), corpus, tools, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	client := dist.NewClient(base)
+	client.PollWait = 100 * time.Millisecond
+	got, err := client.RunCampaign(ctx, dist.CampaignSpec{
+		Workload:   wcfg,
+		Suite:      "standard",
+		Options:    opts,
+		ShardCases: 3, // several shards, so both workers get work
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("distributed campaign differs from local run")
+	}
+
+	cancel()
+	for i := 0; i < 3; i++ {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Errorf("run returned %v", err)
+			}
+		case <-time.After(60 * time.Second):
+			t.Fatalf("processes did not shut down; coordinator output:\n%s", coordOut.String())
+		}
 	}
 }

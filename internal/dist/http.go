@@ -1,0 +1,51 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// httpJSON performs one JSON round-trip against a coordinator endpoint.
+// A nil in sends no body; a nil out discards any response body. Non-2xx
+// responses become errors carrying the server's {"error": ...} text. The
+// returned status is valid whenever err came from the server rather than
+// the transport (status != 0).
+func httpJSON(ctx context.Context, hc *http.Client, method, url string, in, out any) (int, error) {
+	var body io.Reader
+	if in != nil {
+		buf, err := json.Marshal(in)
+		if err != nil {
+			return 0, fmt.Errorf("dist: encoding %s %s: %w", method, url, err)
+		}
+		body = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, url, body)
+	if err != nil {
+		return 0, fmt.Errorf("dist: %s %s: %w", method, url, err)
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return 0, fmt.Errorf("dist: %s %s: %w", method, url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		var eb distErrorBody
+		if derr := json.NewDecoder(resp.Body).Decode(&eb); derr == nil && eb.Error != "" {
+			return resp.StatusCode, fmt.Errorf("dist: %s %s: %s", method, url, eb.Error)
+		}
+		return resp.StatusCode, fmt.Errorf("dist: %s %s: HTTP %d", method, url, resp.StatusCode)
+	}
+	if out != nil && resp.StatusCode != http.StatusNoContent {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return resp.StatusCode, fmt.Errorf("dist: decoding %s %s: %w", method, url, err)
+		}
+	}
+	return resp.StatusCode, nil
+}

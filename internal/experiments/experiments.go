@@ -183,6 +183,7 @@ func (r Result) String() string {
 type Runner struct {
 	cfg    Config
 	budget *workpool.Budget
+	exec   CampaignExecutor
 
 	profilesOnce sync.Once
 	profiles     []metricprop.Profile
@@ -204,6 +205,25 @@ func NewRunner(cfg Config) (*Runner, error) {
 
 // Config returns the runner's configuration.
 func (r *Runner) Config() Config { return r.cfg }
+
+// CampaignExecutor abstracts how the benchmark campaign is executed.
+// The default is the in-process harness; internal/dist's Client
+// satisfies this structurally to run the campaign on a coordinator's
+// worker fleet instead. Either way the result is byte-identical — that
+// is the distributed subsystem's contract — so experiments downstream
+// of the campaign cannot tell the difference.
+type CampaignExecutor interface {
+	ExecuteCampaign(ctx context.Context, wcfg workload.Config, suite string, opts harness.Options) (*harness.Campaign, error)
+}
+
+// SetCampaignExecutor routes campaign execution through exec (nil
+// restores the in-process default). Call before the first Campaign use;
+// the campaign is memoised, so later changes have no effect.
+func (r *Runner) SetCampaignExecutor(exec CampaignExecutor) {
+	r.campaignMu.Lock()
+	defer r.campaignMu.Unlock()
+	r.exec = exec
+}
 
 // propConfig resolves the property-analysis configuration against the
 // shared worker budget: Prop.Workers == 0 inherits cfg.Workers (Validate
@@ -258,12 +278,20 @@ func (r *Runner) CampaignCtx(ctx context.Context) (*harness.Campaign, error) {
 }
 
 func (r *Runner) runCampaign(ctx context.Context) (*harness.Campaign, error) {
-	corpus, err := workload.Generate(workload.Config{
+	wcfg := workload.Config{
 		Services:         r.cfg.Services,
 		TargetPrevalence: r.cfg.Prevalence,
 		Seed:             r.cfg.Seed,
 		Interpreter:      r.cfg.Interpreter,
-	})
+	}
+	if r.exec != nil {
+		campaign, err := r.exec.ExecuteCampaign(ctx, wcfg, "standard", r.cfg.execOptions())
+		if err != nil {
+			return nil, fmt.Errorf("experiments: campaign: %w", err)
+		}
+		return campaign, nil
+	}
+	corpus, err := workload.Generate(wcfg)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: corpus: %w", err)
 	}

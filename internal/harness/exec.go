@@ -18,6 +18,7 @@ package harness
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -164,19 +165,23 @@ func (k FailureKind) String() string {
 	}
 }
 
-// ExecError records the final failure of one (tool, case) cell.
+// ExecError records the final failure of one (tool, case) cell. The
+// exported fields are the complete wire representation: a record decoded
+// from JSON (the distributed shard protocol, internal/dist) reproduces
+// the same Error() text and the same merged ledger as the original.
 type ExecError struct {
 	// Tool and Service name the cell; Case is the corpus index.
-	Tool    string
-	Service string
-	Case    int
+	Tool    string `json:"tool"`
+	Service string `json:"service"`
+	Case    int    `json:"case"`
 	// Attempt is the 1-based attempt the cell finally failed on.
-	Attempt int
+	Attempt int `json:"attempt"`
 	// Kind classifies the failure; Msg is the underlying error text.
-	Kind FailureKind
-	Msg  string
+	Kind FailureKind `json:"kind"`
+	Msg  string      `json:"msg"`
 
 	// err keeps the original error for the abort policy and errors.Is.
+	// It does not cross the wire; Underlying reconstructs an equivalent.
 	err error
 }
 
@@ -188,6 +193,18 @@ func (e *ExecError) Error() string {
 
 // Unwrap exposes the underlying error to errors.Is/As.
 func (e *ExecError) Unwrap() error { return e.err }
+
+// Underlying returns the original error the cell failed with. For a
+// record decoded from the wire (where the original error value is gone)
+// it returns an error with the recorded message, so the abort policy
+// reports identical text whether the cell failed locally or on a remote
+// worker.
+func (e *ExecError) Underlying() error {
+	if e.err != nil {
+		return e.err
+	}
+	return errors.New(e.Msg)
+}
 
 // ExecLedger is the per-tool execution accounting attached to every
 // ToolResult. Invariants (checked by Reconcile and the property tests):
@@ -271,12 +288,23 @@ func ExecTotalsSnapshot() ExecTotals {
 	}
 }
 
-// caseExec is the execution engine's record of one (tool, case) cell.
-type caseExec struct {
-	outcomes []SinkOutcome
-	fault    *ExecError // nil on success
-	attempts int
-	retries  int
+// CellResult is the execution engine's record of one (tool, case) cell:
+// the outcomes of a successful cell or the fault of a failed one, plus
+// the attempt accounting the ledger is built from. It is the unit the
+// distributed shard protocol ships between workers and the coordinator
+// (internal/dist); the JSON encoding carries every field the merge
+// reads, so a campaign merged from decoded records is byte-identical to
+// one merged from local records.
+type CellResult struct {
+	// Outcomes holds the scored per-sink outcomes of a successful cell,
+	// in truth order; nil when the cell failed.
+	Outcomes []SinkOutcome `json:"outcomes,omitempty"`
+	// Fault records the final failure of a failed cell; nil on success.
+	Fault *ExecError `json:"fault,omitempty"`
+	// Attempts counts every invocation of the cell including retries;
+	// Retries counts re-invocations after a retryable error.
+	Attempts int `json:"attempts"`
+	Retries  int `json:"retries"`
 }
 
 // engine carries the immutable campaign state shared by every worker.
@@ -314,40 +342,62 @@ func RunCtx(ctx context.Context, corpus *workload.Corpus, tools []detectors.Tool
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	eng := newEngine(corpus, tools, opts)
+	cells, err := eng.runCells(ctx, 0, len(corpus.Cases), workers, opts.Degraded == DegradedAbort)
+	if err != nil {
+		return nil, err
+	}
+	return mergeCampaign(corpus, eng.tools, cells, opts.Degraded), nil
+}
+
+// newEngine assembles the immutable campaign state shared by every
+// worker: campaign-scoped compile cache and execution engine bindings,
+// the pre-split per-(tool, case) RNG streams, and the per-case valid
+// sink sets. The RNG streams always cover the FULL corpus, so a shard
+// execution (runCells over a sub-range) sees exactly the generator
+// state a local full run would.
+func newEngine(corpus *workload.Corpus, tools []detectors.Tool, opts Options) *engine {
 	tools = bindCompileCache(tools)
 	tools = bindExecEngine(tools, opts.Interpreter)
-
-	eng := &engine{
+	return &engine{
 		opts:   opts,
 		corpus: corpus,
 		tools:  tools,
 		rngs:   preSplitRNGs(len(tools), len(corpus.Cases), opts.Seed),
 		valid:  validSinkSets(corpus),
 	}
+}
 
-	nTools, nCases := len(tools), len(corpus.Cases)
-	execs := make([][]caseExec, nTools)
-	for t := range execs {
-		execs[t] = make([]caseExec, nCases)
+// runCells executes every (tool, case) cell whose case index lies in
+// [lo, hi) and returns the records indexed [tool][case-lo]. When
+// abortOnFault is set (DegradedAbort), the first cell fault is
+// campaign-fatal: serial execution returns it immediately, parallel
+// execution drains the queue and returns the earliest error in (tool,
+// case) order — the one serial execution would have hit first.
+func (e *engine) runCells(ctx context.Context, lo, hi, workers int, abortOnFault bool) ([][]CellResult, error) {
+	nTools, nCases := len(e.tools), hi-lo
+	cells := make([][]CellResult, nTools)
+	for t := range cells {
+		cells[t] = make([]CellResult, nCases)
 	}
 
 	if workers == 1 {
-		for t := range tools {
-			for c := range corpus.Cases {
+		for t := 0; t < nTools; t++ {
+			for c := lo; c < hi; c++ {
 				if err := ctx.Err(); err != nil {
 					return nil, abortErr(err)
 				}
-				ce, err := eng.executeCase(ctx, t, c)
+				ce, err := e.executeCase(ctx, t, c)
 				if err != nil {
 					return nil, err
 				}
-				if ce.fault != nil && opts.Degraded == DegradedAbort {
-					return nil, ce.fault.err
+				if ce.Fault != nil && abortOnFault {
+					return nil, ce.Fault.err
 				}
-				execs[t][c] = ce
+				cells[t][c-lo] = ce
 			}
 		}
-		return mergeCampaign(corpus, tools, execs, opts.Degraded), nil
+		return cells, nil
 	}
 
 	// Parallel: the task pool mirrors the historical RunParallel. Fatal
@@ -372,27 +422,27 @@ func RunCtx(ctx context.Context, corpus *workload.Corpus, tools []detectors.Tool
 					continue // fatal error elsewhere; drain the queue
 				}
 				if err := ctx.Err(); err != nil {
-					errs[tk.tool][tk.cs] = abortErr(err)
+					errs[tk.tool][tk.cs-lo] = abortErr(err)
 					failed.Store(true)
 					continue
 				}
-				ce, err := eng.executeCase(ctx, tk.tool, tk.cs)
+				ce, err := e.executeCase(ctx, tk.tool, tk.cs)
 				if err != nil {
-					errs[tk.tool][tk.cs] = err
+					errs[tk.tool][tk.cs-lo] = err
 					failed.Store(true)
 					continue
 				}
-				if ce.fault != nil && opts.Degraded == DegradedAbort {
-					errs[tk.tool][tk.cs] = ce.fault.err
+				if ce.Fault != nil && abortOnFault {
+					errs[tk.tool][tk.cs-lo] = ce.Fault.err
 					failed.Store(true)
 					continue
 				}
-				execs[tk.tool][tk.cs] = ce
+				cells[tk.tool][tk.cs-lo] = ce
 			}
 		}()
 	}
 	for t := 0; t < nTools; t++ {
-		for c := 0; c < nCases; c++ {
+		for c := lo; c < hi; c++ {
 			tasks <- task{tool: t, cs: c}
 		}
 	}
@@ -408,24 +458,24 @@ func RunCtx(ctx context.Context, corpus *workload.Corpus, tools []detectors.Tool
 			}
 		}
 	}
-	return mergeCampaign(corpus, tools, execs, opts.Degraded), nil
+	return cells, nil
 }
 
 // executeCase runs the attempt loop for one (tool, case) cell. The
 // returned error is campaign-fatal (cancellation); per-cell failures are
-// reported through caseExec.fault so the policy layer can decide.
-func (e *engine) executeCase(ctx context.Context, t, c int) (caseExec, error) {
+// reported through CellResult.Fault so the policy layer can decide.
+func (e *engine) executeCase(ctx context.Context, t, c int) (CellResult, error) {
 	tool, cs := e.tools[t], e.corpus.Cases[c]
-	var ce caseExec
+	var ce CellResult
 	maxAttempts := 1 + e.opts.Retry.MaxRetries
 	for attempt := 1; ; attempt++ {
 		if err := ctx.Err(); err != nil {
 			return ce, abortErr(err)
 		}
-		ce.attempts++
+		ce.Attempts++
 		outs, kind, err := e.runAttempt(ctx, t, c)
 		if err == nil {
-			ce.outcomes = outs
+			ce.Outcomes = outs
 			return ce, nil
 		}
 		if ctx.Err() != nil {
@@ -433,7 +483,7 @@ func (e *engine) executeCase(ctx context.Context, t, c int) (caseExec, error) {
 			return ce, abortErr(ctx.Err())
 		}
 		if kind == FailError && detectors.IsRetryable(err) && attempt < maxAttempts {
-			ce.retries++
+			ce.Retries++
 			execRetries.Add(1)
 			if e.opts.Retry.Backoff > 0 {
 				if serr := sleepCtx(ctx, backoffFor(e.opts.Retry.Backoff, attempt)); serr != nil {
@@ -442,7 +492,7 @@ func (e *engine) executeCase(ctx context.Context, t, c int) (caseExec, error) {
 			}
 			continue
 		}
-		ce.fault = &ExecError{
+		ce.Fault = &ExecError{
 			Tool:    tool.Name(),
 			Service: cs.Service.Name,
 			Case:    c,

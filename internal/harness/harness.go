@@ -187,10 +187,11 @@ func analyzeCaseCtx(ctx context.Context, tool detectors.Tool, cs workload.Case, 
 // Campaign in corpus order. Because aggregation happens tool-by-tool,
 // case-by-case in the same order the serial loop used, the result is
 // identical to serial execution regardless of the order the records were
-// produced in. Failed cells are scored per the degraded policy: skipped
-// (absent from the matrices) or counted as misses via synthesized
-// unflagged outcomes; either way the ledger records them.
-func mergeCampaign(corpus *workload.Corpus, tools []detectors.Tool, execs [][]caseExec, policy DegradedPolicy) *Campaign {
+// produced in — or, for distributed campaigns, of which worker process
+// produced them. Failed cells are scored per the degraded policy:
+// skipped (absent from the matrices) or counted as misses via
+// synthesized unflagged outcomes; either way the ledger records them.
+func mergeCampaign(corpus *workload.Corpus, tools []detectors.Tool, execs [][]CellResult, policy DegradedPolicy) *Campaign {
 	camp := &Campaign{Corpus: corpus}
 	total := corpus.TotalSinks()
 	for toolIdx, tool := range tools {
@@ -205,14 +206,14 @@ func mergeCampaign(corpus *workload.Corpus, tools []detectors.Tool, execs [][]ca
 		for caseIdx := range corpus.Cases {
 			ce := execs[toolIdx][caseIdx]
 			res.Exec.Cases++
-			res.Exec.Attempts += ce.attempts
-			res.Exec.Retries += ce.retries
-			outcomes := ce.outcomes
-			if ce.fault != nil {
+			res.Exec.Attempts += ce.Attempts
+			res.Exec.Retries += ce.Retries
+			outcomes := ce.Outcomes
+			if ce.Fault != nil {
 				res.Exec.Failed++
 				res.Exec.FailedCases = append(res.Exec.FailedCases, caseIdx)
-				res.Exec.Faults = append(res.Exec.Faults, *ce.fault)
-				switch ce.fault.Kind {
+				res.Exec.Faults = append(res.Exec.Faults, *ce.Fault)
+				switch ce.Fault.Kind {
 				case FailPanic:
 					res.Exec.RecoveredPanics++
 				case FailTimeout:

@@ -1,0 +1,103 @@
+package harness
+
+// This file is the distributed-execution seam of the harness: a campaign
+// can be split by case range into shards, each shard executed by a
+// different process (internal/dist workers), and the per-cell records
+// merged back into a Campaign byte-identical to a local run.
+//
+// The split is sound because of the same two invariants the parallel
+// harness rests on (see parallel.go): RNG streams are pre-split over the
+// FULL corpus in serial order — a shard execution derives exactly the
+// generator states a local run would hand those cases — and the merge
+// folds cells in (tool, case) order, the same accumulation sequence as
+// the serial loop. Which process executed a cell is therefore invisible
+// in the output.
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+
+	"github.com/dsn2015/vdbench/internal/detectors"
+	"github.com/dsn2015/vdbench/internal/workload"
+)
+
+// RunShardCtx executes the cells of every tool over the corpus cases in
+// [lo, hi) and returns the records indexed [tool][case-lo]. The corpus
+// must be the FULL campaign corpus — the per-(tool, case) RNG streams
+// are derived over all of it, so the shard's cells draw exactly what
+// they would draw in a local full-corpus run.
+//
+// Unlike RunCtx, a cell fault is never fatal here: the worker always
+// records it and ships it home, and the coordinator applies the
+// degraded policy (including abort) over the assembled full grid in
+// MergeShards — that is what keeps the abort error deterministic no
+// matter how cases were sharded. opts.Degraded is therefore ignored.
+// Cancelling ctx aborts the shard at the next cell boundary.
+func RunShardCtx(ctx context.Context, corpus *workload.Corpus, tools []detectors.Tool, opts Options, lo, hi int) ([][]CellResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := validate(corpus, tools); err != nil {
+		return nil, err
+	}
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if lo < 0 || hi > len(corpus.Cases) || lo >= hi {
+		return nil, fmt.Errorf("harness: shard range [%d,%d) outside corpus of %d cases", lo, hi, len(corpus.Cases))
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	eng := newEngine(corpus, tools, opts)
+	return eng.runCells(ctx, lo, hi, workers, false)
+}
+
+// MergeShards assembles the full per-(tool, case) cell grid — produced
+// by any number of RunShardCtx calls in any number of processes — into
+// a Campaign under the degraded policy. cells is indexed [tool][case]
+// over the whole corpus. The result is byte-identical to RunCtx over
+// the same corpus, tools and seed: the merge is the same fold, in the
+// same order, over the same records.
+//
+// Under DegradedAbort the merge fails with the fault of the earliest
+// failed cell in (tool, case) order — the fault serial execution would
+// have aborted on — reconstructing the underlying error text when the
+// record crossed a process boundary.
+func MergeShards(corpus *workload.Corpus, tools []detectors.Tool, cells [][]CellResult, policy DegradedPolicy) (*Campaign, error) {
+	if err := validate(corpus, tools); err != nil {
+		return nil, err
+	}
+	switch policy {
+	case DegradedAbort, DegradedSkip, DegradedCountMiss:
+	default:
+		return nil, fmt.Errorf("harness: unknown degraded policy %d", int(policy))
+	}
+	if len(cells) != len(tools) {
+		return nil, fmt.Errorf("harness: merge got cells for %d tools, want %d", len(cells), len(tools))
+	}
+	for t := range cells {
+		if len(cells[t]) != len(corpus.Cases) {
+			return nil, fmt.Errorf("harness: merge got %d cells for tool %s, want %d", len(cells[t]), tools[t].Name(), len(corpus.Cases))
+		}
+		for c := range cells[t] {
+			ce := &cells[t][c]
+			if ce.Fault == nil && len(ce.Outcomes) != len(corpus.Cases[c].Truths) {
+				return nil, fmt.Errorf("harness: merge cell (%s, case %d) has %d outcomes, want %d",
+					tools[t].Name(), c, len(ce.Outcomes), len(corpus.Cases[c].Truths))
+			}
+		}
+	}
+	if policy == DegradedAbort {
+		for t := range cells {
+			for c := range cells[t] {
+				if f := cells[t][c].Fault; f != nil {
+					return nil, f.Underlying()
+				}
+			}
+		}
+	}
+	return mergeCampaign(corpus, tools, cells, policy), nil
+}

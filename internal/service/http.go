@@ -61,8 +61,15 @@ func (r SubmitRequest) config(base vdbench.ExperimentConfig) vdbench.ExperimentC
 //	GET    /v1/jobs/{id}/result rendered result (?format=text|csv|markdown|json, optional ?wait=30s)
 //	DELETE /v1/jobs/{id}        cancel a queued or running job
 //	GET    /v1/experiments      experiment catalogue
-//	GET    /healthz             liveness
+//	GET    /healthz/live        process liveness
+//	GET    /healthz/ready       readiness; 503 once draining (BeginDrain/Shutdown)
+//	GET    /healthz             compatibility alias for liveness
 //	GET    /metrics             telemetry snapshot
+//
+// Liveness and readiness split on drain: a draining process is still
+// alive (don't restart it) but must not receive new work (stop routing
+// to it). Coordinators and load balancers should check readiness;
+// process supervisors, liveness.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
@@ -70,6 +77,8 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
+	mux.HandleFunc("GET /healthz/live", s.handleHealthz)
+	mux.HandleFunc("GET /healthz/ready", s.handleReady)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 
@@ -213,6 +222,16 @@ func (s *Service) handleExperiments(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Service) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_, _ = io.WriteString(w, "ok\n")
+}
+
+func (s *Service) handleReady(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.Draining() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_, _ = io.WriteString(w, "draining\n")
+		return
+	}
 	_, _ = io.WriteString(w, "ok\n")
 }
 

@@ -307,6 +307,36 @@ func TestAPIHealthzAndMetrics(t *testing.T) {
 	}
 }
 
+// TestAPILivenessReadinessSplit pins the drain semantics: liveness stays
+// green across a drain (the process is fine, don't restart it) while
+// readiness flips to 503 (stop routing new work here).
+func TestAPILivenessReadinessSplit(t *testing.T) {
+	svc, ts := newTestAPI(t, Options{Workers: 1}, nil)
+	for _, path := range []string{"/healthz", "/healthz/live", "/healthz/ready"} {
+		if code, _, body := httpDo(t, http.MethodGet, ts.URL+path, ""); code != http.StatusOK || body != "ok\n" {
+			t.Fatalf("%s before drain = %d %q", path, code, body)
+		}
+	}
+	svc.BeginDrain()
+	if !svc.Draining() {
+		t.Fatal("Draining() false after BeginDrain")
+	}
+	for _, path := range []string{"/healthz", "/healthz/live"} {
+		if code, _, _ := httpDo(t, http.MethodGet, ts.URL+path, ""); code != http.StatusOK {
+			t.Fatalf("%s while draining = %d, want 200", path, code)
+		}
+	}
+	if code, _, body := httpDo(t, http.MethodGet, ts.URL+"/healthz/ready", ""); code != http.StatusServiceUnavailable || body != "draining\n" {
+		t.Fatalf("/healthz/ready while draining = %d %q, want 503 draining", code, body)
+	}
+	// Shutdown implies drain even without an explicit BeginDrain.
+	svc2, ts2 := newTestAPI(t, Options{Workers: 1}, nil)
+	svc2.Close()
+	if code, _, _ := httpDo(t, http.MethodGet, ts2.URL+"/healthz/ready", ""); code != http.StatusServiceUnavailable {
+		t.Fatalf("/healthz/ready after Close = %d, want 503", code)
+	}
+}
+
 // TestAPIPerExperimentAndCompileCacheMetrics runs a real campaign
 // experiment and checks the two telemetry additions of the parallel
 // layer: a lazily registered per-experiment latency histogram, and the

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/dsn2015/vdbench"
@@ -211,6 +212,12 @@ type Service struct {
 
 	queue chan *Job
 	wg    sync.WaitGroup
+
+	// draining flips once shutdown begins (or BeginDrain is called
+	// explicitly ahead of it); the readiness endpoint keys off it so
+	// health-checking coordinators and load balancers stop routing work
+	// here while in-flight jobs finish.
+	draining atomic.Bool
 
 	//vdlint:ignore ctxflow the service owns its workers' lifetime; rootCtx is the shutdown signal Close fires, not a request context
 	rootCtx    context.Context
@@ -596,6 +603,16 @@ func (s *Service) observeExecTotals() {
 	s.mExecRetries.Add(dr)
 }
 
+// BeginDrain flips readiness off without stopping work: /healthz/ready
+// starts answering 503 while everything else keeps serving. Call it
+// ahead of Shutdown to let health-checkers route new work elsewhere
+// before the listener goes away. Idempotent; Shutdown calls it
+// implicitly.
+func (s *Service) BeginDrain() { s.draining.Store(true) }
+
+// Draining reports whether drain has begun (BeginDrain or Shutdown).
+func (s *Service) Draining() bool { return s.draining.Load() }
+
 // Close shuts the service down gracefully: no new submissions are
 // accepted, queued jobs are canceled (their contexts fire), and running
 // campaigns drain to completion before Close returns. Shutdown is the
@@ -610,6 +627,7 @@ func (s *Service) Close() { s.Shutdown(context.Background()) }
 // returns once every worker has exited; with a background context it
 // degenerates to a full drain.
 func (s *Service) Shutdown(ctx context.Context) {
+	s.BeginDrain()
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()

@@ -211,7 +211,7 @@ func runNoDefaultMux(pass *Pass) {
 // wrong.
 var CtxFirst = &Analyzer{
 	Name: "ctxfirst",
-	Doc:  "exported functions in internal/harness, internal/experiments and internal/service must take context.Context first",
+	Doc:  "exported functions in internal/harness, internal/experiments, internal/service and internal/dist must take context.Context first",
 	Run:  runCtxFirst,
 }
 
@@ -221,6 +221,7 @@ var ctxFirstPackages = []string{
 	"internal/harness",
 	"internal/experiments",
 	"internal/service",
+	"internal/dist",
 }
 
 func runCtxFirst(pass *Pass) {

@@ -40,6 +40,7 @@ var deterministicPackages = []string{
 	"internal/metricprop",
 	"internal/experiments",
 	"internal/workpool",
+	"internal/dist",
 }
 
 // wallClockFuncs are the time-package functions that read or wait on the

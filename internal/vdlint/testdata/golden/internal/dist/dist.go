@@ -1,0 +1,69 @@
+// Package dist is the corpus mock of the distributed-execution
+// subsystem: coordinator-shaped code carrying the three seeded
+// violations its real counterpart must never regress into — a direct
+// wall-clock read (detrand), a buried context parameter (ctxfirst) and
+// a watchdog goroutine with no termination path (leakygo) — each paired
+// with the clean idiom the real package uses.
+package dist
+
+import (
+	"context"
+	"time"
+)
+
+// Coordinator leases shards to workers. The real one injects its clock;
+// the corpus one keeps both shapes side by side.
+type Coordinator struct {
+	// now is the injected clock: reading it is a pure function of what
+	// the constructor stored, so leaseClean stays unflagged.
+	now func() time.Time
+}
+
+// leaseStamp reads the wall clock directly — shard lease ordering would
+// depend on scheduler timing.
+func (c *Coordinator) leaseStamp() time.Time {
+	return time.Now() // want `deterministic package example.com/golden/internal/dist calls time.Now`
+}
+
+// leaseClean goes through the injected clock instead.
+func (c *Coordinator) leaseClean() time.Time {
+	return c.now()
+}
+
+// PullShard buries its context behind the worker ID — the signature
+// every caller will get wrong.
+func PullShard(worker string, ctx context.Context) error { // want `exported PullShard takes context.Context as parameter 2`
+	_ = worker
+	return ctx.Err()
+}
+
+// ReportShard is the convention-abiding twin and stays clean.
+func ReportShard(ctx context.Context, worker string) error {
+	_ = worker
+	return ctx.Err()
+}
+
+// Watch launches the heartbeat watchdog leak: no channel, no context —
+// a lost worker's watcher would spin forever.
+func Watch() {
+	go func() { // want `goroutine has no termination path`
+		beats := 0
+		for {
+			beats++
+		}
+	}()
+}
+
+// WatchUntil is the repaired watchdog: the done channel gives the
+// goroutine a termination path, as the real watchWorker's select does.
+func WatchUntil(done chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+		}
+	}()
+}

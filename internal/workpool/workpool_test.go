@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestForEachCoversEveryIndexOnce(t *testing.T) {
@@ -164,5 +165,81 @@ func TestNewDefaultsAndWorkers(t *testing.T) {
 	}
 	if got := New(7).Workers(); got != 7 {
 		t.Fatalf("Workers() = %d, want 7", got)
+	}
+}
+
+// TestDistributedFanOutSharesBudget models the distributed execution
+// topology on one Budget: several concurrent "shard executors" (worker
+// processes co-hosted in one process, as the dist tests do) each run a
+// campaign ForEach over tools that nests a per-tool ForEach over cases,
+// while the coordinator's merge ForEach runs over result rows at the
+// same time. Three levels of fan-out sharing one token pool must
+// terminate (caller-runs + try-acquire), cover every index, and stay
+// within the callers+tokens concurrency bound.
+func TestDistributedFanOutSharesBudget(t *testing.T) {
+	const (
+		workers = 3
+		shards  = 4
+		tools   = 4
+		cases   = 8
+		rows    = 16
+	)
+	b := New(workers)
+	var cells, merged atomic.Int32
+	var live, peak atomic.Int32
+	enter := func() {
+		n := live.Add(1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		live.Add(-1)
+	}
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		var wg sync.WaitGroup
+		for s := 0; s < shards; s++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				// A shard execution: campaign fan-out over tools, each
+				// tool fanning out again over its case range.
+				_ = b.ForEach(tools, func(_, _ int) error {
+					return b.ForEach(cases, func(_, _ int) error {
+						enter()
+						cells.Add(1)
+						return nil
+					})
+				})
+			}()
+		}
+		// The coordinator merge runs concurrently with the shard work.
+		_ = b.ForEach(rows, func(_, _ int) error {
+			enter()
+			merged.Add(1)
+			return nil
+		})
+		wg.Wait()
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("nested distributed fan-out deadlocked")
+	}
+
+	if got := cells.Load(); got != shards*tools*cases {
+		t.Fatalf("executed %d cells, want %d", got, shards*tools*cases)
+	}
+	if got := merged.Load(); got != rows {
+		t.Fatalf("merged %d rows, want %d", got, rows)
+	}
+	// shards executors + 1 merge caller are workers of their own; helper
+	// goroutines are bounded by the shared token pool.
+	if maxLive := int32(shards + 1 + (workers - 1)); peak.Load() > maxLive {
+		t.Fatalf("peak concurrency %d exceeds callers+tokens bound %d", peak.Load(), maxLive)
 	}
 }

@@ -52,6 +52,7 @@ import (
 
 	"github.com/dsn2015/vdbench/internal/core"
 	"github.com/dsn2015/vdbench/internal/detectors"
+	"github.com/dsn2015/vdbench/internal/dist"
 	"github.com/dsn2015/vdbench/internal/experiments"
 	"github.com/dsn2015/vdbench/internal/harness"
 	"github.com/dsn2015/vdbench/internal/metricprop"
@@ -379,6 +380,38 @@ func RunAllExperimentsCtx(ctx context.Context, cfg ExperimentConfig) ([]Experime
 // RunAllExperimentsCtx without cancellation.
 func RunAllExperiments(cfg ExperimentConfig) ([]ExperimentResult, error) {
 	return RunAllExperimentsCtx(context.Background(), cfg)
+}
+
+// RunExperimentDistributedCtx is RunExperimentCtx with the benchmark
+// campaign executed on the worker fleet behind the coordinator at
+// coordinatorURL (a vdserved -coordinator process). Everything outside
+// the campaign — metric profiles, selection, MCDA — still runs locally.
+// The distributed campaign is byte-identical to the local one, so the
+// experiment output (and its cache key) is too. shardCases tunes the
+// shard granularity; 0 keeps the coordinator default.
+func RunExperimentDistributedCtx(ctx context.Context, id string, cfg ExperimentConfig, coordinatorURL string, shardCases int) (ExperimentResult, error) {
+	runner, err := experiments.NewRunner(cfg)
+	if err != nil {
+		return ExperimentResult{}, err
+	}
+	client := dist.NewClient(coordinatorURL)
+	client.ShardCases = shardCases
+	runner.SetCampaignExecutor(client)
+	return runner.RunCtx(ctx, id)
+}
+
+// RunAllExperimentsDistributedCtx is RunAllExperimentsCtx with the
+// benchmark campaign executed on the worker fleet behind coordinatorURL;
+// see RunExperimentDistributedCtx.
+func RunAllExperimentsDistributedCtx(ctx context.Context, cfg ExperimentConfig, coordinatorURL string, shardCases int) ([]ExperimentResult, error) {
+	runner, err := experiments.NewRunner(cfg)
+	if err != nil {
+		return nil, err
+	}
+	client := dist.NewClient(coordinatorURL)
+	client.ShardCases = shardCases
+	runner.SetCampaignExecutor(client)
+	return runner.AllCtx(ctx)
 }
 
 // WilsonInterval computes the Wilson score interval for a binomial rate
