@@ -147,6 +147,99 @@ func BenchmarkOracleAnalyze(b *testing.B) {
 	}
 }
 
+// benchInterpProbe adapts the exported interpreter to the oracle's
+// streaming probe interface, so the two search strategies can be priced
+// against each other without the engine's content-addressed ground-truth
+// cache absorbing the repeat derivations.
+func benchInterpProbe(svc *svclang.Service, req svclang.Request, store *svclang.SessionStore, obs svclang.ProbeObserver) error {
+	res, err := svclang.ExecuteInSession(svc, req, store)
+	if err != nil {
+		return err
+	}
+	for _, ev := range res.Events {
+		obs(ev.SinkID, ev.Kind, svclang.StructuralTaint(ev.Kind, ev.Value))
+	}
+	return nil
+}
+
+// BenchmarkAnalyzeOracle prices the ground-truth search strategies
+// against each other on the same service: the influence-guided pruned
+// search (the default) versus the exhaustive value-pool sweep. Labels
+// are identical (TestAnalyzePruningMatchesExhaustive); only the probe
+// count moves. BENCH_pr9.json records this pair.
+func BenchmarkAnalyzeOracle(b *testing.B) {
+	svc, err := svclang.ParseOne(benchServiceSrc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []struct {
+		name    string
+		analyze func(*svclang.Service, svclang.ProbeFunc) ([]svclang.GroundTruth, error)
+	}{
+		{"pruned", svclang.AnalyzeProbing},
+		{"exhaustive", svclang.AnalyzeProbingExhaustive},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				truths, err := mode.analyze(svc, benchInterpProbe)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(truths) == 0 {
+					b.Fatal("no ground truth")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCorpusGeneration prices the content-addressed oracle cache:
+// cold generates corpora whose service bodies the cache has never seen
+// (a fresh seed per iteration), warm regenerates one fixed corpus whose
+// every ground-truth derivation the cache already holds. BENCH_pr9.json
+// records this pair.
+func BenchmarkCorpusGeneration(b *testing.B) {
+	cfg := workload.Config{Services: 50, TargetPrevalence: 0.35}
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			cfg.Seed = uint64(100000 + i)
+			if _, err := workload.Generate(cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	// Fresh seeds still share template bodies with earlier iterations
+	// through the content-addressed cache, so "cold" converges on the
+	// steady state of a long-running process; run with -benchtime=1x in
+	// a fresh process for the truly cold first-corpus cost.
+	b.Run("cold-exhaustive", func(b *testing.B) {
+		ecfg := cfg
+		ecfg.OracleExhaustive = true
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ecfg.Seed = uint64(200000 + i)
+			if _, err := workload.Generate(ecfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		cfg.Seed = 424242
+		if _, err := workload.Generate(cfg); err != nil { // prime the cache
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := workload.Generate(cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 func benchCase(b *testing.B) workload.Case {
 	b.Helper()
 	tpl, ok := workload.TemplateByName("guarded-splice")

@@ -15,6 +15,7 @@ import (
 	"github.com/dsn2015/vdbench/internal/detectors"
 	"github.com/dsn2015/vdbench/internal/detectors/faulty"
 	"github.com/dsn2015/vdbench/internal/harness"
+	"github.com/dsn2015/vdbench/internal/telemetry"
 	"github.com/dsn2015/vdbench/internal/workload"
 )
 
@@ -576,5 +577,91 @@ func TestCorpusCacheReusesCorpora(t *testing.T) {
 	}
 	if c == a {
 		t.Fatal("cache conflated interpreter and VM configs")
+	}
+}
+
+// TestDistributedOracleCacheCounters runs a campaign on a two-worker
+// cluster after a local baseline warmed the process-wide oracle cache,
+// and asserts two things: the merged campaign deep-equals the local run,
+// and the cluster's vd_oracle_* counters show the corpus regeneration
+// being served entirely from the content-addressed cache — hits advance
+// somewhere in the cluster, and not a single fresh probe executes.
+func TestDistributedOracleCacheCounters(t *testing.T) {
+	const seed = 9001 // fresh seed: no other test has this corpus cached
+	wcfg := workload.Config{Services: 8, TargetPrevalence: 0.5, Seed: seed}
+	opts := harness.Options{Seed: seed, Workers: 2}
+
+	// The local baseline derives every ground truth the hard way and
+	// leaves the derivations in the process-wide oracle cache.
+	want := localCampaign(t, wcfg, opts)
+
+	// The cluster is constructed after the baseline, so its observers
+	// baseline past the local run and attribute only distributed work.
+	coord := NewCoordinator(CoordinatorOptions{})
+	srv := httptest.NewServer(coord.Handler())
+	ctx, cancel := context.WithCancel(context.Background())
+	workerRegs := []*telemetry.Registry{telemetry.NewRegistry(), telemetry.NewRegistry()}
+	var wg sync.WaitGroup
+	for _, reg := range workerRegs {
+		wk := NewWorker(WorkerOptions{Join: srv.URL, PollInterval: 5 * time.Millisecond, Registry: reg})
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := wk.Run(ctx); err != nil {
+				t.Errorf("worker: %v", err)
+			}
+		}()
+	}
+	defer func() {
+		cancel()
+		wg.Wait()
+		srv.Close()
+		if err := coord.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	}()
+
+	// Drop the process-local corpus cache: the distributed run must now
+	// regenerate the corpus, and that regeneration is what consults the
+	// oracle cache the baseline just filled.
+	corpusCacheMu.Lock()
+	corpusCache = nil
+	corpusCacheMu.Unlock()
+
+	client := NewClient(srv.URL)
+	client.PollWait = 50 * time.Millisecond
+	got, err := client.RunCampaign(ctx, CampaignSpec{
+		Workload:   wcfg,
+		Suite:      "standard",
+		Options:    opts,
+		ShardCases: 3, // several shards, so both workers get work
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("distributed campaign differs from local run")
+	}
+
+	// Every party exposes the oracle counters; the regeneration was
+	// attributed to whichever process-side observer saw it first.
+	regs := append([]*telemetry.Registry{coord.Registry()}, workerRegs...)
+	var hits, probes uint64
+	for _, reg := range regs {
+		snap := reg.Snapshot()
+		for _, name := range []string{"vd_oracle_probes_total", "vd_oracle_pruned_total",
+			"vd_oracle_early_exits_total", "vd_oracle_cache_hits_total", "vd_oracle_cache_misses_total"} {
+			if !strings.Contains(snap, name) {
+				t.Fatalf("registry missing %s:\n%s", name, snap)
+			}
+		}
+		hits += reg.Counter("vd_oracle_cache_hits_total", "").Value()
+		probes += reg.Counter("vd_oracle_probes_total", "").Value()
+	}
+	if hits == 0 {
+		t.Fatal("corpus regeneration did not hit the oracle cache anywhere in the cluster")
+	}
+	if probes != 0 {
+		t.Fatalf("distributed run executed %d fresh probes; every derivation should have been cached", probes)
 	}
 }

@@ -140,6 +140,7 @@ func (r *Runner) E13MicroMacro(ctx context.Context) (Result, error) {
 		Kinds:            skewed,
 		Seed:             r.cfg.Seed + 13,
 		Interpreter:      r.cfg.Interpreter,
+		OracleExhaustive: r.cfg.OracleExhaustive,
 	})
 	if err != nil {
 		return Result{}, err
@@ -203,6 +204,7 @@ func (r *Runner) E14Combination(ctx context.Context) (Result, error) {
 		TargetPrevalence: r.cfg.Prevalence,
 		Seed:             r.cfg.Seed,
 		Interpreter:      r.cfg.Interpreter,
+		OracleExhaustive: r.cfg.OracleExhaustive,
 	})
 	if err != nil {
 		return Result{}, err

@@ -64,6 +64,12 @@ type Config struct {
 	// determinism pin enforce it — so, like the execution-policy knobs
 	// above, the flag is excluded from experiment cache keys.
 	Interpreter bool
+	// OracleExhaustive labels corpora through the unpruned reference
+	// oracle search instead of the default influence-guided one (see
+	// workload.Config.OracleExhaustive). Labels and witnesses are
+	// search-independent — the pruning differential suite enforces it —
+	// so the flag is likewise excluded from experiment cache keys.
+	OracleExhaustive bool
 }
 
 // DefaultConfig returns the configuration used for the published numbers
@@ -283,6 +289,7 @@ func (r *Runner) runCampaign(ctx context.Context) (*harness.Campaign, error) {
 		TargetPrevalence: r.cfg.Prevalence,
 		Seed:             r.cfg.Seed,
 		Interpreter:      r.cfg.Interpreter,
+		OracleExhaustive: r.cfg.OracleExhaustive,
 	}
 	if r.exec != nil {
 		campaign, err := r.exec.ExecuteCampaign(ctx, wcfg, "standard", r.cfg.execOptions())

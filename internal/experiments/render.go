@@ -106,8 +106,10 @@ func (r Result) JSON() ([]byte, error) {
 // PerToolTimeout to zero or >= 1s so a deadline can never fire on a
 // healthy tool). Interpreter is excluded because the bytecode VM and the
 // reference interpreter produce byte-identical outputs (pinned by the
-// differential suite and TestAllIdenticalInterpreterVsVM). Every other
-// Config field must be folded in here
+// differential suite and TestAllIdenticalInterpreterVsVM), and
+// OracleExhaustive because the influence-guided and exhaustive oracle
+// searches derive identical ground truth (pinned by the pruning
+// differential suite). Every other Config field must be folded in here
 // (TestCacheKeyCoversEveryConfigField enforces this by reflection).
 func CacheKey(id string, cfg Config) string {
 	h := sha256.New()

@@ -25,13 +25,16 @@ func TestCacheKeyCoversEveryConfigField(t *testing.T) {
 	baseKey := CacheKey("e1", cfg)
 
 	// excluded reports the fields whose perturbation must NOT move the
-	// key: worker budgets, campaign execution policy and the execution-
+	// key: worker budgets, campaign execution policy, the execution-
 	// engine selector (interpreter≡VM byte-identity is pinned by the
-	// differential suite and TestAllIdenticalInterpreterVsVM).
+	// differential suite and TestAllIdenticalInterpreterVsVM) and the
+	// oracle-search selector (pruned≡exhaustive is pinned by the pruning
+	// differential suite).
 	excluded := func(name string) bool {
 		return name == "Workers" || strings.HasSuffix(name, ".Workers") ||
 			name == "PerToolTimeout" || name == "Degraded" ||
-			name == "Interpreter" || strings.HasPrefix(name, "Retry.")
+			name == "Interpreter" || name == "OracleExhaustive" ||
+			strings.HasPrefix(name, "Retry.")
 	}
 
 	// The walk mutates cfg in place through the addressable value chain,

@@ -369,3 +369,44 @@ func TestAPIPerExperimentAndCompileCacheMetrics(t *testing.T) {
 		t.Fatal("compile-cache misses did not advance")
 	}
 }
+
+// TestAPIOracleMetrics runs a campaign experiment and checks the
+// ground-truth oracle counters on /metrics. Consistency, not absolute
+// numbers: every corpus generation consults the content-addressed oracle
+// cache (hits+misses advance), and probe work happens exactly when the
+// cache missed — a fully cache-served corpus legitimately executes and
+// prunes zero probes.
+func TestAPIOracleMetrics(t *testing.T) {
+	svc, ts := newTestAPI(t, Options{Workers: 1}, nil)
+	st := submitJob(t, ts.URL, `{"experiment":"e3","quick":true}`)
+	if code, _, body := httpDo(t, http.MethodGet, ts.URL+"/v1/jobs/"+st.ID+"/result?format=text&wait=120s", ""); code != http.StatusOK {
+		t.Fatalf("e3 did not complete: %d %s", code, body)
+	}
+	_, _, metrics := httpDo(t, http.MethodGet, ts.URL+"/metrics", "")
+	for _, want := range []string{
+		"vd_oracle_probes_total",
+		"vd_oracle_pruned_total",
+		"vd_oracle_early_exits_total",
+		"vd_oracle_cache_hits_total",
+		"vd_oracle_cache_misses_total",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Fatalf("/metrics missing %s:\n%s", want, metrics)
+		}
+	}
+	counter := func(name string) uint64 { return svc.Metrics().Counter(name, "").Value() }
+	hits, misses := counter("vd_oracle_cache_hits_total"), counter("vd_oracle_cache_misses_total")
+	probes, pruned := counter("vd_oracle_probes_total"), counter("vd_oracle_pruned_total")
+	if hits+misses == 0 {
+		t.Fatal("oracle cache counters did not advance (corpus generation must consult the cache)")
+	}
+	if misses == 0 && probes+pruned != 0 {
+		t.Fatalf("probe work (%d executed, %d pruned) without a cache miss", probes, pruned)
+	}
+	if misses > 0 && probes == 0 {
+		t.Fatal("cache misses without a single executed probe")
+	}
+	if misses > 0 && pruned < 4*probes {
+		t.Fatalf("pruning ratio below 5x: %d executed vs %d pruned", probes, pruned)
+	}
+}

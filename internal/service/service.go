@@ -237,6 +237,8 @@ type Service struct {
 	mCollapsed                                            *telemetry.Counter
 	mCompileHit, mCompileMiss                             *telemetry.Counter
 	mExecPanics, mExecTimeouts, mExecErrors, mExecRetries *telemetry.Counter
+	mOracleProbes, mOraclePruned, mOracleEarlyExits       *telemetry.Counter
+	mOracleCacheHit, mOracleCacheMiss                     *telemetry.Counter
 	gQueueDepth, gCacheEntries, gCacheBytes               *telemetry.Gauge
 	hCampaign                                             *telemetry.Histogram
 
@@ -249,6 +251,12 @@ type Service struct {
 	// fault totals (recovered panics, deadline expiries, retries).
 	execMu   sync.Mutex
 	lastExec vdbench.ExecTotals
+
+	// oracleMu guards the delta tracking for the ground-truth oracle's
+	// search and cache totals.
+	oracleMu                         sync.Mutex
+	lastOracle                       vdbench.OracleTotals
+	lastOracleHits, lastOracleMisses uint64
 }
 
 // New builds and starts a service backed by vdbench.RunExperimentCtx.
@@ -290,6 +298,12 @@ func newService(opts Options, run runner) *Service {
 		mExecErrors:   reg.Counter("vd_exec_errors_total", "tool invocations that returned a non-retryable error"),
 		mExecRetries:  reg.Counter("vd_exec_retries_total", "tool invocations retried after a retryable failure"),
 
+		mOracleProbes:     reg.Counter("vd_oracle_probes_total", "ground-truth oracle probes executed"),
+		mOraclePruned:     reg.Counter("vd_oracle_pruned_total", "ground-truth oracle probes pruned by the influence analysis"),
+		mOracleEarlyExits: reg.Counter("vd_oracle_early_exits_total", "oracle sweeps stopped early with every sink proven vulnerable"),
+		mOracleCacheHit:   reg.Counter("vd_oracle_cache_hits_total", "ground-truth derivations served from the content-addressed oracle cache"),
+		mOracleCacheMiss:  reg.Counter("vd_oracle_cache_misses_total", "ground-truth derivations the oracle cache had to compute"),
+
 		gQueueDepth:   reg.Gauge("vd_queue_depth", "jobs queued and not yet running"),
 		gCacheEntries: reg.Gauge("vd_cache_entries", "entries in the result cache"),
 		gCacheBytes:   reg.Gauge("vd_cache_bytes", "bytes accounted to the result cache"),
@@ -302,6 +316,8 @@ func newService(opts Options, run runner) *Service {
 	// running is attributed to it.
 	s.lastCompHits, s.lastCompMiss = vdbench.CompileCacheTotals()
 	s.lastExec = vdbench.ExecutionTotals()
+	s.lastOracle = vdbench.OracleSearchTotals()
+	s.lastOracleHits, s.lastOracleMisses = vdbench.OracleCacheTotals()
 	for _, id := range vdbench.ExperimentIDs() {
 		s.known[id] = true
 	}
@@ -529,6 +545,7 @@ func (s *Service) execute(job *Job) {
 		0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120).Observe(elapsed)
 	s.observeCompileCache()
 	s.observeExecTotals()
+	s.observeOracleTotals()
 
 	switch {
 	case err != nil && job.ctx.Err() != nil &&
@@ -601,6 +618,29 @@ func (s *Service) observeExecTotals() {
 	s.mExecTimeouts.Add(dt)
 	s.mExecErrors.Add(de)
 	s.mExecRetries.Add(dr)
+}
+
+// observeOracleTotals folds the growth of the ground-truth oracle's
+// process-wide search counters (probes executed, probes pruned, early
+// exits) and content-addressed cache counters since the last observation
+// into this service's counters, the same delta scheme as
+// observeCompileCache.
+func (s *Service) observeOracleTotals() {
+	tot := vdbench.OracleSearchTotals()
+	hits, misses := vdbench.OracleCacheTotals()
+	s.oracleMu.Lock()
+	dp := tot.Probes - s.lastOracle.Probes
+	dq := tot.Pruned - s.lastOracle.Pruned
+	de := tot.EarlyExits - s.lastOracle.EarlyExits
+	dh, dm := hits-s.lastOracleHits, misses-s.lastOracleMisses
+	s.lastOracle = tot
+	s.lastOracleHits, s.lastOracleMisses = hits, misses
+	s.oracleMu.Unlock()
+	s.mOracleProbes.Add(dp)
+	s.mOraclePruned.Add(dq)
+	s.mOracleEarlyExits.Add(de)
+	s.mOracleCacheHit.Add(dh)
+	s.mOracleCacheMiss.Add(dm)
 }
 
 // BeginDrain flips readiness off without stopping work: /healthz/ready

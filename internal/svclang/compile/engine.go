@@ -14,7 +14,8 @@ import (
 // campaign (the harness binds it like the cfg compile cache), so each
 // service compiles exactly once no matter how many probes hit it.
 type Engine struct {
-	interpret bool
+	interpret        bool
+	oracleExhaustive bool
 
 	mu    sync.Mutex
 	progs map[*svclang.Service]*progEntry
@@ -46,6 +47,18 @@ func NewEngine(interpret bool) *Engine {
 
 // Interpreting reports whether this engine runs the reference interpreter.
 func (e *Engine) Interpreting() bool { return e.interpret }
+
+// SetOracleExhaustive switches Analyze to the unpruned reference
+// search — the escape hatch behind the -oracle-exhaustive CLI flags,
+// symmetric to the -interpreter engine escape hatch. The labels and
+// witnesses are identical either way (the differential suite enforces
+// it); the exhaustive mode exists so any doubt about the pruning can
+// be settled by re-deriving the expensive way. Set before first use;
+// the mode is part of the oracle cache key.
+func (e *Engine) SetOracleExhaustive(v bool) { e.oracleExhaustive = v }
+
+// OracleExhaustive reports whether Analyze runs the unpruned search.
+func (e *Engine) OracleExhaustive() bool { return e.oracleExhaustive }
 
 // Program returns the compiled program for svc, compiling on first use.
 func (e *Engine) Program(svc *svclang.Service) (*Program, error) {
@@ -147,13 +160,36 @@ func (e *Engine) probe(svc *svclang.Service, req svclang.Request, store *svclang
 	return nil
 }
 
-// Analyze derives ground truth for svc by exhaustive probing, like
-// svclang.Analyze but with every probe executed through this engine —
-// and, on the VM, judged through the streaming probe path instead of
-// materialised Results.
+// Analyze derives ground truth for svc, like svclang.Analyze but with
+// every probe executed through this engine — and, on the VM, judged
+// through the streaming probe path instead of materialised Results.
+// The search is influence-guided unless SetOracleExhaustive opted into
+// the unpruned reference enumeration. Results are memoised in the
+// process-wide content-addressed oracle cache (oraclecache.go), so
+// identical service bodies are derived once per mode.
 func (e *Engine) Analyze(svc *svclang.Service) ([]svclang.GroundTruth, error) {
-	if e.interpret {
-		return svclang.Analyze(svc)
+	return oracleLookup(svc, e.interpret, e.oracleExhaustive, func() ([]svclang.GroundTruth, error) {
+		probe := e.probe
+		if e.interpret {
+			probe = interpProbe
+		}
+		if e.oracleExhaustive {
+			return svclang.AnalyzeProbingExhaustive(svc, probe)
+		}
+		return svclang.AnalyzeProbing(svc, probe)
+	})
+}
+
+// interpProbe adapts the reference interpreter to the oracle's probe
+// seam, judging events with the shared structural-taint table; running
+// it through AnalyzeProbing is exactly svclang.Analyze.
+func interpProbe(svc *svclang.Service, req svclang.Request, store *svclang.SessionStore, obs svclang.ProbeObserver) error {
+	res, err := svclang.ExecuteInSession(svc, req, store)
+	if err != nil {
+		return err
 	}
-	return svclang.AnalyzeProbing(svc, e.probe)
+	for _, ev := range res.Events {
+		obs(ev.SinkID, ev.Kind, svclang.StructuralTaint(ev.Kind, ev.Value))
+	}
+	return nil
 }

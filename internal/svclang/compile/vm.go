@@ -229,7 +229,7 @@ func (p *Program) run(a *arena, req svclang.Request, store *svclang.SessionStore
 			case obs != nil:
 				obs(si.id, si.kind, si.silent, v.chars)
 			case probe != nil:
-				probe(si.id, si.kind, structuralTaint(si.kind, v))
+				probe(si.id, si.kind, svclang.StructuralTaintPacked(si.kind, v.chars, v.bits, v.off))
 			default:
 				if events == nil {
 					events = make([]svclang.SinkEvent, 0, p.eventBound)
@@ -309,90 +309,17 @@ func (a *arena) concat(parts []value) value {
 	return a.view(start, total)
 }
 
-// Replacement strings for the escaping builtins, interned once.
-var (
-	replSQLQuote   = []rune("''")
-	replXPathApos  = []rune("&apos;")
-	replXPathQuot  = []rune("&quot;")
-	replHTMLLt     = []rune("&lt;")
-	replHTMLGt     = []rune("&gt;")
-	replHTMLAmp    = []rune("&amp;")
-	replHTMLQuot   = []rune("&quot;")
-	replHTMLApos   = []rune("&#39;")
-	replDrop       = []rune{}
-	shellEscapeSet = " ;|&$`\"'\\()<>*?~#"
-)
-
-// Escape tables: nil means "keep the character", a non-nil slice is the
-// replacement (replDrop deletes it). Each replacement character inherits
-// the source character's taint, exactly like the interpreter's mapRunes.
-func sqlRepl(r rune) []rune {
-	if r == '\'' {
-		return replSQLQuote
-	}
-	return nil
-}
-
-func xpathRepl(r rune) []rune {
-	switch r {
-	case '\'':
-		return replXPathApos
-	case '"':
-		return replXPathQuot
-	}
-	return nil
-}
-
-func htmlRepl(r rune) []rune {
-	switch r {
-	case '<':
-		return replHTMLLt
-	case '>':
-		return replHTMLGt
-	case '&':
-		return replHTMLAmp
-	case '"':
-		return replHTMLQuot
-	case '\'':
-		return replHTMLApos
-	}
-	return nil
-}
-
-func pathRepl(r rune) []rune {
-	if r == '/' || r == '\\' || r == '.' {
-		return replDrop
-	}
-	return nil
-}
-
-func numericRepl(r rune) []rune {
-	if r >= '0' && r <= '9' {
-		return nil
-	}
-	return replDrop
-}
-
-// builtin applies a single-argument builtin. Compile guarantees fn is one
-// of the known single-argument builtins (concat has its own opcode).
+// builtin applies a single-argument builtin through the shared
+// builtinSpecs table in svclang/builtins.go — the same replacement
+// functions the interpreter's applyBuiltin maps over TStrings. Compile
+// guarantees fn is one of the known single-argument builtins (concat
+// has its own opcode); of those only trim is not character-wise.
 func (a *arena) builtin(fn svclang.Builtin, v value) value {
-	switch fn {
-	case svclang.BuiltinEscapeSQL:
-		return a.mapRepl(v, sqlRepl)
-	case svclang.BuiltinEscapeXPath:
-		return a.mapRepl(v, xpathRepl)
-	case svclang.BuiltinEscapeHTML:
-		return a.mapRepl(v, htmlRepl)
-	case svclang.BuiltinEscapeShell:
-		return a.escapeShell(v)
-	case svclang.BuiltinSanitizePath:
-		return a.mapRepl(v, pathRepl)
-	case svclang.BuiltinNumeric:
-		return a.mapRepl(v, numericRepl)
-	case svclang.BuiltinUpper:
-		return a.upper(v)
-	case svclang.BuiltinTrim:
+	if fn == svclang.BuiltinTrim {
 		return trim(v)
+	}
+	if repl := svclang.ReplFor(fn); repl != nil {
+		return a.mapRepl(v, repl)
 	}
 	return v
 }
@@ -401,7 +328,7 @@ func (a *arena) builtin(fn svclang.Builtin, v value) value {
 // then fill. An input with nothing to replace passes through as-is —
 // content and taint are identical either way, and sharing immutable
 // views is exactly what the interpreter's trim already does.
-func (a *arena) mapRepl(v value, repl func(r rune) []rune) value {
+func (a *arena) mapRepl(v value, repl svclang.ReplFunc) value {
 	outLen, changed := 0, false
 	for _, r := range v.chars {
 		if rs := repl(r); rs != nil {
@@ -436,62 +363,6 @@ func (a *arena) mapRepl(v value, repl func(r rune) []rune) value {
 		}
 	}
 	return a.view(start, outLen)
-}
-
-// escapeShell backslash-escapes the shell metacharacter set; the
-// backslash inherits the escaped character's taint.
-func (a *arena) escapeShell(v value) value {
-	extra := 0
-	for _, r := range v.chars {
-		if strings.ContainsRune(shellEscapeSet, r) {
-			extra++
-		}
-	}
-	if extra == 0 {
-		return v
-	}
-	start := a.reserve(len(v.chars) + extra)
-	j := start
-	for i, r := range v.chars {
-		t := v.tainted(i)
-		if strings.ContainsRune(shellEscapeSet, r) {
-			a.runes[j] = '\\'
-			if t {
-				a.setBit(j)
-			}
-			j++
-		}
-		a.runes[j] = r
-		if t {
-			a.setBit(j)
-		}
-		j++
-	}
-	return a.view(start, len(v.chars)+extra)
-}
-
-func (a *arena) upper(v value) value {
-	changed := false
-	for _, r := range v.chars {
-		if r >= 'a' && r <= 'z' {
-			changed = true
-			break
-		}
-	}
-	if !changed {
-		return v
-	}
-	start := a.reserve(len(v.chars))
-	for i, r := range v.chars {
-		if r >= 'a' && r <= 'z' {
-			r = r - 'a' + 'A'
-		}
-		a.runes[start+i] = r
-		if v.tainted(i) {
-			a.setBit(start + i)
-		}
-	}
-	return a.view(start, len(v.chars))
 }
 
 // trim strips leading and trailing spaces by pure view arithmetic — the

@@ -84,12 +84,19 @@ func concatT(parts ...TString) TString {
 	return out
 }
 
-// mapRunes rewrites each character through f, which returns the
-// replacement characters; each replacement inherits the source taint flag.
-func (t TString) mapRunes(f func(r rune) []rune) TString {
+// mapRepl rewrites each character through a shared replacement table
+// (see builtins.go): nil keeps the character, a non-nil slice replaces
+// it (empty = delete). Each replacement inherits the source taint flag.
+func (t TString) mapRepl(f ReplFunc) TString {
 	var out TString
 	for i, r := range t.chars {
-		for _, nr := range f(r) {
+		rs := f(r)
+		if rs == nil {
+			out.chars = append(out.chars, r)
+			out.taint = append(out.taint, t.taint[i])
+			continue
+		}
+		for _, nr := range rs {
 			out.chars = append(out.chars, nr)
 			out.taint = append(out.taint, t.taint[i])
 		}
@@ -97,76 +104,20 @@ func (t TString) mapRunes(f func(r rune) []rune) TString {
 	return out
 }
 
-// applyBuiltin evaluates a builtin on already-evaluated arguments.
+// applyBuiltin evaluates a builtin on already-evaluated arguments,
+// through the shared builtinSpecs table the VM also compiles from.
 func applyBuiltin(fn Builtin, args []TString) (TString, error) {
-	switch fn {
-	case BuiltinConcat:
+	if fn < 0 || int(fn) >= len(builtinSpecs) {
+		return TString{}, fmt.Errorf("svclang: unknown builtin %d", int(fn))
+	}
+	spec := builtinSpecs[fn]
+	if spec.repl != nil {
+		return args[0].mapRepl(spec.repl), nil
+	}
+	switch spec.mode {
+	case builtinModeConcat:
 		return concatT(args...), nil
-	case BuiltinEscapeSQL:
-		return args[0].mapRunes(func(r rune) []rune {
-			if r == '\'' {
-				return []rune{'\'', '\''}
-			}
-			return []rune{r}
-		}), nil
-	case BuiltinEscapeXPath:
-		return args[0].mapRunes(func(r rune) []rune {
-			switch r {
-			case '\'':
-				return []rune("&apos;")
-			case '"':
-				return []rune("&quot;")
-			default:
-				return []rune{r}
-			}
-		}), nil
-	case BuiltinEscapeHTML:
-		return args[0].mapRunes(func(r rune) []rune {
-			switch r {
-			case '<':
-				return []rune("&lt;")
-			case '>':
-				return []rune("&gt;")
-			case '&':
-				return []rune("&amp;")
-			case '"':
-				return []rune("&quot;")
-			case '\'':
-				return []rune("&#39;")
-			default:
-				return []rune{r}
-			}
-		}), nil
-	case BuiltinEscapeShell:
-		return args[0].mapRunes(func(r rune) []rune {
-			if strings.ContainsRune(" ;|&$`\"'\\()<>*?~#", r) {
-				return []rune{'\\', r}
-			}
-			return []rune{r}
-		}), nil
-	case BuiltinSanitizePath:
-		return args[0].mapRunes(func(r rune) []rune {
-			// Drop every path-structural character: separators and dots.
-			if r == '/' || r == '\\' || r == '.' {
-				return nil
-			}
-			return []rune{r}
-		}), nil
-	case BuiltinNumeric:
-		return args[0].mapRunes(func(r rune) []rune {
-			if r >= '0' && r <= '9' {
-				return []rune{r}
-			}
-			return nil
-		}), nil
-	case BuiltinUpper:
-		return args[0].mapRunes(func(r rune) []rune {
-			if r >= 'a' && r <= 'z' {
-				return []rune{r - 'a' + 'A'}
-			}
-			return []rune{r}
-		}), nil
-	case BuiltinTrim:
+	case builtinModeTrim:
 		s := args[0]
 		start, end := 0, len(s.chars)
 		for start < end && s.chars[start] == ' ' {

@@ -3,6 +3,7 @@ package svclang
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 )
 
 // This file defines what "vulnerable" means for the mini-language, at two
@@ -23,138 +24,11 @@ import (
 // Black-box tools do not get to see taint; they use Structure (the
 // token-type skeleton of the sink value) and compare benign and attack
 // runs, as real error-based penetration testers do.
-
-// StructuralTaint reports whether the value carries tainted characters in
-// structural positions for the given sink kind.
-func StructuralTaint(kind SinkKind, v TString) bool {
-	switch kind {
-	case SinkSQL:
-		return quotedLanguageStructuralTaint(v, true)
-	case SinkXPath:
-		return quotedLanguageStructuralTaint(v, false)
-	case SinkHTML:
-		return htmlStructuralTaint(v)
-	case SinkCmd:
-		return cmdStructuralTaint(v)
-	case SinkPath:
-		return pathStructuralTaint(v)
-	default:
-		return false
-	}
-}
-
-// quotedLanguageStructuralTaint covers SQL (sqlEscapes=true: ” is an
-// escaped quote inside a string) and XPath (no escapes, both quote kinds).
-// Structural positions are: string delimiters, and every non-digit
-// character outside string literals. Tainted digits outside strings select
-// different data, which is not an injection.
-func quotedLanguageStructuralTaint(v TString, sqlEscapes bool) bool {
-	i := 0
-	n := v.Len()
-	for i < n {
-		r := v.chars[i]
-		switch {
-		case r == '\'' || (!sqlEscapes && r == '"'):
-			quote := r
-			if v.taint[i] {
-				return true // tainted string delimiter
-			}
-			i++
-			for i < n {
-				if v.chars[i] == quote {
-					if sqlEscapes && i+1 < n && v.chars[i+1] == quote {
-						i += 2 // escaped quote: content, stays inside
-						continue
-					}
-					if v.taint[i] {
-						return true // tainted closing delimiter
-					}
-					i++
-					break
-				}
-				i++ // string content: never structural
-			}
-		case r >= '0' && r <= '9':
-			i++ // numeric data outside strings: not structural
-		default:
-			if v.taint[i] {
-				return true // tainted keyword/identifier/symbol character
-			}
-			i++
-		}
-	}
-	return false
-}
-
-// htmlStructuralTaint: a tainted raw '<' lets the attacker open markup.
-// escape_html rewrites '<' to "&lt;", which contains no raw '<'.
-func htmlStructuralTaint(v TString) bool {
-	for i := 0; i < v.Len(); i++ {
-		if v.chars[i] == '<' && v.taint[i] {
-			return true
-		}
-	}
-	return false
-}
-
-// cmdStructuralTaint: tainted unescaped, unquoted shell metacharacters or
-// separators are structural. A backslash escapes the following character.
-func cmdStructuralTaint(v TString) bool {
-	const metas = " ;|&$`\"'()<>*?~#\t\n"
-	i := 0
-	n := v.Len()
-	for i < n {
-		r := v.chars[i]
-		if r == '\\' && i+1 < n {
-			i += 2 // escaped character: not structural
-			continue
-		}
-		if strings.ContainsRune(metas, r) && v.taint[i] {
-			return true
-		}
-		i++
-	}
-	return false
-}
-
-// pathStructuralTaint: tainted path separators, or a tainted dot that is
-// part of a ".." sequence, let the attacker navigate the filesystem.
-func pathStructuralTaint(v TString) bool {
-	for i := 0; i < v.Len(); i++ {
-		r := v.chars[i]
-		if (r == '/' || r == '\\') && v.taint[i] {
-			return true
-		}
-		if r == '.' && v.taint[i] {
-			prev := i > 0 && v.chars[i-1] == '.'
-			next := i+1 < v.Len() && v.chars[i+1] == '.'
-			if prev || next {
-				return true
-			}
-		}
-	}
-	return false
-}
-
-// Structure returns the token-type skeleton of a sink value: the part of
-// the value an injection must alter. Black-box tools compare skeletons of
-// benign and attack responses.
-func Structure(kind SinkKind, s string) []string {
-	switch kind {
-	case SinkSQL:
-		return quotedStructure(s, true)
-	case SinkXPath:
-		return quotedStructure(s, false)
-	case SinkHTML:
-		return htmlStructure(s)
-	case SinkCmd:
-		return cmdStructure(s)
-	case SinkPath:
-		return pathStructure(s)
-	default:
-		return nil
-	}
-}
+//
+// The per-kind judgments (StructuralTaint, Structure and the streaming
+// StructureFingerprint) all dispatch through the shared sinkJudges
+// table in judges.go; this file keeps the Structure tokenisers and the
+// oracle search itself.
 
 // quotedStructure tokenises SQL/XPath text into type tags: "str" for a
 // string literal, "n" for a number, "w" for a word, single-character
@@ -440,14 +314,18 @@ const maxStatefulParams = 1
 // import cycle; the differential test suite pins engine equivalence.
 type ExecFunc func(svc *Service, req Request, store *SessionStore) (Result, error)
 
-// Analyze computes ground truth for every sink of the service by
-// exhaustive search over the oracle's value pool (benign values plus all
-// canonical payloads). Stateless services are searched over every
-// single-request parameter assignment; services using the session store
-// are searched over every two-request sequence, which covers the
-// second-order flows a single request cannot reach. Analyze uses the
-// reference tree-walking interpreter; AnalyzeWith runs the same search
-// through a caller-supplied engine.
+// Analyze computes ground truth for every sink of the service over the
+// oracle's value pool (benign values plus all canonical payloads).
+// Stateless services are labelled against every single-request
+// parameter assignment, services using the session store against every
+// two-request sequence — but the search is influence-guided (see
+// influence.go): assignments that provably cannot change any sink's
+// verdict or first witness are skipped, so the labels and witnesses are
+// exactly those of the exhaustive enumeration at a fraction of its
+// cost. AnalyzeProbingExhaustive runs the unpruned search for
+// differential validation. Analyze uses the reference tree-walking
+// interpreter; AnalyzeWith runs the search through a caller-supplied
+// engine.
 func Analyze(svc *Service) ([]GroundTruth, error) {
 	return AnalyzeWith(svc, ExecuteInSession)
 }
@@ -469,7 +347,9 @@ type ProbeFunc func(svc *Service, req Request, store *SessionStore, obs ProbeObs
 // AnalyzeWith is Analyze with the execution engine supplied by the
 // caller. The engine must reproduce ExecuteInSession semantics exactly
 // (taint provenance included) for the resulting labels to be ground
-// truth; passing ExecuteInSession itself recovers Analyze.
+// truth; passing ExecuteInSession itself recovers Analyze. Like
+// Analyze, the search is influence-guided; the probes it skips are
+// exactly those that could not have changed the outcome.
 func AnalyzeWith(svc *Service, exec ExecFunc) ([]GroundTruth, error) {
 	if exec == nil {
 		return nil, fmt.Errorf("svclang: nil exec func")
@@ -486,12 +366,74 @@ func AnalyzeWith(svc *Service, exec ExecFunc) ([]GroundTruth, error) {
 	})
 }
 
+// OracleTotals is a snapshot of the process-wide oracle search
+// counters. Pruned counts probe executions the influence-guided search
+// skipped relative to the exhaustive assignment space, so
+// Probes+Pruned equals the exhaustive probe count of every service
+// analysed (by either search mode — the exhaustive search contributes
+// zero to Pruned).
+type OracleTotals struct {
+	// Probes is the number of request executions performed.
+	Probes uint64
+	// Pruned is the number of exhaustive-space request executions
+	// skipped by influence analysis, value classing and early exit.
+	Pruned uint64
+	// EarlyExits counts enumerations stopped with kept assignments
+	// unexecuted because every watched sink was already proven
+	// vulnerable.
+	EarlyExits uint64
+}
+
+var (
+	oracleProbesTotal    atomic.Uint64
+	oraclePrunedTotal    atomic.Uint64
+	oracleEarlyExitTotal atomic.Uint64
+)
+
+// OracleTotalsSnapshot returns the current oracle search counters. The
+// counters are process-wide and monotone; consumers that need
+// per-campaign numbers fold deltas, as internal/service does for the
+// other engine counters.
+func OracleTotalsSnapshot() OracleTotals {
+	return OracleTotals{
+		Probes:     oracleProbesTotal.Load(),
+		Pruned:     oraclePrunedTotal.Load(),
+		EarlyExits: oracleEarlyExitTotal.Load(),
+	}
+}
+
 // AnalyzeProbing derives ground truth through a streaming probe
-// function: the same exhaustive search as AnalyzeWith — the full value
-// pool over every parameter assignment, two-request sequences for
-// stateful services — with sink events judged in place of being
-// materialised.
+// function, with sink events judged in place of being materialised. The
+// search is influence-guided: a static pass (influence.go) proves most
+// of the exhaustive assignment space incapable of changing any verdict
+// or witness, and only the remainder is executed. The result — labels,
+// witnesses and sequences — is identical to AnalyzeProbingExhaustive on
+// every valid service, which the differential and fuzz suites enforce.
 func AnalyzeProbing(svc *Service, probe ProbeFunc) ([]GroundTruth, error) {
+	return analyzeProbing(svc, probe, oracleModePruned)
+}
+
+// AnalyzeProbingExhaustive derives ground truth by enumerating the full
+// value pool over every parameter assignment (two-request sequences for
+// stateful services) with no pruning and no early exit. It is the
+// reference the pruned search is differentially locked against, and the
+// engine behind the -oracle-exhaustive escape hatch.
+func AnalyzeProbingExhaustive(svc *Service, probe ProbeFunc) ([]GroundTruth, error) {
+	return analyzeProbing(svc, probe, oracleModeExhaustive)
+}
+
+// oracleMode selects the search strategy. oracleModePrunedNoExit keeps
+// the influence pruning but disables early exit; the early-exit
+// property test compares it against oracleModePruned.
+type oracleMode int
+
+const (
+	oracleModePruned oracleMode = iota
+	oracleModePrunedNoExit
+	oracleModeExhaustive
+)
+
+func analyzeProbing(svc *Service, probe ProbeFunc, mode oracleMode) ([]GroundTruth, error) {
 	if svc == nil {
 		return nil, fmt.Errorf("svclang: nil service")
 	}
@@ -527,10 +469,36 @@ func AnalyzeProbing(svc *Service, probe ProbeFunc) ([]GroundTruth, error) {
 		pool = append(pool, AttackPayloads(k)...)
 	}
 
+	// space is the exhaustive request-execution count over this pool;
+	// whatever the search does not execute is recorded as pruned.
+	space := uint64(1)
+	if stateful {
+		space = 2 * uint64(len(pool)) * uint64(len(pool))
+	} else {
+		for range svc.Params {
+			space *= uint64(len(pool))
+		}
+	}
+	var executed uint64
+	defer func() {
+		oracleProbesTotal.Add(executed)
+		if space > executed {
+			oraclePrunedTotal.Add(space - executed)
+		}
+	}()
+
 	// curSeq is the request sequence of the probe in flight; the observer
-	// clones it lazily, only when a sink first proves vulnerable.
+	// clones it lazily, only when a sink first proves vulnerable. In the
+	// pruned search the observer additionally restricts itself to the
+	// sinks of the influence group being enumerated (watch) and counts
+	// down the group's undecided sinks for early exit.
 	var curSeq []Request
+	var watch map[int]bool
+	undecided := 0
 	observer := func(sinkID int, kind SinkKind, structuralTaint bool) {
+		if watch != nil && !watch[sinkID] {
+			return
+		}
 		gt := byID[sinkID]
 		if gt == nil || gt.Vulnerable || !structuralTaint {
 			return
@@ -538,20 +506,70 @@ func AnalyzeProbing(svc *Service, probe ProbeFunc) ([]GroundTruth, error) {
 		gt.Vulnerable = true
 		gt.Sequence = cloneSequence(curSeq)
 		gt.Witness = gt.Sequence[len(gt.Sequence)-1]
+		undecided--
 	}
 	run := func(req Request, store *SessionStore, seq []Request) error {
 		curSeq = seq
+		executed++
 		return probe(svc, req, store, observer)
 	}
 
-	if stateful {
-		return truths, analyzeStateful(svc, pool, run)
+	if mode == oracleModeExhaustive {
+		var err error
+		if stateful {
+			err = analyzeStateful(svc, pool, run, nil)
+		} else {
+			err = analyzeStateless(svc, pool, run, nil)
+		}
+		if err != nil {
+			return nil, err
+		}
+		return truths, nil
 	}
 
-	// Stateless: enumerate the full cross product of pool values over
-	// parameters. The request map is reused across the odometer — its
-	// keys never change, and the observer's cloneSequence snapshots it
-	// whenever a witness is recorded.
+	plan := buildOraclePlan(svc, pool)
+	earlyExit := mode == oracleModePruned
+	var err error
+	if plan.planned() >= space {
+		// Influence groups overlap enough that enumerating them
+		// separately would cost at least the exhaustive space (possible
+		// when several sinks have distinct but large influence sets).
+		// Fall back to the single exhaustive sweep so the pruned search
+		// is never more expensive than the exhaustive one and the
+		// accounting invariant executed+pruned == space holds. Early
+		// exit still applies: once every sink is vulnerable the observer
+		// is inert and stopping is output-identical.
+		undecided = len(truths)
+		var stop *int
+		if earlyExit {
+			stop = &undecided
+		}
+		before := executed
+		if stateful {
+			err = analyzeStateful(svc, pool, run, stop)
+		} else {
+			err = analyzeStateless(svc, pool, run, stop)
+		}
+		if err == nil && executed-before < space {
+			oracleEarlyExitTotal.Add(1)
+		}
+	} else if stateful {
+		err = runPrunedStateful(svc, plan, pool, run, &watch, &undecided, earlyExit)
+	} else {
+		err = runPrunedStateless(svc, plan, pool, run, &watch, &undecided, earlyExit)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return truths, nil
+}
+
+// analyzeStateless enumerates the full cross product of pool values
+// over parameters. The request map is reused across the odometer — its
+// keys never change, and the observer's cloneSequence snapshots it
+// whenever a witness is recorded. A non-nil stop enables early exit:
+// the sweep halts once *stop reaches zero.
+func analyzeStateless(svc *Service, pool []string, run func(req Request, store *SessionStore, seq []Request) error, stop *int) error {
 	assignment := make([]int, len(svc.Params))
 	req := make(Request, len(svc.Params))
 	seq := []Request{req}
@@ -560,7 +578,10 @@ func AnalyzeProbing(svc *Service, probe ProbeFunc) ([]GroundTruth, error) {
 			req[p] = pool[assignment[i]]
 		}
 		if err := run(req, nil, seq); err != nil {
-			return nil, err
+			return err
+		}
+		if stop != nil && *stop == 0 {
+			return nil
 		}
 		// Advance the odometer.
 		i := 0
@@ -575,15 +596,131 @@ func AnalyzeProbing(svc *Service, probe ProbeFunc) ([]GroundTruth, error) {
 			break
 		}
 	}
-	return truths, nil
+	return nil
+}
+
+// runPrunedStateless executes the plan's influence groups: one odometer
+// per group over its kept pool values, every other parameter pinned to
+// the first benign value (which is what the exhaustive first witness
+// assigns to parameters that cannot affect the outcome). A group stops
+// as soon as all of its sinks are proven vulnerable.
+func runPrunedStateless(svc *Service, plan *oraclePlan, pool []string,
+	run func(req Request, store *SessionStore, seq []Request) error,
+	watch *map[int]bool, undecided *int, earlyExit bool) error {
+	req := make(Request, len(svc.Params))
+	seq := []Request{req}
+	for gi := range plan.groups {
+		g := &plan.groups[gi]
+		*watch = make(map[int]bool, len(g.sinkIDs))
+		for _, id := range g.sinkIDs {
+			(*watch)[id] = true
+		}
+		*undecided = len(g.sinkIDs)
+		for _, p := range svc.Params {
+			req[p] = pool[0]
+		}
+		planned := uint64(1)
+		for _, keep := range g.keeps {
+			planned *= uint64(len(keep))
+		}
+		var groupExecuted uint64
+		idx := make([]int, len(g.params))
+		for {
+			for j, pi := range g.params {
+				req[svc.Params[pi]] = pool[g.keeps[j][idx[j]]]
+			}
+			if err := run(req, nil, seq); err != nil {
+				return err
+			}
+			groupExecuted++
+			if earlyExit && *undecided == 0 {
+				break
+			}
+			j := 0
+			for ; j < len(idx); j++ {
+				idx[j]++
+				if idx[j] < len(g.keeps[j]) {
+					break
+				}
+				idx[j] = 0
+			}
+			if j == len(idx) {
+				break
+			}
+		}
+		if groupExecuted < planned {
+			oracleEarlyExitTotal.Add(1)
+		}
+	}
+	return nil
+}
+
+// runPrunedStateful is runPrunedStateless for two-request sequences:
+// groups range over the virtual parameters v1 (the parameter's value in
+// the poisoning request) and v2 (its value in the triggering request),
+// and a pair's second request is skipped once the group is decided.
+func runPrunedStateful(svc *Service, plan *oraclePlan, pool []string,
+	run func(req Request, store *SessionStore, seq []Request) error,
+	watch *map[int]bool, undecided *int, earlyExit bool) error {
+	r1, r2 := Request{}, Request{}
+	seq1, seq2 := []Request{r1}, []Request{r1, r2}
+	fill := func(req Request, v string) {
+		for _, p := range svc.Params {
+			req[p] = v
+		}
+	}
+	for gi := range plan.groups {
+		g := &plan.groups[gi]
+		*watch = make(map[int]bool, len(g.sinkIDs))
+		for _, id := range g.sinkIDs {
+			(*watch)[id] = true
+		}
+		*undecided = len(g.sinkIDs)
+		keeps1, keeps2 := []int{0}, []int{0}
+		for j, p := range g.params {
+			if p == 0 {
+				keeps1 = g.keeps[j]
+			} else {
+				keeps2 = g.keeps[j]
+			}
+		}
+		planned := 2 * uint64(len(keeps1)) * uint64(len(keeps2))
+		var groupExecuted uint64
+	pairs:
+		for _, i1 := range keeps1 {
+			for _, i2 := range keeps2 {
+				store := NewSessionStore()
+				fill(r1, pool[i1])
+				if err := run(r1, store, seq1); err != nil {
+					return err
+				}
+				groupExecuted++
+				if earlyExit && *undecided == 0 {
+					break pairs
+				}
+				fill(r2, pool[i2])
+				if err := run(r2, store, seq2); err != nil {
+					return err
+				}
+				groupExecuted++
+				if earlyExit && *undecided == 0 {
+					break pairs
+				}
+			}
+		}
+		if groupExecuted < planned {
+			oracleEarlyExitTotal.Add(1)
+		}
+	}
+	return nil
 }
 
 // analyzeStateful enumerates every two-request sequence over the pool,
 // sharing a session store within each sequence. Single-request exploits
 // are covered by the first element of each pair. Like the stateless
 // odometer, the two request maps are reused across pairs; witnesses are
-// snapshotted by the observer.
-func analyzeStateful(svc *Service, pool []string, run func(req Request, store *SessionStore, seq []Request) error) error {
+// snapshotted by the observer. A non-nil stop enables early exit.
+func analyzeStateful(svc *Service, pool []string, run func(req Request, store *SessionStore, seq []Request) error, stop *int) error {
 	fill := func(req Request, v string) {
 		for _, p := range svc.Params {
 			req[p] = v
@@ -598,13 +735,41 @@ func analyzeStateful(svc *Service, pool []string, run func(req Request, store *S
 			if err := run(r1, store, seq1); err != nil {
 				return err
 			}
+			if stop != nil && *stop == 0 {
+				return nil
+			}
 			fill(r2, v2)
 			if err := run(r2, store, seq2); err != nil {
 				return err
 			}
+			if stop != nil && *stop == 0 {
+				return nil
+			}
 		}
 	}
 	return nil
+}
+
+// CloneGroundTruths deep-copies a ground-truth slice, witnesses and
+// sequences included. Consumers that memoise oracle results (the
+// content-addressed cache in internal/svclang/compile) hand out clones
+// so no caller can corrupt the cached truth through a shared witness
+// map.
+func CloneGroundTruths(truths []GroundTruth) []GroundTruth {
+	if truths == nil {
+		return nil
+	}
+	out := make([]GroundTruth, len(truths))
+	for i, gt := range truths {
+		out[i] = gt
+		if gt.Witness != nil {
+			out[i].Witness = cloneRequest(gt.Witness)
+		}
+		if gt.Sequence != nil {
+			out[i].Sequence = cloneSequence(gt.Sequence)
+		}
+	}
+	return out
 }
 
 func cloneSequence(seq []Request) []Request {

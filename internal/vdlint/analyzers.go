@@ -286,7 +286,8 @@ var execPathPackages = []string{
 // rawExecFuncs are the interpreter-path entry points of package svclang.
 var rawExecFuncs = map[string]bool{
 	"Execute": true, "ExecuteInSession": true,
-	"Analyze": true, "AnalyzeWith": true, "AnalyzeProbing": true,
+	"Analyze": true, "AnalyzeWith": true,
+	"AnalyzeProbing": true, "AnalyzeProbingExhaustive": true,
 }
 
 func runCompiledExec(pass *Pass) {

@@ -7,89 +7,63 @@ import (
 	"sort"
 )
 
-// JudgeSync cross-checks the judge tables that the differential suite
-// depends on staying in lockstep: the compiled VM (svclang/compile) and
-// the reference interpreter/oracle (svclang) each hold switch statements
-// over the same enums — SinkKind for structural-taint judgment and
-// structure fingerprinting, Builtin for sanitizer semantics. A case
-// added on one side but not the other is exactly the bug class the
+// JudgeSync verifies the shared judge tables of package svclang — the
+// single source of truth the interpreter, the bytecode VM and the
+// black-box structure analyses all dispatch through. Each table is a
+// composite literal indexed by an enum (sinkJudges by SinkKind,
+// builtinSpecs by Builtin); a constant added to the enum without a
+// keyed entry in its table would make every dispatcher silently treat
+// the new kind as "judge nothing", which is exactly the bug class the
 // bytecode-vs-interpreter lockstep tests can miss when no workload
-// happens to exercise the new case. The analyzer resolves each switch's
-// case-constant set through type information and reports any asymmetry;
-// a renamed or deleted anchor function is itself reported so the check
-// can never silently stop guarding.
+// happens to exercise the new case. The analyzer resolves the
+// literal's keys through type information and reports every enum
+// constant without an entry; a renamed or deleted table is itself
+// reported so the check can never silently stop guarding. (Before the
+// shared tables existed, this analyzer mirrored per-engine switch
+// statements against each other; the tables replaced the mirrors, and
+// the coverage obligation replaced the symmetry obligation.)
 var JudgeSync = &Analyzer{
 	Name:   "judgesync",
-	Doc:    "VM and interpreter judge switches (SinkKind, Builtin) must enumerate identical cases",
+	Doc:    "the shared judge tables (sinkJudges, builtinSpecs) must cover every constant of their enum",
 	Run:    runJudgeSync,
 	Finish: finishJudgeSync,
 }
 
-// judgeFunc names one switch-bearing function: package (module-relative),
-// optional receiver type, function name, and the enum its switch ranges
-// over.
-type judgeFunc struct {
+// judgeTable names one table obligation: the module-relative package,
+// the package-level composite-literal variable, and the enum whose
+// every constant must appear among the literal's keys.
+type judgeTable struct {
 	pkg  string
-	recv string
 	name string
 	enum string
 }
 
-// display renders the function for diagnostics.
-func (jf judgeFunc) display() string {
-	if jf.recv != "" {
-		return jf.recv + "." + jf.name
-	}
-	return jf.name
+// judgeSyncTables lists the coverage obligations.
+var judgeSyncTables = []judgeTable{
+	{pkg: "internal/svclang", name: "sinkJudges", enum: "SinkKind"},
+	{pkg: "internal/svclang", name: "builtinSpecs", enum: "Builtin"},
 }
 
-// judgePair is one mirror obligation between two judge functions.
-// Constants named in except are exempt from the comparison, for cases
-// one side intentionally handles elsewhere.
-type judgePair struct {
-	a, b   judgeFunc
-	except map[string]bool
-}
-
-// judgeSyncPairs lists the mirror obligations. BuiltinConcat is exempt
-// from the builtin pair: the VM compiles concat to a dedicated opcode,
-// so (*arena).builtin never sees it.
-var judgeSyncPairs = []judgePair{
-	{
-		a: judgeFunc{pkg: "internal/svclang/compile", name: "structuralTaint", enum: "SinkKind"},
-		b: judgeFunc{pkg: "internal/svclang", name: "StructuralTaint", enum: "SinkKind"},
-	},
-	{
-		a:      judgeFunc{pkg: "internal/svclang/compile", recv: "arena", name: "builtin", enum: "Builtin"},
-		b:      judgeFunc{pkg: "internal/svclang", name: "applyBuiltin", enum: "Builtin"},
-		except: map[string]bool{"BuiltinConcat": true},
-	},
-	{
-		a: judgeFunc{pkg: "internal/svclang", name: "StructureFingerprint", enum: "SinkKind"},
-		b: judgeFunc{pkg: "internal/svclang", name: "Structure", enum: "SinkKind"},
-	},
-}
-
-// judgeFuncInfo is one located judge function: where it is and which
-// enum constants its switches name.
-type judgeFuncInfo struct {
+// judgeTableInfo is one located table: where its literal is, which enum
+// constants appear as keys, and which constants the enum declares in
+// that package.
+type judgeTableInfo struct {
 	pos   token.Pos
-	cases map[string]bool
+	keys  map[string]bool
+	enums map[string]bool
 }
 
-// judgeSyncResult maps judgeFunc → located info for one unit.
-type judgeSyncResult map[judgeFunc]judgeFuncInfo
+// judgeSyncResult maps judgeTable → located info for one unit.
+type judgeSyncResult map[judgeTable]judgeTableInfo
 
 func runJudgeSync(pass *Pass) {
 	if pass.Pkg.Kind != UnitPrimary {
 		return
 	}
-	var wanted []judgeFunc
-	for _, p := range judgeSyncPairs {
-		for _, jf := range [2]judgeFunc{p.a, p.b} {
-			if pass.Pkg.Path == pass.Prog.ModulePath+"/"+jf.pkg {
-				wanted = append(wanted, jf)
-			}
+	var wanted []judgeTable
+	for _, jt := range judgeSyncTables {
+		if pass.Pkg.Path == pass.Prog.ModulePath+"/"+jt.pkg {
+			wanted = append(wanted, jt)
 		}
 	}
 	if len(wanted) == 0 {
@@ -98,17 +72,30 @@ func runJudgeSync(pass *Pass) {
 	res := judgeSyncResult{}
 	for _, file := range pass.Pkg.Files {
 		for _, d := range file.Decls {
-			fn, ok := d.(*ast.FuncDecl)
-			if !ok || fn.Body == nil {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
 				continue
 			}
-			for _, jf := range wanted {
-				if fn.Name.Name != jf.name || receiverTypeName(fn) != jf.recv {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
 					continue
 				}
-				res[jf] = judgeFuncInfo{
-					pos:   fn.Name.Pos(),
-					cases: switchCaseConstants(pass.Pkg.TypesInfo, fn.Body, jf.enum),
+				for i, ident := range vs.Names {
+					for _, jt := range wanted {
+						if ident.Name != jt.name || i >= len(vs.Values) {
+							continue
+						}
+						lit, ok := vs.Values[i].(*ast.CompositeLit)
+						if !ok {
+							continue
+						}
+						res[jt] = judgeTableInfo{
+							pos:   ident.Pos(),
+							keys:  literalKeyConstants(pass.Pkg.TypesInfo, lit, jt.enum),
+							enums: enumConstants(pass.Pkg.TypesInfo, pass.Pkg.Files, jt.enum),
+						}
+					}
 				}
 			}
 		}
@@ -123,49 +110,30 @@ func finishJudgeSync(fp *FinishPass) {
 		if !ok {
 			continue
 		}
-		for jf, info := range res {
-			found[jf] = info
+		for jt, info := range res {
+			found[jt] = info
 		}
 	}
-	for _, p := range judgeSyncPairs {
-		ia, okA := found[p.a]
-		ib, okB := found[p.b]
-		if !okA || !okB {
-			for _, side := range []struct {
-				jf    judgeFunc
-				ok    bool
-				other judgeFunc
-			}{{p.a, okA, p.b}, {p.b, okB, p.a}} {
-				if side.ok {
-					continue
-				}
-				pos := fp.anchorPos(side.jf.pkg)
-				if other, ok := found[side.other]; ok {
-					pos = other.pos
-				}
-				fp.Reportf(pos,
-					"judge function %s not found in %s; if it was renamed, update the judgesync table so the VM/interpreter mirror check keeps guarding it",
-					side.jf.display(), side.jf.pkg)
-			}
+	for _, jt := range judgeSyncTables {
+		info, ok := found[jt]
+		if !ok {
+			fp.Reportf(fp.anchorPos(jt.pkg),
+				"judge table %s not found in %s; if it was renamed, update the judgesync table list so the coverage check keeps guarding it",
+				jt.name, jt.pkg)
 			continue
 		}
-		for _, name := range sortedNames(ia.cases) {
-			if !ib.cases[name] && !p.except[name] {
-				fp.Reportf(ia.pos, "%s handles %s but its mirror %s does not; the VM and interpreter judge tables diverged",
-					p.a.display(), name, p.b.display())
-			}
-		}
-		for _, name := range sortedNames(ib.cases) {
-			if !ia.cases[name] && !p.except[name] {
-				fp.Reportf(ib.pos, "%s handles %s but its mirror %s does not; the VM and interpreter judge tables diverged",
-					p.b.display(), name, p.a.display())
+		for _, name := range sortedNames(info.enums) {
+			if !info.keys[name] {
+				fp.Reportf(info.pos,
+					"judge table %s has no entry for %s; every %s constant must be covered, or every dispatcher silently judges the new kind as nothing",
+					jt.name, name, jt.enum)
 			}
 		}
 	}
 }
 
 // anchorPos returns a position inside the named module-relative package,
-// for diagnostics about functions that no longer exist there.
+// for diagnostics about tables that no longer exist there.
 func (fp *FinishPass) anchorPos(rel string) token.Pos {
 	if u, ok := fp.Prog.byPath[fp.Prog.ModulePath+"/"+rel]; ok && len(u.Files) > 0 {
 		return u.Files[0].Package
@@ -173,51 +141,62 @@ func (fp *FinishPass) anchorPos(rel string) token.Pos {
 	return token.NoPos
 }
 
-// receiverTypeName returns the name of fn's receiver type ("" for a
-// package-level function), with any pointer stripped.
-func receiverTypeName(fn *ast.FuncDecl) string {
-	if fn.Recv == nil || len(fn.Recv.List) == 0 {
-		return ""
+// literalKeyConstants collects the names of every constant of the named
+// enum type used as a key in the composite literal.
+func literalKeyConstants(info *types.Info, lit *ast.CompositeLit, enum string) map[string]bool {
+	out := map[string]bool{}
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		var id *ast.Ident
+		switch e := ast.Unparen(kv.Key).(type) {
+		case *ast.Ident:
+			id = e
+		case *ast.SelectorExpr:
+			id = e.Sel
+		default:
+			continue
+		}
+		c, ok := info.Uses[id].(*types.Const)
+		if !ok {
+			continue
+		}
+		if named, ok := c.Type().(*types.Named); ok && named.Obj().Name() == enum {
+			out[c.Name()] = true
+		}
 	}
-	t := fn.Recv.List[0].Type
-	if star, ok := t.(*ast.StarExpr); ok {
-		t = star.X
-	}
-	if id, ok := ast.Unparen(t).(*ast.Ident); ok {
-		return id.Name
-	}
-	return ""
+	return out
 }
 
-// switchCaseConstants collects the names of every constant of the named
-// enum type that appears in a case clause anywhere in body.
-func switchCaseConstants(info *types.Info, body ast.Node, enum string) map[string]bool {
+// enumConstants collects every package-level constant of the named enum
+// type declared in the given files.
+func enumConstants(info *types.Info, files []*ast.File, enum string) map[string]bool {
 	out := map[string]bool{}
-	ast.Inspect(body, func(n ast.Node) bool {
-		cc, ok := n.(*ast.CaseClause)
-		if !ok {
-			return true
-		}
-		for _, expr := range cc.List {
-			var id *ast.Ident
-			switch e := ast.Unparen(expr).(type) {
-			case *ast.Ident:
-				id = e
-			case *ast.SelectorExpr:
-				id = e.Sel
-			default:
+	for _, file := range files {
+		for _, d := range file.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok || gd.Tok != token.CONST {
 				continue
 			}
-			c, ok := info.Uses[id].(*types.Const)
-			if !ok {
-				continue
-			}
-			if named, ok := c.Type().(*types.Named); ok && named.Obj().Name() == enum {
-				out[c.Name()] = true
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, ident := range vs.Names {
+					c, ok := info.Defs[ident].(*types.Const)
+					if !ok {
+						continue
+					}
+					if named, ok := c.Type().(*types.Named); ok && named.Obj().Name() == enum {
+						out[c.Name()] = true
+					}
+				}
 			}
 		}
-		return true
-	})
+	}
 	return out
 }
 

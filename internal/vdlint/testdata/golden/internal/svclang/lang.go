@@ -14,7 +14,7 @@ func ExecuteInSession(s *Service, r Request) (Result, error) { return Result{}, 
 type SinkKind int
 
 const (
-	SinkSQL SinkKind = iota
+	SinkSQL SinkKind = iota + 1
 	SinkXPath
 	SinkHTML
 )
@@ -22,44 +22,28 @@ const (
 type Builtin int
 
 const (
-	BuiltinConcat Builtin = iota
+	BuiltinConcat Builtin = iota + 1
 	BuiltinTrim
 	BuiltinUpper
 )
 
-func StructuralTaint(k SinkKind) bool { // want `StructuralTaint handles SinkHTML but its mirror structuralTaint does not`
-	switch k {
-	case SinkSQL:
-		return true
-	case SinkXPath:
-		return true
-	case SinkHTML:
-		return true
-	}
-	return false
+type sinkJudge struct{ name string }
+type builtinSpec struct{ mode int }
+
+// sinkJudges deliberately drops SinkHTML so judgesync has a coverage
+// gap to report.
+var sinkJudges = [SinkHTML + 1]sinkJudge{ // want `judge table sinkJudges has no entry for SinkHTML`
+	SinkSQL:   {name: "sql"},
+	SinkXPath: {name: "xpath"},
 }
 
-func applyBuiltin(b Builtin) {
-	switch b {
-	case BuiltinConcat:
-	case BuiltinTrim:
-	case BuiltinUpper:
-	}
+var builtinSpecs = [BuiltinUpper + 1]builtinSpec{
+	BuiltinConcat: {mode: 1},
+	BuiltinTrim:   {mode: 2},
+	BuiltinUpper:  {mode: 3},
 }
 
-var _ = applyBuiltin
-
-func StructureFingerprint(k SinkKind) { // want `StructureFingerprint handles SinkHTML but its mirror Structure does not`
-	switch k {
-	case SinkSQL:
-	case SinkXPath:
-	case SinkHTML:
-	}
-}
-
-func Structure(k SinkKind) {
-	switch k {
-	case SinkSQL:
-	case SinkXPath:
-	}
-}
+var (
+	_ = sinkJudges
+	_ = builtinSpecs
+)

@@ -640,95 +640,59 @@ func viaNamedLeak() {
 	}
 }
 
-func TestJudgeSyncReportsDivergence(t *testing.T) {
+func TestJudgeSyncReportsMissingEntry(t *testing.T) {
 	root := writeModule(t, map[string]string{
 		"go.mod": fixtureGomod,
 		"internal/svclang/lang.go": `package svclang
 type SinkKind int
 const (
-	SinkSQL SinkKind = iota
+	SinkSQL SinkKind = iota + 1
 	SinkXPath
+	SinkHTML
 )
 type Builtin int
 const (
-	BuiltinConcat Builtin = iota
+	BuiltinConcat Builtin = iota + 1
 	BuiltinTrim
 	BuiltinUpper
 )
-func StructuralTaint(k SinkKind) bool {
-	switch k {
-	case SinkSQL:
-		return true
-	case SinkXPath:
-		return true
-	}
-	return false
+type sinkJudge struct{ name string }
+type builtinSpec struct{ mode int }
+var sinkJudges = [SinkHTML + 1]sinkJudge{
+	SinkSQL:   {name: "sql"},
+	SinkXPath: {name: "xpath"},
+	// SinkHTML missing: must be reported
 }
-func applyBuiltin(b Builtin) {
-	switch b {
-	case BuiltinConcat: // exempt: the VM has a dedicated concat opcode
-	case BuiltinTrim:
-	case BuiltinUpper:
-	}
-}
-func StructureFingerprint(k SinkKind) {
-	switch k {
-	case SinkSQL:
-	case SinkXPath:
-	}
-}
-func Structure(k SinkKind) {
-	switch k {
-	case SinkSQL:
-	case SinkXPath:
-	}
-}
-`,
-		"internal/svclang/compile/vm.go": `package compile
-import "example.com/fix/internal/svclang"
-func structuralTaint(k svclang.SinkKind) bool {
-	switch k {
-	case svclang.SinkSQL: // SinkXPath missing: must be reported
-		return true
-	}
-	return false
-}
-type arena struct{}
-func (a *arena) builtin(b svclang.Builtin) {
-	switch b {
-	case svclang.BuiltinTrim:
-	case svclang.BuiltinUpper:
-	}
+var builtinSpecs = [BuiltinUpper + 1]builtinSpec{
+	BuiltinConcat: {mode: 1},
+	BuiltinTrim:   {mode: 2},
+	BuiltinUpper:  {mode: 3},
 }
 `,
 	})
 	diags := mustRun(t, loadFixture(t, root), []*Analyzer{JudgeSync}, Options{})
 	if len(diags) != 1 {
-		t.Fatalf("diagnostics:\n%swant exactly the SinkXPath divergence", joinMessages(diags))
+		t.Fatalf("diagnostics:\n%swant exactly the SinkHTML coverage gap", joinMessages(diags))
 	}
-	if !strings.Contains(diags[0].Message, "SinkXPath") || !strings.Contains(diags[0].Message, "structuralTaint") {
-		t.Fatalf("wrong divergence reported: %s", diags[0])
+	if !strings.Contains(diags[0].Message, "SinkHTML") || !strings.Contains(diags[0].Message, "sinkJudges") {
+		t.Fatalf("wrong gap reported: %s", diags[0])
 	}
 }
 
-func TestJudgeSyncReportsMissingAnchor(t *testing.T) {
+func TestJudgeSyncReportsMissingTable(t *testing.T) {
 	root := writeModule(t, map[string]string{
 		"go.mod": fixtureGomod,
 		"internal/svclang/lang.go": `package svclang
+// sinkJudges and builtinSpecs are gone — e.g. renamed in a refactor.
 type SinkKind int
-const SinkSQL SinkKind = iota
-func StructuralTaint(k SinkKind) bool { return k == SinkSQL }
-func StructureFingerprint(k SinkKind) {}
-func Structure(k SinkKind) {}
-func applyBuiltin() {}
-`,
-		"internal/svclang/compile/vm.go": `package compile
-// structuralTaint and (*arena).builtin are gone — e.g. renamed in a refactor.
+const SinkSQL SinkKind = iota + 1
+type Builtin int
+const BuiltinConcat Builtin = iota + 1
 `,
 	})
 	diags := mustRun(t, loadFixture(t, root), []*Analyzer{JudgeSync}, Options{})
 	joined := joinMessages(diags)
-	for _, want := range []string{"structuralTaint not found", "arena.builtin not found"} {
+	for _, want := range []string{"sinkJudges not found", "builtinSpecs not found"} {
 		if !strings.Contains(joined, want) {
 			t.Fatalf("missing %q in:\n%s", want, joined)
 		}

@@ -128,6 +128,13 @@ type Config struct {
 	// the flag mirrors harness Options.Interpreter for end-to-end
 	// equivalence runs.
 	Interpreter bool
+	// OracleExhaustive labels the corpus through the unpruned reference
+	// oracle search instead of the default influence-guided one. Labels
+	// and witnesses are search-independent (the pruning differential
+	// suite pins the searches to each other); the flag is the
+	// -oracle-exhaustive escape hatch for settling any doubt the
+	// expensive way.
+	OracleExhaustive bool
 }
 
 // Validate reports whether the configuration is usable.
@@ -151,7 +158,7 @@ func (c Config) Validate() error {
 var ErrLabelMismatch = errors.New("workload: template expectation disagrees with ground-truth oracle")
 
 // Generate builds a corpus. Every case's template-declared labels are
-// verified against the exhaustive oracle; any disagreement aborts
+// verified against the ground-truth oracle; any disagreement aborts
 // generation with ErrLabelMismatch.
 func Generate(cfg Config) (*Corpus, error) {
 	if err := cfg.Validate(); err != nil {
@@ -167,9 +174,12 @@ func Generate(cfg Config) (*Corpus, error) {
 	}
 	rng := stats.NewRNG(cfg.Seed)
 	// One execution engine for the whole generation run: the oracle's
-	// exhaustive search dominates corpus cost, and the engine compiles
-	// each service once across its thousands of probe executions.
+	// probe search dominates corpus cost, and the engine compiles each
+	// service once across its probe executions (while the process-wide
+	// oracle cache elides repeat derivations of identical bodies
+	// entirely).
 	eng := compile.NewEngine(cfg.Interpreter)
+	eng.SetOracleExhaustive(cfg.OracleExhaustive)
 	corpus := &Corpus{Config: cfg}
 	buckets := map[Difficulty][]Template{
 		Easy:   TemplatesByDifficulty(Easy),

@@ -1,0 +1,32 @@
+package workload
+
+import (
+	"testing"
+
+	"github.com/dsn2015/vdbench/internal/svclang"
+)
+
+// TestOracleProbeReductionStandardCorpus asserts the pruning payoff the
+// vd_oracle_* telemetry reports: labelling a standard corpus (the
+// experiment default's shape) must execute at most a fifth of the
+// exhaustive probe space. Probes elided by the content-addressed oracle
+// cache count as pruned-by-other-means here — a cached service
+// contributes zero to both counters, which only strengthens the bound.
+func TestOracleProbeReductionStandardCorpus(t *testing.T) {
+	before := svclang.OracleTotalsSnapshot()
+	if _, err := Generate(Config{Services: 200, TargetPrevalence: 0.35, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	after := svclang.OracleTotalsSnapshot()
+	executed := after.Probes - before.Probes
+	space := executed + (after.Pruned - before.Pruned)
+	if space == 0 {
+		t.Fatal("corpus generation advanced no oracle counters")
+	}
+	if executed*5 > space {
+		t.Fatalf("pruned oracle executed %d of %d exhaustive probes (%.1fx): below the 5x bar",
+			executed, space, float64(space)/float64(executed))
+	}
+	t.Logf("oracle pruning: executed=%d space=%d reduction=%.1fx early-exits=%d",
+		executed, space, float64(space)/float64(executed), after.EarlyExits-before.EarlyExits)
+}

@@ -61,6 +61,7 @@ import (
 	"github.com/dsn2015/vdbench/internal/stats"
 	"github.com/dsn2015/vdbench/internal/svclang"
 	"github.com/dsn2015/vdbench/internal/svclang/cfg"
+	"github.com/dsn2015/vdbench/internal/svclang/compile"
 	"github.com/dsn2015/vdbench/internal/workload"
 )
 
@@ -124,6 +125,10 @@ type (
 	FailureKind = harness.FailureKind
 	// ExecTotals is the process-wide snapshot of engine fault counters.
 	ExecTotals = harness.ExecTotals
+	// OracleTotals is the process-wide snapshot of ground-truth oracle
+	// search counters: probes executed, probes pruned away by the
+	// influence analysis, and sweeps cut short by early exit.
+	OracleTotals = svclang.OracleTotals
 	// ContextTool is an optional Tool extension for implementations that
 	// observe cancellation mid-analysis; the execution engine passes such
 	// tools the per-attempt deadline context.
@@ -278,6 +283,23 @@ func ExecutionTotals() ExecTotals { return harness.ExecTotalsSnapshot() }
 // monotonically non-decreasing; cmd/vdserved exposes them on /metrics.
 func CompileCacheTotals() (hits, misses uint64) {
 	return cfg.CacheTotals()
+}
+
+// OracleSearchTotals returns the process-wide cumulative counters of the
+// ground-truth oracle's probe search: probes executed, probes the
+// influence-guided plan pruned away, and sweeps stopped early once every
+// sink was proven vulnerable. Executed + pruned always equals the size
+// of the exhaustive probe space, so the pair measures the pruning ratio
+// directly. Totals are monotone; cmd/vdserved folds their deltas onto
+// /metrics.
+func OracleSearchTotals() OracleTotals { return svclang.OracleTotalsSnapshot() }
+
+// OracleCacheTotals returns the process-wide content-addressed oracle
+// cache counters: hits served a memoised ground-truth derivation for a
+// structurally identical service, misses derived one. Both values are
+// monotonically non-decreasing; cmd/vdserved exposes them on /metrics.
+func OracleCacheTotals() (hits, misses uint64) {
+	return compile.OracleCacheTotals()
 }
 
 // DefaultPropConfig returns the property-analysis configuration used by
