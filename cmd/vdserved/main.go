@@ -13,8 +13,10 @@
 // Default-mode endpoints:
 //
 //	POST   /v1/jobs             {"experiment":"e3","quick":true,...}
+//	GET    /v1/jobs             list jobs (?state=, ?cursor=, ?limit=)
 //	GET    /v1/jobs/{id}        status + queue position
 //	GET    /v1/jobs/{id}/result ?format=text|csv|markdown|json, optional ?wait=30s
+//	GET    /v1/jobs/{id}/events SSE stream of live campaign progress
 //	DELETE /v1/jobs/{id}        cancel a queued or running job
 //	GET    /v1/experiments      catalogue
 //	GET    /healthz/live        process liveness
@@ -75,6 +77,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		degraded        = fs.String("degraded", "abort", "policy for cases a tool failed on: abort, skip or count-miss")
 		interp          = fs.Bool("interpreter", false, "execute services on the reference tree-walking interpreter instead of the bytecode VM (output is identical, the VM is faster)")
 		oracleExh       = fs.Bool("oracle-exhaustive", false, "derive ground truth with the unpruned exhaustive oracle search instead of the influence-guided one (output is identical, the pruned search is faster)")
+		dataDir         = fs.String("data-dir", "", "directory for the durable job store (journal + content-addressed results); empty keeps jobs in memory only")
 		drain           = fs.Duration("drain", 30*time.Second, "graceful-shutdown budget for in-flight HTTP requests and running campaigns")
 		coordinator     = fs.Bool("coordinator", false, "serve the distributed-campaign coordinator instead of the experiment job API")
 		workerMode      = fs.Bool("worker", false, "run as a distributed-campaign worker; requires -join")
@@ -109,6 +112,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	}
 	if (*hbInterval != 0 || *hbTimeout != 0) && !*coordinator {
 		return errors.New("-heartbeat-interval and -heartbeat-timeout only apply to -coordinator mode")
+	}
+	if *dataDir != "" && (*coordinator || *workerMode) {
+		return errors.New("-data-dir only applies to the experiment job API (default mode)")
 	}
 	if *hbInterval < 0 || *hbTimeout < 0 {
 		return errors.New("heartbeat durations must be non-negative")
@@ -146,12 +152,21 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if *cacheMB == 0 {
 		cacheBytes = -1 // Options treats 0 as "default"; negative disables
 	}
-	svc := service.New(service.Options{
+	svc, err := service.New(service.Options{
 		Workers:    *workers,
 		QueueCap:   *queueCap,
 		CacheBytes: cacheBytes,
 		BaseConfig: base,
+		DataDir:    *dataDir,
 	})
+	if err != nil {
+		return err
+	}
+	if *dataDir != "" {
+		rec := svc.Recovery()
+		fmt.Fprintf(out, "vdserved: recovered %d journal records from %s: %d jobs restored, %d results rehydrated, %d jobs requeued (%d torn records, %d missing blobs, %d orphan blobs)\n",
+			rec.Records, *dataDir, rec.Restored, rec.Rehydrated, rec.Requeued, rec.Torn, rec.MissingBlobs, rec.OrphanBlobs)
+	}
 
 	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
 	defer stop()

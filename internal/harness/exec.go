@@ -381,6 +381,25 @@ func (e *engine) runCells(ctx context.Context, lo, hi, workers int, abortOnFault
 		cells[t] = make([]CellResult, nCases)
 	}
 
+	// Progress reporting is pure observation on the side of execution:
+	// events never alter scheduling or results, so a campaign with a
+	// listener is byte-identical to one without.
+	var done atomic.Int64
+	listener := ProgressFromContext(ctx)
+	report := func(t, c int, ce CellResult) {
+		if listener == nil {
+			return
+		}
+		listener(ProgressEvent{
+			Done:      int(done.Add(1)),
+			Total:     nTools * nCases,
+			Tool:      e.tools[t].Name(),
+			Case:      c,
+			Confusion: cellConfusion(ce.Outcomes),
+			Failed:    ce.Fault != nil,
+		})
+	}
+
 	if workers == 1 {
 		for t := 0; t < nTools; t++ {
 			for c := lo; c < hi; c++ {
@@ -395,6 +414,7 @@ func (e *engine) runCells(ctx context.Context, lo, hi, workers int, abortOnFault
 					return nil, ce.Fault.err
 				}
 				cells[t][c-lo] = ce
+				report(t, c, ce)
 			}
 		}
 		return cells, nil
@@ -438,6 +458,7 @@ func (e *engine) runCells(ctx context.Context, lo, hi, workers int, abortOnFault
 					continue
 				}
 				cells[tk.tool][tk.cs-lo] = ce
+				report(tk.tool, tk.cs, ce)
 			}
 		}()
 	}

@@ -1,0 +1,254 @@
+// Package journal is the durable persistence layer under the serving
+// daemon: an append-only JSONL journal of job lifecycle records plus a
+// content-addressed blob store for experiment results. Both sides are
+// deliberately mechanism, not policy — the package knows how to frame,
+// checksum, fsync and replay records, while internal/service decides
+// what the records mean and when to write them.
+//
+// Durability model. Every Append encodes one record as a single line
+//
+//	v1 <crc32c-hex> <canonical JSON>\n
+//
+// and fsyncs the file before returning, so a record boundary is also a
+// durability boundary: after a crash the journal contains a prefix of
+// the acknowledged records plus at most one torn tail line. Replay
+// verifies the CRC of every line; the first bad line and everything
+// after it are discarded and the file is truncated back to the last
+// good record, turning a torn write into a clean append point. A torn
+// line can only be the tail in the crash model (single appender,
+// fsync per record); mid-file corruption is treated the same way —
+// conservatively, records from the first damaged line on are dropped
+// and counted, never silently reinterpreted.
+//
+// The blob store (see store.go) holds one content-addressed file per
+// result, written via temp-file + rename with its own CRC header, so a
+// half-written blob is detected on read and treated as absent — the
+// deterministic pipeline can always recompute it.
+package journal
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// recordPrefix versions the line framing; bump it when the framing (not
+// the record vocabulary) changes incompatibly.
+const recordPrefix = "v1 "
+
+// castagnoli is the CRC-32C table used for both journal lines and blob
+// headers (the polynomial with hardware support on common CPUs).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Record is one job lifecycle event. The vocabulary (Type and Status
+// values) belongs to the writer; the journal only frames, checksums and
+// replays records. Fields irrelevant to a given type stay zero and are
+// omitted from the encoding.
+type Record struct {
+	// Type is the lifecycle event: "submitted", "started" or "finished".
+	Type string `json:"type"`
+	// Job is the stable job identifier the record belongs to.
+	Job string `json:"job"`
+	// Ord is the global submission ordinal (pagination cursor order);
+	// set on "submitted" records.
+	Ord uint64 `json:"ord,omitempty"`
+	// Experiment and Key identify what the job computes: the experiment
+	// ID and the content address of (experiment, config).
+	Experiment string `json:"experiment,omitempty"`
+	Key        string `json:"key,omitempty"`
+	// Config is the full resolved experiment configuration as JSON; set
+	// on "submitted" records so a replay can re-execute the job without
+	// any in-memory state surviving the crash.
+	Config json.RawMessage `json:"config,omitempty"`
+	// Status is the terminal state of a "finished" record: "done",
+	// "failed" or "canceled".
+	Status string `json:"status,omitempty"`
+	// Error carries the failure message of a failed job.
+	Error string `json:"error,omitempty"`
+}
+
+// ReplayStats summarises what Open found in an existing journal.
+type ReplayStats struct {
+	// Records is the number of intact records replayed.
+	Records int
+	// Torn is the number of lines dropped because they failed framing or
+	// CRC verification (at most one in the single-appender crash model;
+	// more indicates mid-file damage, handled by discarding the tail).
+	Torn int
+	// TruncatedBytes is how many bytes were cut off the file to restore
+	// a clean append point after the last intact record.
+	TruncatedBytes int64
+}
+
+// Journal is a single-writer append-only record log. Append is safe for
+// concurrent use; replay happens once, inside Open.
+type Journal struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+}
+
+// Open reads the journal at path (creating it when absent), replays
+// every intact record into the returned slice, truncates any torn tail
+// so the file ends at a record boundary, and leaves the file open for
+// appending. The caller owns the returned records; the journal itself
+// keeps no record state.
+func Open(path string) (*Journal, []Record, ReplayStats, error) {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, nil, ReplayStats{}, fmt.Errorf("journal: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, ReplayStats{}, fmt.Errorf("journal: %w", err)
+	}
+	records, stats, goodEnd, unterminated, err := replay(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, ReplayStats{}, err
+	}
+	if stats.TruncatedBytes > 0 {
+		if err := f.Truncate(goodEnd); err != nil {
+			f.Close()
+			return nil, nil, ReplayStats{}, fmt.Errorf("journal: truncating torn tail: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, nil, ReplayStats{}, fmt.Errorf("journal: %w", err)
+		}
+	}
+	if _, err := f.Seek(0, 2); err != nil { // io.SeekEnd; append from the clean end
+		f.Close()
+		return nil, nil, ReplayStats{}, fmt.Errorf("journal: %w", err)
+	}
+	if unterminated {
+		// The final record survived intact but lost its newline in the
+		// crash; re-terminate it so the next Append starts a fresh line
+		// instead of concatenating onto this one.
+		if _, err := f.WriteString("\n"); err != nil {
+			f.Close()
+			return nil, nil, ReplayStats{}, fmt.Errorf("journal: repairing tail: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, nil, ReplayStats{}, fmt.Errorf("journal: %w", err)
+		}
+	}
+	return &Journal{f: f, path: path}, records, stats, nil
+}
+
+// replay scans the whole file, returning the intact records, replay
+// statistics, the byte offset just past the last intact record, and
+// whether that last record was missing its trailing newline.
+func replay(f *os.File) ([]Record, ReplayStats, int64, bool, error) {
+	if _, err := f.Seek(0, 0); err != nil {
+		return nil, ReplayStats{}, 0, false, fmt.Errorf("journal: %w", err)
+	}
+	info, err := f.Stat()
+	if err != nil {
+		return nil, ReplayStats{}, 0, false, fmt.Errorf("journal: %w", err)
+	}
+	var (
+		records []Record
+		stats   ReplayStats
+		goodEnd int64
+	)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		rec, ok := decodeLine(line)
+		if !ok {
+			// First damaged line: everything from here on is dropped.
+			// Count the remaining lines so the caller sees the blast
+			// radius, then stop.
+			stats.Torn++
+			for sc.Scan() {
+				stats.Torn++
+			}
+			break
+		}
+		records = append(records, rec)
+		stats.Records++
+		goodEnd += int64(len(line)) + 1 // the scanner ate the newline
+	}
+	if err := sc.Err(); err != nil {
+		return nil, ReplayStats{}, 0, false, fmt.Errorf("journal: reading: %w", err)
+	}
+	// A crash can persist a complete final payload but not its newline;
+	// the CRC still verifies, so the record is kept. goodEnd counted the
+	// missing byte — clamp, and tell the caller to re-terminate the line.
+	unterminated := false
+	if goodEnd > info.Size() {
+		goodEnd = info.Size()
+		unterminated = true
+	}
+	stats.TruncatedBytes = info.Size() - goodEnd
+	return records, stats, goodEnd, unterminated, nil
+}
+
+// decodeLine parses one framed line, verifying version prefix and CRC.
+func decodeLine(line string) (Record, bool) {
+	rest, ok := strings.CutPrefix(line, recordPrefix)
+	if !ok {
+		return Record{}, false
+	}
+	crcHex, payload, ok := strings.Cut(rest, " ")
+	if !ok || len(crcHex) != 8 {
+		return Record{}, false
+	}
+	var want uint32
+	if _, err := fmt.Sscanf(crcHex, "%08x", &want); err != nil {
+		return Record{}, false
+	}
+	if crc32.Checksum([]byte(payload), castagnoli) != want {
+		return Record{}, false
+	}
+	var rec Record
+	if err := json.Unmarshal([]byte(payload), &rec); err != nil {
+		return Record{}, false
+	}
+	return rec, true
+}
+
+// Append encodes, writes and fsyncs one record. The record is durable
+// when Append returns nil: a crash at any later point replays it.
+func (j *Journal) Append(rec Record) error {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("journal: encoding record: %w", err)
+	}
+	line := fmt.Sprintf("%s%08x %s\n", recordPrefix, crc32.Checksum(payload, castagnoli), payload)
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return errors.New("journal: closed")
+	}
+	if _, err := j.f.WriteString(line); err != nil {
+		return fmt.Errorf("journal: appending: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("journal: fsync: %w", err)
+	}
+	return nil
+}
+
+// Close releases the journal file. Further Appends fail.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	return err
+}
+
+// Path returns the journal file path.
+func (j *Journal) Path() string { return j.path }

@@ -1,0 +1,255 @@
+package journal
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func openT(t *testing.T, path string) (*Journal, []Record, ReplayStats) {
+	t.Helper()
+	j, recs, stats, err := Open(path)
+	if err != nil {
+		t.Fatalf("Open(%q): %v", path, err)
+	}
+	t.Cleanup(func() { j.Close() })
+	return j, recs, stats
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.jsonl")
+	j, recs, stats := openT(t, path)
+	if len(recs) != 0 || stats.Records != 0 || stats.Torn != 0 {
+		t.Fatalf("fresh journal not empty: recs=%d stats=%+v", len(recs), stats)
+	}
+	want := []Record{
+		{Type: "submitted", Job: "j-000001", Ord: 1, Experiment: "e1", Key: strings.Repeat("ab", 32),
+			Config: json.RawMessage(`{"Seed":7,"Services":3}`)},
+		{Type: "started", Job: "j-000001"},
+		{Type: "finished", Job: "j-000001", Status: "done"},
+		{Type: "finished", Job: "j-000002", Status: "failed", Error: "boom"},
+	}
+	for _, rec := range want {
+		if err := j.Append(rec); err != nil {
+			t.Fatalf("Append(%+v): %v", rec, err)
+		}
+	}
+	j.Close()
+
+	_, got, stats := openT(t, path)
+	if stats.Torn != 0 || stats.TruncatedBytes != 0 {
+		t.Fatalf("clean journal reported damage: %+v", stats)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Type != want[i].Type || got[i].Job != want[i].Job || got[i].Ord != want[i].Ord ||
+			got[i].Experiment != want[i].Experiment || got[i].Key != want[i].Key ||
+			got[i].Status != want[i].Status || got[i].Error != want[i].Error ||
+			string(got[i].Config) != string(want[i].Config) {
+			t.Errorf("record %d: got %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestJournalTruncatesTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.jsonl")
+	j, _, _ := openT(t, path)
+	for i, job := range []string{"j-000001", "j-000002"} {
+		if err := j.Append(Record{Type: "submitted", Job: job, Ord: uint64(i + 1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+	intact, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate a crash mid-append at several cut points inside a third
+	// record: each must replay exactly the first two records and leave a
+	// file the next Append can extend cleanly.
+	full := append(append([]byte{}, intact...), []byte("v1 deadbeef {\"type\":\"started\",\"job\"")...)
+	for _, cut := range []int{len(intact) + 3, len(full) - 1, len(full)} {
+		t.Run("", func(t *testing.T) {
+			p := filepath.Join(t.TempDir(), "torn.jsonl")
+			if err := os.WriteFile(p, full[:cut], 0o644); err != nil {
+				t.Fatal(err)
+			}
+			j2, recs, stats := openT(t, p)
+			if len(recs) != 2 {
+				t.Fatalf("replayed %d records, want 2 (stats %+v)", len(recs), stats)
+			}
+			if stats.Torn != 1 || stats.TruncatedBytes != int64(cut-len(intact)) {
+				t.Errorf("stats = %+v, want Torn=1 TruncatedBytes=%d", stats, cut-len(intact))
+			}
+			if err := j2.Append(Record{Type: "submitted", Job: "j-000003", Ord: 3}); err != nil {
+				t.Fatal(err)
+			}
+			j2.Close()
+			_, recs, stats = openT(t, p)
+			if len(recs) != 3 || stats.Torn != 0 {
+				t.Fatalf("after repair+append: %d records, stats %+v; want 3 records, no damage", len(recs), stats)
+			}
+		})
+	}
+}
+
+func TestJournalRepairsMissingFinalNewline(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.jsonl")
+	j, _, _ := openT(t, path)
+	if err := j.Append(Record{Type: "submitted", Job: "j-000001", Ord: 1}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	// Crash persisted the full line but not its newline: the record must
+	// survive, and the next append must not concatenate onto it.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-1], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j2, recs, stats := openT(t, path)
+	if len(recs) != 1 || stats.Torn != 0 {
+		t.Fatalf("replay after lost newline: %d records, stats %+v", len(recs), stats)
+	}
+	if err := j2.Append(Record{Type: "started", Job: "j-000001"}); err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+	_, recs, stats = openT(t, path)
+	if len(recs) != 2 || stats.Torn != 0 {
+		t.Fatalf("after append: %d records, stats %+v; want both intact", len(recs), stats)
+	}
+}
+
+func TestJournalDropsMidFileDamage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.jsonl")
+	j, _, _ := openT(t, path)
+	for i := 1; i <= 3; i++ {
+		if err := j.Append(Record{Type: "submitted", Job: "j", Ord: uint64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(string(data), "\n")
+	// Flip a payload byte in the middle record: it and everything after
+	// must be dropped, never reinterpreted.
+	mid := []byte(lines[1])
+	mid[len(mid)-3] ^= 0x01
+	if err := os.WriteFile(path, []byte(lines[0]+string(mid)+lines[2]), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, recs, stats := openT(t, path)
+	if len(recs) != 1 || recs[0].Ord != 1 {
+		t.Fatalf("replayed %d records (first ord %d), want only the first", len(recs), recs[0].Ord)
+	}
+	if stats.Torn != 2 {
+		t.Errorf("Torn = %d, want 2 (damaged line and its successor)", stats.Torn)
+	}
+}
+
+func TestJournalAppendAfterClose(t *testing.T) {
+	j, _, _ := openT(t, filepath.Join(t.TempDir(), "jobs.jsonl"))
+	j.Close()
+	if err := j.Append(Record{Type: "submitted", Job: "j"}); err == nil {
+		t.Fatal("Append after Close succeeded")
+	}
+}
+
+func TestStoreRoundTripAndCorruption(t *testing.T) {
+	s, err := OpenStore(filepath.Join(t.TempDir(), "results"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := strings.Repeat("0123abcd", 8)
+	payload := []byte("experiment result bytes \x00\xff with binary content")
+	if _, ok := s.Get(key); ok {
+		t.Fatal("Get before Put reported a blob")
+	}
+	if err := s.Put(key, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get(key)
+	if !ok || string(got) != string(payload) {
+		t.Fatalf("Get = %q, %v; want stored payload", got, ok)
+	}
+	if !s.Has(key) {
+		t.Fatal("Has = false for intact blob")
+	}
+	// Put is idempotent for the same key.
+	if err := s.Put(key, payload); err != nil {
+		t.Fatal(err)
+	}
+
+	// Corrupt one payload byte: the blob must read as absent.
+	path := filepath.Join(s.Dir(), key+".bin")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0x01
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(key); ok {
+		t.Fatal("Get returned corrupted blob")
+	}
+	if s.Has(key) {
+		t.Fatal("Has = true for corrupted blob")
+	}
+
+	// Truncated blob (torn write that somehow survived rename) is absent.
+	if err := os.WriteFile(path, raw[:3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(key); ok {
+		t.Fatal("Get returned truncated blob")
+	}
+}
+
+func TestStoreKeysAndInvalidKeys(t *testing.T) {
+	s, err := OpenStore(filepath.Join(t.TempDir(), "results"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("not-a-hex-key", []byte("x")); err == nil {
+		t.Fatal("Put accepted a non-hex key")
+	}
+	if err := s.Put("../escape0000000000", []byte("x")); err == nil {
+		t.Fatal("Put accepted a path-traversal key")
+	}
+	k1, k2 := strings.Repeat("aa", 32), strings.Repeat("bb", 32)
+	for _, k := range []string{k1, k2} {
+		if err := s.Put(k, []byte(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Stray files that are not blobs must not appear as keys.
+	if err := os.WriteFile(filepath.Join(s.Dir(), "README"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	keys, err := s.Keys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 2 {
+		t.Fatalf("Keys = %v, want exactly the two blobs", keys)
+	}
+	seen := map[string]bool{}
+	for _, k := range keys {
+		seen[k] = true
+	}
+	if !seen[k1] || !seen[k2] {
+		t.Fatalf("Keys = %v, missing %s or %s", keys, k1, k2)
+	}
+}

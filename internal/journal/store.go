@@ -1,0 +1,147 @@
+package journal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// blobMagic heads every blob file; the byte after it is the format
+// version. A file that does not start with this sequence is not a blob.
+var blobMagic = []byte{'v', 'd', 'j', 1}
+
+// Store is a content-addressed blob store: one file per key under a
+// single directory, written atomically (temp file + rename) and framed
+// with a CRC-32C header so a torn or corrupted blob reads as absent
+// rather than as wrong bytes. Keys are the hex SHA-256 cache keys the
+// rest of the system already uses, which keeps file names shell-safe
+// and collision-free by construction.
+type Store struct {
+	dir string
+}
+
+// OpenStore ensures dir exists and returns a store rooted there.
+func OpenStore(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("journal: store: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// validKey accepts only lowercase-hex names of plausible digest length,
+// so a malformed key can never escape the store directory or collide
+// with temp files.
+func validKey(key string) bool {
+	if len(key) < 16 || len(key) > 128 {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Store) blobPath(key string) string {
+	return filepath.Join(s.dir, key+".bin")
+}
+
+// Put durably writes data under key: header + payload to a temp file,
+// fsync, rename into place, fsync the directory. An existing blob for
+// the same key is left untouched — content addressing makes rewrites
+// redundant.
+func (s *Store) Put(key string, data []byte) error {
+	if !validKey(key) {
+		return fmt.Errorf("journal: store: invalid key %q", key)
+	}
+	path := s.blobPath(key)
+	if _, err := os.Stat(path); err == nil {
+		return nil
+	}
+	tmp, err := os.CreateTemp(s.dir, "tmp-*")
+	if err != nil {
+		return fmt.Errorf("journal: store: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	header := make([]byte, len(blobMagic)+4)
+	copy(header, blobMagic)
+	binary.BigEndian.PutUint32(header[len(blobMagic):], crc32.Checksum(data, castagnoli))
+	if _, err := tmp.Write(header); err == nil {
+		_, err = tmp.Write(data)
+	}
+	if err != nil {
+		tmp.Close()
+		return fmt.Errorf("journal: store: writing blob: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("journal: store: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("journal: store: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("journal: store: %w", err)
+	}
+	if dir, err := os.Open(s.dir); err == nil {
+		dir.Sync()
+		dir.Close()
+	}
+	return nil
+}
+
+// Get returns the payload stored under key. A missing, truncated, or
+// checksum-failing blob returns ok=false — callers recompute, they
+// never see damaged bytes.
+func (s *Store) Get(key string) ([]byte, bool) {
+	if !validKey(key) {
+		return nil, false
+	}
+	raw, err := os.ReadFile(s.blobPath(key))
+	if err != nil {
+		return nil, false
+	}
+	headerLen := len(blobMagic) + 4
+	if len(raw) < headerLen || string(raw[:len(blobMagic)]) != string(blobMagic) {
+		return nil, false
+	}
+	want := binary.BigEndian.Uint32(raw[len(blobMagic):headerLen])
+	data := raw[headerLen:]
+	if crc32.Checksum(data, castagnoli) != want {
+		return nil, false
+	}
+	return data, true
+}
+
+// Has reports whether an intact blob exists for key (full verification,
+// not just a stat — a torn blob counts as absent).
+func (s *Store) Has(key string) bool {
+	_, ok := s.Get(key)
+	return ok
+}
+
+// Keys lists every key with a blob file present, verified or not —
+// orphan scans want to see damaged files too.
+func (s *Store) Keys() ([]string, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("journal: store: %w", err)
+	}
+	var keys []string
+	for _, e := range entries {
+		name, ok := strings.CutSuffix(e.Name(), ".bin")
+		if !ok || !validKey(name) {
+			continue
+		}
+		keys = append(keys, name)
+	}
+	return keys, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }

@@ -5,6 +5,8 @@
 package report
 
 import (
+	"bytes"
+	"encoding/gob"
 	"encoding/json"
 	"fmt"
 	"math"
@@ -74,6 +76,37 @@ func (t *Table) MarshalJSON() ([]byte, error) {
 		Headers []string   `json:"headers"`
 		Rows    [][]string `json:"rows"`
 	}{t.Title, headers, t.Rows()})
+}
+
+// gobTable is the wire form of a Table for gob: the raw, unpadded rows,
+// so every renderer (String, CSV, Markdown, JSON) produces byte-identical
+// output from a decoded table. Gob is the persistence codec of the
+// durable job store — the JSON form cannot serve there because it pads
+// rows and nulls non-finite values.
+type gobTable struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// GobEncode implements gob.GobEncoder. Without it, gob would silently
+// drop the unexported rows.
+func (t *Table) GobEncode() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(gobTable{t.Title, t.Headers, t.rows}); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode implements gob.GobDecoder.
+func (t *Table) GobDecode(data []byte) error {
+	var w gobTable
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return err
+	}
+	t.Title, t.Headers, t.rows = w.Title, w.Headers, w.Rows
+	return nil
 }
 
 // FormatFloat renders a float compactly: four significant decimals,

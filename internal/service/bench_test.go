@@ -18,7 +18,7 @@ func BenchmarkServiceColdVsWarm(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			// A fresh service per iteration guarantees an empty cache.
-			svc := New(Options{Workers: 1})
+			svc := mustNew(b, Options{Workers: 1})
 			job, err := svc.Submit("e3", cfg)
 			if err != nil {
 				b.Fatal(err)
@@ -38,7 +38,7 @@ func BenchmarkServiceColdVsWarm(b *testing.B) {
 	})
 
 	b.Run("warm", func(b *testing.B) {
-		svc := New(Options{Workers: 1})
+		svc := mustNew(b, Options{Workers: 1})
 		defer svc.Close()
 		// Prime the cache outside the timer.
 		job, err := svc.Submit("e3", cfg)

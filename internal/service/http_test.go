@@ -19,9 +19,9 @@ func newTestAPI(t *testing.T, opts Options, run runner) (*Service, *httptest.Ser
 	t.Helper()
 	var svc *Service
 	if run == nil {
-		svc = New(opts)
+		svc = mustNew(t, opts)
 	} else {
-		svc = newService(opts, run)
+		svc = mustNewService(t, opts, run)
 	}
 	ts := httptest.NewServer(svc.Handler())
 	t.Cleanup(func() { ts.Close(); svc.Close() })
@@ -161,14 +161,19 @@ func TestAPIErrors(t *testing.T) {
 	cases := []struct {
 		name, method, path, body string
 		wantCode                 int
+		wantErrCode              string
 	}{
-		{"malformed body", http.MethodPost, "/v1/jobs", `{"experiment":`, http.StatusBadRequest},
-		{"unknown field", http.MethodPost, "/v1/jobs", `{"experiment":"e1","bogus":1}`, http.StatusBadRequest},
-		{"unknown experiment", http.MethodPost, "/v1/jobs", `{"experiment":"e99","quick":true}`, http.StatusNotFound},
-		{"invalid override", http.MethodPost, "/v1/jobs", `{"experiment":"e1","quick":true,"services":-4}`, http.StatusBadRequest},
-		{"unknown job status", http.MethodGet, "/v1/jobs/j-nope", "", http.StatusNotFound},
-		{"unknown job result", http.MethodGet, "/v1/jobs/j-nope/result", "", http.StatusNotFound},
-		{"unknown job cancel", http.MethodDelete, "/v1/jobs/j-nope", "", http.StatusNotFound},
+		{"malformed body", http.MethodPost, "/v1/jobs", `{"experiment":`, http.StatusBadRequest, codeMalformedRequest},
+		{"unknown field", http.MethodPost, "/v1/jobs", `{"experiment":"e1","bogus":1}`, http.StatusBadRequest, codeMalformedRequest},
+		{"unknown experiment", http.MethodPost, "/v1/jobs", `{"experiment":"e99","quick":true}`, http.StatusNotFound, codeUnknownExperiment},
+		{"invalid override", http.MethodPost, "/v1/jobs", `{"experiment":"e1","quick":true,"services":-4}`, http.StatusBadRequest, codeBadRequest},
+		{"unknown job status", http.MethodGet, "/v1/jobs/j-nope", "", http.StatusNotFound, codeUnknownJob},
+		{"unknown job result", http.MethodGet, "/v1/jobs/j-nope/result", "", http.StatusNotFound, codeUnknownJob},
+		{"unknown job events", http.MethodGet, "/v1/jobs/j-nope/events", "", http.StatusNotFound, codeUnknownJob},
+		{"unknown job cancel", http.MethodDelete, "/v1/jobs/j-nope", "", http.StatusNotFound, codeUnknownJob},
+		{"bad list state", http.MethodGet, "/v1/jobs?state=bogus", "", http.StatusBadRequest, codeBadRequest},
+		{"bad list cursor", http.MethodGet, "/v1/jobs?cursor=banana", "", http.StatusBadRequest, codeBadRequest},
+		{"bad list limit", http.MethodGet, "/v1/jobs?limit=-1", "", http.StatusBadRequest, codeBadRequest},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -177,8 +182,11 @@ func TestAPIErrors(t *testing.T) {
 				t.Fatalf("%s %s = %d, want %d (%s)", c.method, c.path, code, c.wantCode, body)
 			}
 			var eb errorBody
-			if err := json.Unmarshal([]byte(body), &eb); err != nil || eb.Error == "" {
-				t.Fatalf("error response not {error: ...}: %s", body)
+			if err := json.Unmarshal([]byte(body), &eb); err != nil || eb.Error.Code == "" || eb.Error.Message == "" {
+				t.Fatalf("error response not the {error:{code,message}} envelope: %s", body)
+			}
+			if eb.Error.Code != c.wantErrCode {
+				t.Fatalf("error code = %q, want %q (%s)", eb.Error.Code, c.wantErrCode, body)
 			}
 		})
 	}
@@ -206,14 +214,19 @@ func TestAPIRunningAndCanceledJobs(t *testing.T) {
 	g.waitStarted(t)
 	st2 := submitJob(t, ts.URL, `{"experiment":"e1","quick":true,"seed":2}`)
 
-	// Result of a running job: 202 with a status body and Retry-After.
+	// Result of a running job: 409 with the not_done envelope and a
+	// Retry-After hint.
 	code, hdr, body := httpDo(t, http.MethodGet, ts.URL+"/v1/jobs/"+st1.ID+"/result", "")
-	if code != http.StatusAccepted || hdr.Get("Retry-After") == "" {
+	if code != http.StatusConflict || hdr.Get("Retry-After") == "" {
 		t.Fatalf("running result = %d (Retry-After %q): %s", code, hdr.Get("Retry-After"), body)
+	}
+	var eb errorBody
+	if err := json.Unmarshal([]byte(body), &eb); err != nil || eb.Error.Code != codeNotDone {
+		t.Fatalf("running result error code = %q, want %q: %s", eb.Error.Code, codeNotDone, body)
 	}
 	// A bounded wait that expires behaves the same.
 	code, _, _ = httpDo(t, http.MethodGet, ts.URL+"/v1/jobs/"+st1.ID+"/result?wait=50ms", "")
-	if code != http.StatusAccepted {
+	if code != http.StatusConflict {
 		t.Fatalf("expired wait = %d", code)
 	}
 

@@ -19,6 +19,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -67,6 +68,7 @@ type Job struct {
 	experiment string
 	cfg        vdbench.ExperimentConfig
 	seq        uint64 // submission order among queued jobs; 0 when never queued
+	ord        uint64 // global submission ordinal: the job-listing cursor, stable across restarts
 
 	//vdlint:ignore ctxflow a Job is itself a cancellation scope: Cancel aborts it via this stored context, which exists only for the job's own lifetime
 	ctx    context.Context
@@ -145,6 +147,10 @@ type JobStatus struct {
 	Experiment string `json:"experiment"`
 	Key        string `json:"key"`
 	Status     Status `json:"status"`
+	// Ord is the global submission ordinal; the job-listing cursor is
+	// "jobs with Ord greater than this", stable across restarts because
+	// ordinals are journaled.
+	Ord uint64 `json:"ord"`
 	// Position is the 1-based queue position while queued (1 = next to
 	// run), 0 otherwise. It counts jobs ahead in submission order,
 	// including queued jobs that were canceled but not yet reaped, so it
@@ -154,6 +160,9 @@ type JobStatus struct {
 	// cache rather than a fresh campaign.
 	Cached bool   `json:"cached"`
 	Error  string `json:"error,omitempty"`
+	// Links maps relations to API paths (self, result, events). The HTTP
+	// layer fills it; the core service leaves it nil.
+	Links map[string]string `json:"links,omitempty"`
 }
 
 // Options configures a Service.
@@ -174,6 +183,13 @@ type Options struct {
 	// JobHistory bounds how many terminal jobs stay queryable; the
 	// oldest are forgotten first. Defaults to 1024.
 	JobHistory int
+	// DataDir enables the durable job store: an append-only lifecycle
+	// journal plus content-addressed result files under this directory.
+	// On start the journal is replayed — finished jobs rehydrate the
+	// result cache, unfinished jobs re-enqueue in submission order and
+	// re-execute to byte-identical results (determinism guarantee).
+	// Empty keeps the historical in-memory-only behaviour.
+	DataDir string
 }
 
 // withDefaults fills unset options.
@@ -223,18 +239,34 @@ type Service struct {
 	rootCtx    context.Context
 	rootCancel context.CancelFunc
 
+	// store is the durable journal + result store (nil when
+	// Options.DataDir is empty); storeOff is a test hook that detaches
+	// an abandoned service from a shared store without closing it.
+	store    *jobStore
+	storeOff atomic.Bool
+	recovery RecoveryStats
+
+	// events fans live campaign progress out to SSE subscribers.
+	events *eventHub
+
 	mu       sync.Mutex
 	closed   bool
 	jobs     map[string]*Job
 	history  []string        // terminal job IDs in completion order
 	inflight map[string]*Job // cache key -> queued or running job
 	nextID   uint64
+	nextOrd  uint64 // global submission ordinal counter
 	seq      uint64 // jobs handed to the queue
 	started  uint64 // jobs taken off the queue
 
 	mSubmitted, mCompleted, mFailed, mCanceled            *telemetry.Counter
 	mCacheHit, mCacheMiss, mEvicted                       *telemetry.Counter
 	mCollapsed                                            *telemetry.Counter
+	mJournalRecords, mJournalErrors                       *telemetry.Counter
+	mJournalReplayed, mJournalTorn                        *telemetry.Counter
+	mJournalMissingBlobs, mJournalOrphanBlobs             *telemetry.Counter
+	mBlobsWritten, mBlobHits                              *telemetry.Counter
+	mSSESubscribers, mSSEEventsSent, mSSEDropped          *telemetry.Counter
 	mCompileHit, mCompileMiss                             *telemetry.Counter
 	mExecPanics, mExecTimeouts, mExecErrors, mExecRetries *telemetry.Counter
 	mOracleProbes, mOraclePruned, mOracleEarlyExits       *telemetry.Counter
@@ -260,15 +292,19 @@ type Service struct {
 }
 
 // New builds and starts a service backed by vdbench.RunExperimentCtx.
+// When Options.DataDir is set, the durable job store is opened and
+// replayed before any worker runs: the error return is the store
+// failing to open (an unusable data directory), never replay content —
+// damaged records and blobs degrade to counters, not startup failures.
 // Callers must Close it to release the worker pool.
-func New(opts Options) *Service {
+func New(opts Options) (*Service, error) {
 	return newService(opts, func(ctx context.Context, id string, cfg vdbench.ExperimentConfig) (vdbench.ExperimentResult, error) {
 		return vdbench.RunExperimentCtx(ctx, id, cfg)
 	})
 }
 
 // newService is New with an injectable runner (test seam).
-func newService(opts Options, run runner) *Service {
+func newService(opts Options, run runner) (*Service, error) {
 	opts = opts.withDefaults()
 	reg := telemetry.NewRegistry()
 	s := &Service{
@@ -277,9 +313,9 @@ func newService(opts Options, run runner) *Service {
 		reg:      reg,
 		cache:    newResultCache(opts.CacheBytes),
 		known:    map[string]bool{},
-		queue:    make(chan *Job, opts.QueueCap),
 		jobs:     map[string]*Job{},
 		inflight: map[string]*Job{},
+		events:   newEventHub(),
 
 		mSubmitted: reg.Counter("vd_jobs_submitted_total", "jobs accepted by Submit"),
 		mCompleted: reg.Counter("vd_jobs_completed_total", "jobs finished successfully"),
@@ -289,6 +325,19 @@ func newService(opts Options, run runner) *Service {
 		mCacheMiss: reg.Counter("vd_cache_misses_total", "submissions that missed the result cache"),
 		mEvicted:   reg.Counter("vd_cache_evictions_total", "cache entries evicted by the byte budget"),
 		mCollapsed: reg.Counter("vd_singleflight_collapsed_total", "submissions collapsed onto an identical in-flight job"),
+
+		mJournalRecords:      reg.Counter("vd_journal_records_total", "lifecycle records appended to the job journal"),
+		mJournalErrors:       reg.Counter("vd_journal_errors_total", "journal or blob writes that failed (durability degraded)"),
+		mJournalReplayed:     reg.Counter("vd_journal_replayed_total", "journal records replayed on start"),
+		mJournalTorn:         reg.Counter("vd_journal_torn_records_total", "damaged journal lines dropped by the CRC guard on start"),
+		mJournalMissingBlobs: reg.Counter("vd_journal_missing_blobs_total", "finished jobs requeued on start because their result blob was missing or damaged"),
+		mJournalOrphanBlobs:  reg.Counter("vd_journal_orphan_blobs_total", "result blobs found on start that no journal record explains"),
+		mBlobsWritten:        reg.Counter("vd_journal_blobs_written_total", "results persisted to the content-addressed store"),
+		mBlobHits:            reg.Counter("vd_journal_blob_hits_total", "submissions answered from the content-addressed store after missing the memory cache"),
+
+		mSSESubscribers: reg.Counter("vd_sse_subscribers_total", "event-stream subscriptions accepted"),
+		mSSEEventsSent:  reg.Counter("vd_sse_events_sent_total", "SSE frames written to subscribers"),
+		mSSEDropped:     reg.Counter("vd_sse_dropped_total", "progress snapshots coalesced away under subscriber backpressure"),
 
 		mCompileHit:  reg.Counter("vd_compile_cache_hits_total", "campaign CFG builds served from the shared compile cache"),
 		mCompileMiss: reg.Counter("vd_compile_cache_misses_total", "campaign CFG builds that lowered a graph"),
@@ -311,6 +360,7 @@ func newService(opts Options, run runner) *Service {
 		hCampaign: reg.Histogram("vd_campaign_seconds", "latency of executed campaigns in seconds",
 			0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120),
 	}
+	s.events.dropped = s.mSSEDropped
 	// Baseline the compile-cache and execution-fault deltas at
 	// construction: only growth that happens while this service is
 	// running is attributed to it.
@@ -322,11 +372,36 @@ func newService(opts Options, run runner) *Service {
 		s.known[id] = true
 	}
 	s.rootCtx, s.rootCancel = context.WithCancel(context.Background())
+
+	// Open and replay the durable store before the queue exists or any
+	// worker runs: replay owns the whole service, so the backlog can be
+	// rebuilt without locking, and the queue is sized to hold it even
+	// when it exceeds the configured capacity.
+	var backlog []*Job
+	if opts.DataDir != "" {
+		store, records, stats, err := openJobStore(opts.DataDir)
+		if err != nil {
+			s.rootCancel()
+			return nil, err
+		}
+		s.store = store
+		backlog = s.replayLocked(records, stats)
+	}
+	queueCap := opts.QueueCap
+	if len(backlog) > queueCap {
+		queueCap = len(backlog)
+	}
+	s.queue = make(chan *Job, queueCap)
+	for _, job := range backlog {
+		s.queue <- job
+	}
+	s.gQueueDepth.Set(int64(len(backlog)))
+
 	s.wg.Add(opts.Workers)
 	for i := 0; i < opts.Workers; i++ {
 		go s.worker()
 	}
-	return s
+	return s, nil
 }
 
 // Metrics returns the service's telemetry registry (the /metrics body is
@@ -359,17 +434,31 @@ func (s *Service) Submit(experiment string, cfg vdbench.ExperimentConfig) (*Job,
 	}
 	s.mSubmitted.Inc()
 
-	if res, ok := s.cache.get(key); ok {
+	res, hit := s.cache.get(key)
+	if hit {
 		s.mCacheHit.Inc()
+	} else if res, hit = s.storedResult(key); hit {
+		// The memory cache missed but the content-addressed store holds
+		// the result (evicted earlier, or computed by a previous process).
+		// Promote it back into the LRU and answer without a campaign.
+		s.mBlobHits.Inc()
+		s.cache.put(key, res, resultSize(res))
+	} else {
+		s.mCacheMiss.Inc()
+	}
+	if hit {
 		job := s.newJobLocked(experiment, cfg, key)
 		job.cached = true
 		job.status = StatusDone
 		job.result = res
 		close(job.done)
 		s.rememberLocked(job)
+		// Journaled as submitted + finished so the job survives restarts
+		// like any other; its blob is already durable.
+		s.journalSubmitted(job)
+		s.journalFinished(job, StatusDone, nil)
 		return job, nil
 	}
-	s.mCacheMiss.Inc()
 
 	if j := s.inflight[key]; j != nil {
 		s.mCollapsed.Inc()
@@ -391,18 +480,21 @@ func (s *Service) Submit(experiment string, cfg vdbench.ExperimentConfig) (*Job,
 		s.gQueueDepth.Add(-1)
 		return nil, ErrQueueFull
 	}
+	s.journalSubmitted(job)
 	return job, nil
 }
 
 // newJobLocked allocates a job; callers hold s.mu.
 func (s *Service) newJobLocked(experiment string, cfg vdbench.ExperimentConfig, key string) *Job {
 	s.nextID++
+	s.nextOrd++
 	ctx, cancel := context.WithCancel(s.rootCtx)
 	return &Job{
 		id:         fmt.Sprintf("j-%06d", s.nextID),
 		key:        key,
 		experiment: experiment,
 		cfg:        cfg,
+		ord:        s.nextOrd,
 		ctx:        ctx,
 		cancel:     cancel,
 		done:       make(chan struct{}),
@@ -445,6 +537,7 @@ func (s *Service) Status(id string) (JobStatus, bool) {
 		Experiment: job.experiment,
 		Key:        job.key,
 		Status:     job.status,
+		Ord:        job.ord,
 		Cached:     job.cached,
 	}
 	if job.err != nil {
@@ -454,6 +547,54 @@ func (s *Service) Status(id string) (JobStatus, bool) {
 		st.Position = int(job.seq - started)
 	}
 	return st, true
+}
+
+// JobList is one page of the job collection: statuses in submission-
+// ordinal order plus the cursor for the next page (zero when this page
+// reaches the end).
+type JobList struct {
+	Jobs []JobStatus
+	Next uint64
+}
+
+// List pages through the known jobs in submission order. state filters
+// to one lifecycle state ("" keeps all); cursor is the Ord of the last
+// job of the previous page (0 starts from the beginning); limit bounds
+// the page size (<= 0 selects 100). The cursor is stable: jobs are
+// returned in ascending ordinal order, ordinals never reorder, and a
+// job forgotten between pages just disappears from the stream rather
+// than shifting it.
+func (s *Service) List(state Status, cursor uint64, limit int) JobList {
+	if limit <= 0 {
+		limit = 100
+	}
+	s.mu.Lock()
+	candidates := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		if j.ord > cursor {
+			candidates = append(candidates, j)
+		}
+	}
+	s.mu.Unlock()
+	sort.Slice(candidates, func(i, k int) bool { return candidates[i].ord < candidates[k].ord })
+
+	list := JobList{Jobs: []JobStatus{}}
+	for _, j := range candidates {
+		st, ok := s.Status(j.id)
+		if !ok || (state != "" && st.Status != state) {
+			continue
+		}
+		list.Jobs = append(list.Jobs, st)
+		if len(list.Jobs) == limit {
+			// More candidates may remain (even under a state filter, the
+			// remaining tail may contain matches): hand out a cursor.
+			if j != candidates[len(candidates)-1] {
+				list.Next = st.Ord
+			}
+			break
+		}
+	}
+	return list
 }
 
 // Cancel cancels a queued or running job and reports whether it
@@ -498,6 +639,7 @@ func (s *Service) reapQueued(job *Job) bool {
 	}
 	job.cancel()
 	s.mCanceled.Inc()
+	s.journalFinished(job, StatusCanceled, nil)
 	s.mu.Lock()
 	if s.inflight[job.key] == job {
 		delete(s.inflight, job.key)
@@ -534,8 +676,31 @@ func (s *Service) execute(job *Job) {
 		return // Cancel beat us to the job and already reaped it
 	}
 
+	// Second look at the caches now that the job actually runs: an
+	// identical result may have landed while this job sat queued (another
+	// key-equal job finishing, or replay re-enqueueing the same key
+	// twice). Determinism makes the cached result indistinguishable from
+	// a fresh campaign, so serve it and free the worker immediately.
+	if res, ok := s.cache.get(job.key); ok {
+		s.finishFromCache(job, res)
+		return
+	}
+	if res, ok := s.storedResult(job.key); ok {
+		s.mBlobHits.Inc()
+		s.cache.put(job.key, res, resultSize(res))
+		s.finishFromCache(job, res)
+		return
+	}
+
+	s.journalStarted(job)
+	// Thread the live-progress seam through the campaign: the aggregator
+	// publishes coalescible snapshots to this job's SSE subscribers. The
+	// listener only observes — the campaign result is byte-identical with
+	// or without it.
+	agg := newProgressAggregator(job.id, s.events)
+	runCtx := vdbench.WithCampaignProgress(job.ctx, agg.observe)
 	start := time.Now()
-	res, err := s.run(job.ctx, job.experiment, job.cfg)
+	res, err := s.run(runCtx, job.experiment, job.cfg)
 	elapsed := time.Since(start).Seconds()
 	s.hCampaign.Observe(elapsed)
 	// Per-experiment latency: registration is idempotent by name, so the
@@ -555,11 +720,17 @@ func (s *Service) execute(job *Job) {
 		// a cancellation, not a failure.
 		if job.casStatus(StatusRunning, StatusCanceled, vdbench.ExperimentResult{}, context.Canceled) {
 			s.mCanceled.Inc()
+			s.journalFinished(job, StatusCanceled, nil)
 		}
 	case err != nil:
 		job.casStatus(StatusRunning, StatusFailed, vdbench.ExperimentResult{}, err)
 		s.mFailed.Inc()
+		s.journalFinished(job, StatusFailed, err)
 	default:
+		// Durability order matters: the blob first, the finished record
+		// second, so a journaled "done" always points at a blob that was
+		// durable before it. A crash between the two replays as a requeue.
+		s.persistResult(job.key, res)
 		evicted := s.cache.put(job.key, res, resultSize(res))
 		s.mEvicted.Add(uint64(evicted))
 		entries, bytes := s.cache.stats()
@@ -567,8 +738,27 @@ func (s *Service) execute(job *Job) {
 		s.gCacheBytes.Set(bytes)
 		job.casStatus(StatusRunning, StatusDone, res, nil)
 		s.mCompleted.Inc()
+		s.journalFinished(job, StatusDone, nil)
 	}
 	job.cancel() // release the job context
+	s.mu.Lock()
+	if s.inflight[job.key] == job {
+		delete(s.inflight, job.key)
+	}
+	s.rememberLocked(job)
+	s.mu.Unlock()
+}
+
+// finishFromCache completes a running job with a cached result: no
+// campaign, but the same terminal bookkeeping as a computed one.
+func (s *Service) finishFromCache(job *Job, res vdbench.ExperimentResult) {
+	job.mu.Lock()
+	job.cached = true
+	job.mu.Unlock()
+	job.casStatus(StatusRunning, StatusDone, res, nil)
+	s.mCompleted.Inc()
+	s.journalFinished(job, StatusDone, nil)
+	job.cancel()
 	s.mu.Lock()
 	if s.inflight[job.key] == job {
 		delete(s.inflight, job.key)
@@ -697,4 +887,15 @@ func (s *Service) Shutdown(ctx context.Context) {
 		<-drained
 	}
 	s.rootCancel()
+	if !s.storeOff.Load() {
+		s.store.close() // nil-safe; after the last worker's final journal write
+	}
 }
+
+// detachStore (test hook) disconnects the service from its durable
+// store without closing it: no further journal or blob writes, and
+// Shutdown leaves the store's files alone. Crash-recovery tests use it
+// to abandon a "crashed" service whose store a successor has reopened —
+// the abandoned service must not append graceful-shutdown cancellation
+// records to a journal that is no longer its own.
+func (s *Service) detachStore() { s.storeOff.Store(true) }

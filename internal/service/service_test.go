@@ -75,7 +75,7 @@ func counterValue(s *Service, name string) uint64 {
 }
 
 func TestSubmitRunsExperiment(t *testing.T) {
-	svc := New(Options{Workers: 2})
+	svc := mustNew(t, Options{Workers: 2})
 	defer svc.Close()
 	job, err := svc.Submit("e1", quickCfg())
 	if err != nil {
@@ -96,7 +96,7 @@ func TestSubmitRunsExperiment(t *testing.T) {
 }
 
 func TestSubmitErrors(t *testing.T) {
-	svc := New(Options{Workers: 1})
+	svc := mustNew(t, Options{Workers: 1})
 	defer svc.Close()
 	if _, err := svc.Submit("e99", quickCfg()); !errors.Is(err, ErrUnknownExperiment) {
 		t.Fatalf("unknown experiment error = %v", err)
@@ -112,7 +112,7 @@ func TestSubmitErrors(t *testing.T) {
 // submission must not re-run the campaign, and every rendered format of
 // the cached result must be byte-identical to the cold run.
 func TestCacheHitByteIdentical(t *testing.T) {
-	svc := New(Options{Workers: 1})
+	svc := mustNew(t, Options{Workers: 1})
 	defer svc.Close()
 	cold, err := svc.Submit("e3", quickCfg())
 	if err != nil {
@@ -162,7 +162,7 @@ func TestCacheHitByteIdentical(t *testing.T) {
 // TestCacheKeyExcludesWorkers: runs differing only in campaign worker
 // count share one cache entry, because the output is workers-invariant.
 func TestCacheKeyExcludesWorkers(t *testing.T) {
-	svc := New(Options{Workers: 1})
+	svc := mustNew(t, Options{Workers: 1})
 	defer svc.Close()
 	cfg1 := quickCfg()
 	cfg1.Workers = 1
@@ -190,7 +190,7 @@ func TestCacheKeyExcludesWorkers(t *testing.T) {
 // exactly one campaign and share one job.
 func TestSingleflightCollapses(t *testing.T) {
 	g := newGate()
-	svc := newService(Options{Workers: 2}, g.run)
+	svc := mustNewService(t, Options{Workers: 2}, g.run)
 	defer func() { g.open(); svc.Close() }()
 
 	const n = 8
@@ -226,7 +226,7 @@ func TestSingleflightCollapses(t *testing.T) {
 
 func TestQueuePositions(t *testing.T) {
 	g := newGate()
-	svc := newService(Options{Workers: 1}, g.run)
+	svc := mustNewService(t, Options{Workers: 1}, g.run)
 	defer func() { g.open(); svc.Close() }()
 
 	submit := func(seed uint64) *Job {
@@ -259,7 +259,7 @@ func TestQueuePositions(t *testing.T) {
 
 func TestCancelQueuedJob(t *testing.T) {
 	g := newGate()
-	svc := newService(Options{Workers: 1}, g.run)
+	svc := mustNewService(t, Options{Workers: 1}, g.run)
 	defer func() { g.open(); svc.Close() }()
 
 	if _, err := svc.Submit("e1", quickCfg()); err != nil {
@@ -295,7 +295,7 @@ func TestCancelQueuedJob(t *testing.T) {
 // worker slot frees for the next job.
 func TestCancelRunningJob(t *testing.T) {
 	g := newGate()
-	svc := newService(Options{Workers: 1}, g.run)
+	svc := mustNewService(t, Options{Workers: 1}, g.run)
 	defer func() { g.open(); svc.Close() }()
 
 	j1, err := svc.Submit("e1", quickCfg())
@@ -348,7 +348,7 @@ func TestCancelRunningJob(t *testing.T) {
 // budget cancels the running campaign instead of waiting for it.
 func TestShutdownAbortsRunningAfterBudget(t *testing.T) {
 	g := newGate()
-	svc := newService(Options{Workers: 1}, g.run)
+	svc := mustNewService(t, Options{Workers: 1}, g.run)
 	defer g.open()
 
 	j1, err := svc.Submit("e1", quickCfg())
@@ -371,7 +371,7 @@ func TestShutdownAbortsRunningAfterBudget(t *testing.T) {
 
 func TestQueueFull(t *testing.T) {
 	g := newGate()
-	svc := newService(Options{Workers: 1, QueueCap: 1}, g.run)
+	svc := mustNewService(t, Options{Workers: 1, QueueCap: 1}, g.run)
 	defer func() { g.open(); svc.Close() }()
 
 	submit := func(seed uint64) (*Job, error) {
@@ -396,7 +396,7 @@ func TestQueueFull(t *testing.T) {
 // jobs that never started.
 func TestCloseDrainsRunningAndCancelsQueued(t *testing.T) {
 	g := newGate()
-	svc := newService(Options{Workers: 1}, g.run)
+	svc := mustNewService(t, Options{Workers: 1}, g.run)
 
 	j1, err := svc.Submit("e1", quickCfg())
 	if err != nil {
@@ -438,7 +438,7 @@ func TestJobHistoryBounded(t *testing.T) {
 	instant := func(_ context.Context, id string, _ vdbench.ExperimentConfig) (vdbench.ExperimentResult, error) {
 		return vdbench.ExperimentResult{ID: id}, nil
 	}
-	svc := newService(Options{Workers: 1, JobHistory: 2}, instant)
+	svc := mustNewService(t, Options{Workers: 1, JobHistory: 2}, instant)
 	defer svc.Close()
 	var ids []string
 	for seed := uint64(1); seed <= 3; seed++ {

@@ -125,6 +125,14 @@ type (
 	FailureKind = harness.FailureKind
 	// ExecTotals is the process-wide snapshot of engine fault counters.
 	ExecTotals = harness.ExecTotals
+	// CampaignProgressEvent describes one finished (tool, case) cell of a
+	// running campaign: monotone done/total counts plus the cell's
+	// confusion-matrix delta for incremental metric estimates.
+	CampaignProgressEvent = harness.ProgressEvent
+	// CampaignProgressFunc receives per-cell progress events; it is called
+	// from campaign worker goroutines and must be concurrency-safe and
+	// fast (buffer and shed in the listener, not the campaign).
+	CampaignProgressFunc = harness.ProgressFunc
 	// OracleTotals is the process-wide snapshot of ground-truth oracle
 	// search counters: probes executed, probes pruned away by the
 	// influence analysis, and sweeps cut short by early exit.
@@ -248,6 +256,15 @@ func RunCampaign(corpus *Corpus, tools []Tool, seed uint64) (*Campaign, error) {
 // seed, Workers: workers}, kept for existing callers.
 func RunCampaignParallel(corpus *Corpus, tools []Tool, seed uint64, workers int) (*Campaign, error) {
 	return harness.RunParallel(corpus, tools, seed, workers)
+}
+
+// WithCampaignProgress returns a context carrying fn as the campaign
+// progress listener: any campaign executed under the returned context —
+// directly via RunCampaignCtx or through RunExperimentCtx — reports each
+// finished (tool, case) cell to fn. Reporting is observation only;
+// results are byte-identical with or without a listener.
+func WithCampaignProgress(ctx context.Context, fn CampaignProgressFunc) context.Context {
+	return harness.WithProgress(ctx, fn)
 }
 
 // MarkRetryable wraps err so the execution engine may re-run the failing
